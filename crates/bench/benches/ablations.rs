@@ -1,0 +1,76 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! the hybrid intersection rule vs a fixed kernel, degree-centrality scores vs plain
+//! LRU under cache pressure, double buffering on vs off, and block vs cyclic 1D
+//! partitioning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmatc_core::{CacheSpec, DistConfig, DistLcc, IntersectMethod, LocalConfig, LocalLcc, ScoreMode};
+use rmatc_graph::gen::{GraphGenerator, RmatGenerator};
+use rmatc_graph::partition::PartitionScheme;
+
+fn bench_ablations(c: &mut Criterion) {
+    let g = RmatGenerator::paper(10, 16).generate_cleaned(3).into_csr();
+    let adj_bytes = g.edge_count() as usize * 4;
+
+    // 1. Hybrid decision rule (Eq. 3) vs fixed kernels on the local computation.
+    let mut group = c.benchmark_group("ablation/intersection_rule");
+    group.sample_size(10);
+    for method in IntersectMethod::all() {
+        group.bench_function(method.label(), |b| {
+            let runner = LocalLcc::new(LocalConfig::sequential().with_method(method));
+            b.iter(|| runner.run(&g))
+        });
+    }
+    group.finish();
+
+    // 2. Eviction scores under pressure: LRU/positional vs degree centrality.
+    let mut group = c.benchmark_group("ablation/eviction_scores");
+    group.sample_size(10);
+    let pressure_cache = CacheSpec::adjacencies_only(adj_bytes / 8);
+    for (label, mode) in [("lru_positional", ScoreMode::Lru), ("degree", ScoreMode::DegreeCentrality)]
+    {
+        group.bench_function(label, |b| {
+            let mut cfg = DistConfig::non_cached(4);
+            cfg.cache = Some(pressure_cache);
+            cfg.score_mode = mode;
+            let runner = DistLcc::new(cfg);
+            b.iter(|| runner.run(&g))
+        });
+    }
+    group.finish();
+
+    // 3. Double buffering on/off (affects the modeled comm time, not the wall time,
+    //    but exercises the overlap-credit code path).
+    let mut group = c.benchmark_group("ablation/double_buffering");
+    group.sample_size(10);
+    for (label, db) in [("on", true), ("off", false)] {
+        group.bench_function(label, |b| {
+            let mut cfg = DistConfig::non_cached(4);
+            cfg.double_buffering = db;
+            let runner = DistLcc::new(cfg);
+            b.iter(|| runner.run(&g))
+        });
+    }
+    group.finish();
+
+    // 4. Block vs cyclic 1D distribution.
+    let mut group = c.benchmark_group("ablation/partitioning");
+    group.sample_size(10);
+    for (label, scheme) in [("block", PartitionScheme::Block1D), ("cyclic", PartitionScheme::Cyclic)]
+    {
+        group.bench_function(label, |b| {
+            let mut cfg = DistConfig::non_cached(4);
+            cfg.scheme = scheme;
+            let runner = DistLcc::new(cfg);
+            b.iter(|| runner.run(&g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

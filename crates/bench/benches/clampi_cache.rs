@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the CLaMPI reproduction: hit path, miss+insert
+//! path, eviction under pressure, and the two scoring policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmatc_clampi::{Clampi, ClampiConfig, EntryKey};
+use rmatc_rma::WindowId;
+
+fn key(i: usize) -> EntryKey {
+    EntryKey::new(WindowId(0), 1, i * 8, 8)
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clampi");
+
+    group.bench_function("hit", |b| {
+        let mut cache: Clampi<u32> = Clampi::new(ClampiConfig::always_cache(1 << 20, 4_096));
+        cache.insert(key(0), vec![7u32; 8], 0.0);
+        b.iter(|| cache.lookup(key(0)).is_some())
+    });
+
+    group.bench_function("miss_insert", |b| {
+        let mut cache: Clampi<u32> = Clampi::new(ClampiConfig::always_cache(64 << 20, 1 << 16));
+        let mut i = 0usize;
+        b.iter(|| {
+            let k = key(i);
+            i += 1;
+            if cache.lookup(k).is_none() {
+                cache.insert(k, vec![0u32; 8], 0.0);
+            }
+        })
+    });
+
+    group.bench_function("evict_lru", |b| {
+        // Capacity for only 64 entries: every insert beyond that evicts.
+        let mut cache: Clampi<u32> = Clampi::new(ClampiConfig::always_cache(64 * 32, 4_096));
+        let mut i = 0usize;
+        b.iter(|| {
+            let k = key(i);
+            i += 1;
+            if cache.lookup(k).is_none() {
+                cache.insert(k, vec![0u32; 8], 0.0);
+            }
+        })
+    });
+
+    group.bench_function("evict_degree_scores", |b| {
+        let cfg = ClampiConfig::always_cache(64 * 32, 4_096).with_application_scores();
+        let mut cache: Clampi<u32> = Clampi::new(cfg);
+        let mut i = 0usize;
+        b.iter(|| {
+            let k = key(i);
+            i += 1;
+            if cache.lookup(k).is_none() {
+                cache.insert(k, vec![0u32; 8], (i % 100) as f64);
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache
+}
+criterion_main!(benches);

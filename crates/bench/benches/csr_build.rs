@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the graph substrate: CSR construction, the
+//! cleaning pipeline and 1D partitioning.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rmatc_graph::gen::{GraphGenerator, RmatGenerator};
+use rmatc_graph::partition::{PartitionScheme, PartitionedGraph};
+use rmatc_graph::types::Direction;
+use rmatc_graph::CsrGraph;
+
+fn bench_graph(c: &mut Criterion) {
+    let gen = RmatGenerator::paper(13, 16);
+    let raw = gen.generate(1);
+    let edges = raw.edges().to_vec();
+    let cleaned = gen.generate_cleaned(1);
+    let csr = cleaned.clone().into_csr();
+
+    let mut group = c.benchmark_group("graph");
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("csr_from_edges", |b| {
+        b.iter(|| CsrGraph::from_edges(raw.vertex_count(), &edges, Direction::Undirected))
+    });
+    group.bench_function("clean_pipeline", |b| {
+        b.iter_batched(
+            || gen.generate(1),
+            |mut el| {
+                el.clean();
+                el
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("partition_1d_8", |b| {
+        b.iter(|| PartitionedGraph::from_global(&csr, PartitionScheme::Block1D, 8).unwrap())
+    });
+    group.bench_function("partition_cyclic_8", |b| {
+        b.iter(|| PartitionedGraph::from_global(&csr, PartitionScheme::Cyclic, 8).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graph
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the distributed runners (the Figure 9 code path) at small
+//! rank counts: asynchronous LCC with and without caching, and the TriC baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rmatc_core::{DistConfig, DistLcc};
+use rmatc_graph::gen::{GraphGenerator, RmatGenerator};
+use rmatc_tric::{Tric, TricConfig};
+
+fn bench_distributed(c: &mut Criterion) {
+    let g = RmatGenerator::paper(10, 16).generate_cleaned(1).into_csr();
+    let cache_budget = g.csr_size_bytes() as usize / 2;
+
+    let mut group = c.benchmark_group("distributed");
+    group.throughput(Throughput::Elements(g.edge_count()));
+    group.sample_size(10);
+    for ranks in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("async_non_cached", ranks), &ranks, |b, &r| {
+            let runner = DistLcc::new(DistConfig::non_cached(r));
+            b.iter(|| runner.run(&g))
+        });
+        group.bench_with_input(BenchmarkId::new("async_cached", ranks), &ranks, |b, &r| {
+            let runner = DistLcc::new(DistConfig::cached(r, cache_budget).with_degree_scores());
+            b.iter(|| runner.run(&g))
+        });
+        group.bench_with_input(BenchmarkId::new("tric", ranks), &ranks, |b, &r| {
+            let runner = Tric::new(TricConfig::plain(r));
+            b.iter(|| runner.run(&g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_distributed
+}
+criterion_main!(benches);

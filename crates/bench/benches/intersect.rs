@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the intersection kernels (Section II-C / III-C):
+//! SSI vs binary search vs hybrid on balanced and skewed list pairs, sequential and
+//! parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::Rng;
+use rand::SeedableRng;
+use rmatc_core::intersect::{binary_search_count, ssi_count, IntersectMethod, ParallelIntersector};
+use rmatc_core::Intersector;
+
+fn sorted_random(rng: &mut impl Rng, len: usize, universe: u32) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..len).map(|_| rng.gen_range(0..universe)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let balanced_a = sorted_random(&mut rng, 4_096, 1 << 20);
+    let balanced_b = sorted_random(&mut rng, 4_096, 1 << 20);
+    let skewed_a = sorted_random(&mut rng, 64, 1 << 20);
+    let skewed_b = sorted_random(&mut rng, 65_536, 1 << 20);
+
+    let mut group = c.benchmark_group("intersect/balanced");
+    group.throughput(Throughput::Elements((balanced_a.len() + balanced_b.len()) as u64));
+    group.bench_function("ssi", |b| b.iter(|| ssi_count(&balanced_a, &balanced_b)));
+    group.bench_function("binary", |b| b.iter(|| binary_search_count(&balanced_a, &balanced_b)));
+    group.bench_function("hybrid", |b| {
+        let ix = Intersector::new(IntersectMethod::Hybrid);
+        b.iter(|| ix.count(&balanced_a, &balanced_b))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("intersect/skewed");
+    group.throughput(Throughput::Elements((skewed_a.len() + skewed_b.len()) as u64));
+    group.bench_function("ssi", |b| b.iter(|| ssi_count(&skewed_a, &skewed_b)));
+    group.bench_function("binary", |b| b.iter(|| binary_search_count(&skewed_a, &skewed_b)));
+    group.bench_function("hybrid", |b| {
+        let ix = Intersector::new(IntersectMethod::Hybrid);
+        b.iter(|| ix.count(&skewed_a, &skewed_b))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("intersect/parallel");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("hybrid", threads), &threads, |b, &t| {
+            let ix = ParallelIntersector::new(IntersectMethod::Hybrid, t, 1_024);
+            b.iter(|| ix.count(&balanced_a, &balanced_b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the shared-memory LCC/TC kernel (the Table III / Figure 6
+//! code path): edge-centric counting with each intersection method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rmatc_core::{IntersectMethod, LocalConfig, LocalLcc};
+use rmatc_graph::datasets::{Dataset, DatasetScale};
+use rmatc_graph::gen::{GraphGenerator, RmatGenerator};
+
+fn bench_local(c: &mut Criterion) {
+    let rmat = RmatGenerator::paper(11, 16).generate_cleaned(1).into_csr();
+    let social = Dataset::Orkut.generate(DatasetScale::Tiny, 1);
+
+    let mut group = c.benchmark_group("local_lcc");
+    group.throughput(Throughput::Elements(rmat.edge_count()));
+    for method in IntersectMethod::all() {
+        group.bench_with_input(
+            BenchmarkId::new("rmat_s11_ef16", method.label()),
+            &method,
+            |b, &m| {
+                let runner = LocalLcc::new(LocalConfig::sequential().with_method(m));
+                b.iter(|| runner.run(&rmat))
+            },
+        );
+    }
+    group.throughput(Throughput::Elements(social.edge_count()));
+    for method in IntersectMethod::all() {
+        group.bench_with_input(
+            BenchmarkId::new("orkut_standin", method.label()),
+            &method,
+            |b, &m| {
+                let runner = LocalLcc::new(LocalConfig::sequential().with_method(m));
+                b.iter(|| runner.run(&social))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_local
+}
+criterion_main!(benches);

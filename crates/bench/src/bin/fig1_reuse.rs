@@ -1,0 +1,50 @@
+//! Figure 1 (right) — LCC data reuse on the Facebook-circles graph partitioned over
+//! two compute nodes: how many remote reads (RMA gets) are repeated how many times,
+//! from the perspective of rank 0.
+
+use rmatc_bench::{seed, Table};
+use rmatc_core::reuse;
+use rmatc_graph::datasets::{Dataset, DatasetScale};
+use rmatc_graph::partition::{PartitionScheme, PartitionedGraph};
+
+fn main() {
+    let g = Dataset::FacebookCircles.generate(DatasetScale::Tiny, seed());
+    let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 2)
+        .expect("two-way partition");
+    let counts = reuse::remote_read_counts_from_rank(&pg, 0);
+    let hist = reuse::repetition_histogram(&counts);
+
+    println!(
+        "Graph: Facebook-circles stand-in, |V| = {}, |E| = {} (paper: 4,039 / 88,234).",
+        g.vertex_count(),
+        g.logical_edge_count()
+    );
+    println!("Remote reads issued by rank 0, number of nodes: 2.\n");
+    let mut table = Table::new(
+        "Figure 1 (right): remote-read repetition histogram",
+        &["repetitions", "reads repeated that many times"],
+    );
+    // The paper's y-axis buckets repetitions at 1, 4, 16, 64, 256; aggregate the same way.
+    let buckets = [1u64, 4, 16, 64, 256, u64::MAX];
+    let mut aggregated = vec![0u64; buckets.len()];
+    for b in &hist {
+        let idx = buckets.iter().position(|&cap| b.repetitions <= cap).unwrap();
+        aggregated[idx] += b.reads;
+    }
+    for (i, &cap) in buckets.iter().enumerate() {
+        let label = match i {
+            0 => "1".to_string(),
+            _ if cap == u64::MAX => "> 256".to_string(),
+            _ => format!("{}..{}", buckets[i - 1] + 1, cap),
+        };
+        table.row(vec![label, aggregated[i].to_string()]);
+    }
+    table.print();
+    let total: u64 = counts.iter().sum();
+    println!(
+        "Total remote reads from rank 0: {total}; distinct targets: {}; reuse fraction \
+         (reads a perfect cache would eliminate): {:.1}%",
+        counts.iter().filter(|&&c| c > 0).count(),
+        100.0 * reuse::reuse_fraction(&counts)
+    );
+}

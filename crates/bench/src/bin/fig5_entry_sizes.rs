@@ -1,0 +1,51 @@
+//! Figure 5 — data reuse and cache-entry sizes for the Facebook-circles graph on two
+//! compute nodes: remote accesses per vertex against vertex degree (left panel) and
+//! `C_adj` entry size against vertex degree (right panel).
+
+use rmatc_bench::{seed, Table};
+use rmatc_core::reuse;
+use rmatc_graph::datasets::{Dataset, DatasetScale};
+use rmatc_graph::partition::{PartitionScheme, PartitionedGraph};
+
+fn main() {
+    let g = Dataset::FacebookCircles.generate(DatasetScale::Tiny, seed());
+    let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 2)
+        .expect("two-way partition");
+    let records = reuse::vertex_reuse(&pg);
+
+    // Bucket by degree to produce a readable series instead of one row per vertex.
+    let max_degree = records.iter().map(|r| r.degree).max().unwrap_or(0);
+    let bucket_width = (max_degree / 12).max(1);
+    let mut table = Table::new(
+        "Figure 5: remote accesses and C_adj entry size vs vertex degree (2 nodes)",
+        &["degree bucket", "vertices", "avg remote accesses", "avg entry size (B)"],
+    );
+    let mut bucket_start = 0u32;
+    while bucket_start <= max_degree {
+        let bucket_end = bucket_start + bucket_width;
+        let in_bucket: Vec<_> = records
+            .iter()
+            .filter(|r| r.degree >= bucket_start && r.degree < bucket_end)
+            .collect();
+        if !in_bucket.is_empty() {
+            let avg_reads =
+                in_bucket.iter().map(|r| r.remote_reads as f64).sum::<f64>() / in_bucket.len() as f64;
+            let avg_bytes =
+                in_bucket.iter().map(|r| r.entry_bytes as f64).sum::<f64>() / in_bucket.len() as f64;
+            table.row(vec![
+                format!("{bucket_start}..{bucket_end}"),
+                in_bucket.len().to_string(),
+                format!("{avg_reads:.1}"),
+                format!("{avg_bytes:.0}"),
+            ]);
+        }
+        bucket_start = bucket_end;
+    }
+    table.print();
+    println!(
+        "Observation 3.1: remote accesses per vertex correlate with its degree \
+         (Pearson r = {:.2}); the C_adj entry size is exactly 4·degree bytes, so entry \
+         reuse correlates with entry size.",
+        reuse::degree_read_correlation(&records)
+    );
+}

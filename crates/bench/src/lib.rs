@@ -1,0 +1,24 @@
+//! Benchmark harness reproducing the paper's evaluation.
+//!
+//! Every table and figure of Section IV has a dedicated binary in `src/bin/`
+//! (`table2_graphs`, `table3_intersection`, `fig1_reuse`, …, `fig10_large_scale`);
+//! each prints the rows/series of the corresponding artefact from this
+//! reproduction's simulator, next to the paper's reference numbers where those are
+//! scale-independent. Criterion micro-benchmarks for the individual kernels live in
+//! `benches/`.
+//!
+//! Measurement methodology follows the paper (which uses LibLSB): experiments are
+//! repeated until the 95% confidence interval of the median is within 5% of the
+//! median (with a configurable repetition cap), and the median is reported.
+//!
+//! The experiment scale is controlled with the `RMATC_SCALE` environment variable
+//! (`tiny`, `small`, `medium`; default `tiny`) so the full suite runs in minutes on
+//! a laptop while still exposing every code path the paper exercises.
+
+pub mod measure;
+pub mod runs;
+pub mod table;
+
+pub use measure::{measure_until, Measurement};
+pub use runs::{experiment_scale, fmt_ms, fmt_ns, ranks_small_scale, seed};
+pub use table::Table;

@@ -1,0 +1,176 @@
+//! Scientific-benchmarking measurement loop: median with a 95% confidence interval,
+//! repeated until the interval is tight (the paper's LibLSB methodology).
+
+/// Summary of repeated measurements of one quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Median of the samples.
+    pub median: f64,
+    /// Lower bound of the 95% confidence interval of the median.
+    pub ci_low: f64,
+    /// Upper bound of the 95% confidence interval of the median.
+    pub ci_high: f64,
+    /// All collected samples, in collection order.
+    pub samples: Vec<f64>,
+}
+
+impl Measurement {
+    /// Builds the summary from raw samples.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let median = percentile(&sorted, 0.5);
+        let (ci_low, ci_high) = median_ci95(&sorted);
+        Self { median, ci_low, ci_high, samples }
+    }
+
+    /// Half-width of the confidence interval relative to the median.
+    pub fn relative_ci(&self) -> f64 {
+        if self.median == 0.0 {
+            return 0.0;
+        }
+        ((self.ci_high - self.ci_low) / 2.0 / self.median).abs()
+    }
+
+    /// Whether the 95% CI half-width is within `fraction` of the median (the paper
+    /// stops repeating at 5%).
+    pub fn is_tight(&self, fraction: f64) -> bool {
+        self.relative_ci() <= fraction
+    }
+}
+
+/// Runs `sample` repeatedly until the 95% CI of the median is within
+/// `target_rel_ci` of the median, bounded by `min_reps` and `max_reps`, and returns
+/// the summary.
+pub fn measure_until<F: FnMut() -> f64>(
+    mut sample: F,
+    min_reps: usize,
+    max_reps: usize,
+    target_rel_ci: f64,
+) -> Measurement {
+    assert!(min_reps >= 1 && max_reps >= min_reps);
+    let mut samples = Vec::with_capacity(min_reps);
+    for _ in 0..min_reps {
+        samples.push(sample());
+    }
+    loop {
+        let m = Measurement::from_samples(samples.clone());
+        if m.is_tight(target_rel_ci) || samples.len() >= max_reps {
+            return m;
+        }
+        samples.push(sample());
+    }
+}
+
+/// Linear-interpolated percentile of a sorted slice (`q` in `[0, 1]`).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// 95% confidence interval of the median via the binomial order-statistic method.
+fn median_ci95(sorted: &[f64]) -> (f64, f64) {
+    let n = sorted.len();
+    if n < 6 {
+        // Too few samples for a meaningful interval: report the full range.
+        return (sorted[0], sorted[n - 1]);
+    }
+    let nf = n as f64;
+    let half_width = 1.96 * (nf * 0.25).sqrt();
+    let lo = (((nf / 2.0) - half_width).floor().max(0.0)) as usize;
+    let hi = ((((nf / 2.0) + half_width).ceil()) as usize).min(n - 1);
+    (sorted[lo], sorted[hi])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_counts() {
+        let m = Measurement::from_samples(vec![3.0, 1.0, 2.0]);
+        assert_eq!(m.median, 2.0);
+        let m = Measurement::from_samples(vec![4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(m.median, 2.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = vec![0.0, 10.0, 20.0, 30.0];
+        assert_eq!(percentile(&sorted, 0.0), 0.0);
+        assert_eq!(percentile(&sorted, 1.0), 30.0);
+        assert!((percentile(&sorted, 0.5) - 15.0).abs() < 1e-12);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn tight_samples_give_tight_ci() {
+        let m = Measurement::from_samples(vec![100.0; 20]);
+        assert!(m.is_tight(0.05));
+        assert_eq!(m.relative_ci(), 0.0);
+    }
+
+    #[test]
+    fn noisy_samples_give_wide_ci() {
+        let samples: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 10.0 } else { 1000.0 }).collect();
+        let m = Measurement::from_samples(samples);
+        assert!(!m.is_tight(0.05));
+    }
+
+    #[test]
+    fn measure_until_stops_early_on_stable_values() {
+        let mut calls = 0;
+        let m = measure_until(
+            || {
+                calls += 1;
+                42.0
+            },
+            5,
+            100,
+            0.05,
+        );
+        assert_eq!(m.median, 42.0);
+        assert_eq!(calls, 5, "stable samples should stop at the minimum repetitions");
+    }
+
+    #[test]
+    fn measure_until_respects_the_cap() {
+        let mut x = 0.0;
+        let m = measure_until(
+            || {
+                x += 100.0;
+                x
+            },
+            3,
+            10,
+            0.01,
+        );
+        assert_eq!(m.samples.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        Measurement::from_samples(vec![]);
+    }
+
+    #[test]
+    fn ci_brackets_the_median() {
+        let samples: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let m = Measurement::from_samples(samples);
+        assert!(m.ci_low <= m.median && m.median <= m.ci_high);
+        assert!(m.ci_low > 30.0 && m.ci_high < 72.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Adaptive parameter tuning.
+//!
+//! CLaMPI includes a heuristic that automatically resizes the hash table and the
+//! memory buffer by observing indicators such as cache misses, conflicts in the hash
+//! table, and evictions due to lack of space (Section II-F). The paper stresses one
+//! operational consequence: resizing the hash table flushes the cache, so good
+//! starting values matter (Section III-B1). This module implements the observation
+//! window and the resize decisions; the cache applies them.
+
+use crate::config::AdaptiveConfig;
+
+/// A resize decision produced at the end of an observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveAction {
+    /// Double the hash table (requires flushing the cache).
+    GrowTable {
+        /// New slot count.
+        new_slots: usize,
+    },
+    /// Grow the memory buffer (no flush required).
+    GrowCapacity {
+        /// New capacity in bytes.
+        new_capacity: usize,
+    },
+}
+
+/// Sliding observation window over cache events.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveState {
+    accesses: u64,
+    conflicts: u64,
+    space_evictions: u64,
+}
+
+impl AdaptiveState {
+    /// Records one lookup.
+    pub fn record_access(&mut self) {
+        self.accesses += 1;
+    }
+
+    /// Records a conflict eviction.
+    pub fn record_conflict(&mut self) {
+        self.conflicts += 1;
+    }
+
+    /// Records an eviction caused by lack of buffer space.
+    pub fn record_space_eviction(&mut self) {
+        self.space_evictions += 1;
+    }
+
+    /// Number of accesses observed in the current window.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// At the end of an observation window, decides whether to resize. Growing the
+    /// hash table takes priority (conflicts waste hits even when space is plentiful).
+    /// Returns `None` if the window is not complete yet or no threshold is exceeded.
+    pub fn decide(
+        &mut self,
+        cfg: &AdaptiveConfig,
+        current_slots: usize,
+        current_capacity: usize,
+    ) -> Option<AdaptiveAction> {
+        if self.accesses < cfg.interval {
+            return None;
+        }
+        let accesses = self.accesses as f64;
+        let conflict_rate = self.conflicts as f64 / accesses;
+        let eviction_rate = self.space_evictions as f64 / accesses;
+        self.accesses = 0;
+        self.conflicts = 0;
+        self.space_evictions = 0;
+        if conflict_rate > cfg.conflict_threshold && current_slots < cfg.max_table_slots {
+            let new_slots = (current_slots * 2).min(cfg.max_table_slots);
+            return Some(AdaptiveAction::GrowTable { new_slots });
+        }
+        if eviction_rate > cfg.eviction_threshold && current_capacity < cfg.max_capacity_bytes {
+            let new_capacity =
+                (current_capacity + current_capacity / 2).min(cfg.max_capacity_bytes).max(1);
+            return Some(AdaptiveAction::GrowCapacity { new_capacity });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdaptiveConfig {
+        AdaptiveConfig {
+            interval: 10,
+            conflict_threshold: 0.2,
+            eviction_threshold: 0.5,
+            max_capacity_bytes: 1_000,
+            max_table_slots: 64,
+        }
+    }
+
+    #[test]
+    fn no_decision_before_interval() {
+        let mut st = AdaptiveState::default();
+        for _ in 0..9 {
+            st.record_access();
+            st.record_conflict();
+        }
+        assert_eq!(st.decide(&cfg(), 8, 100), None);
+    }
+
+    #[test]
+    fn grows_table_on_high_conflict_rate() {
+        let mut st = AdaptiveState::default();
+        for _ in 0..10 {
+            st.record_access();
+        }
+        for _ in 0..5 {
+            st.record_conflict();
+        }
+        assert_eq!(st.decide(&cfg(), 8, 100), Some(AdaptiveAction::GrowTable { new_slots: 16 }));
+        // The window resets after a decision.
+        assert_eq!(st.accesses(), 0);
+    }
+
+    #[test]
+    fn table_growth_respects_maximum() {
+        let mut st = AdaptiveState::default();
+        for _ in 0..10 {
+            st.record_access();
+            st.record_conflict();
+        }
+        assert_eq!(
+            st.decide(&cfg(), 64, 100),
+            None,
+            "at the maximum table size, conflicts alone must not trigger growth"
+        );
+    }
+
+    #[test]
+    fn grows_capacity_on_heavy_space_evictions() {
+        let mut st = AdaptiveState::default();
+        for _ in 0..10 {
+            st.record_access();
+            st.record_space_eviction();
+        }
+        assert_eq!(
+            st.decide(&cfg(), 64, 100),
+            Some(AdaptiveAction::GrowCapacity { new_capacity: 150 })
+        );
+    }
+
+    #[test]
+    fn capacity_growth_clamps_to_maximum() {
+        let mut st = AdaptiveState::default();
+        for _ in 0..10 {
+            st.record_access();
+            st.record_space_eviction();
+        }
+        assert_eq!(
+            st.decide(&cfg(), 64, 900),
+            Some(AdaptiveAction::GrowCapacity { new_capacity: 1_000 })
+        );
+    }
+
+    #[test]
+    fn quiet_window_makes_no_change() {
+        let mut st = AdaptiveState::default();
+        for _ in 0..10 {
+            st.record_access();
+        }
+        assert_eq!(st.decide(&cfg(), 8, 100), None);
+    }
+
+    #[test]
+    fn conflicts_take_priority_over_capacity() {
+        let mut st = AdaptiveState::default();
+        for _ in 0..10 {
+            st.record_access();
+            st.record_conflict();
+            st.record_space_eviction();
+        }
+        assert!(matches!(st.decide(&cfg(), 8, 100), Some(AdaptiveAction::GrowTable { .. })));
+    }
+}

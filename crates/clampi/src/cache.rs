@@ -1,0 +1,596 @@
+//! The CLaMPI cache proper: slot-indexed variable-size entries over a managed memory
+//! buffer, with weighted-score victim selection and optional adaptive resizing.
+
+use crate::adaptive::{AdaptiveAction, AdaptiveState};
+use crate::config::{ClampiConfig, ConsistencyMode, ScorePolicy};
+use crate::entry::{Entry, EntryKey};
+use crate::freelist::FreeList;
+use crate::stats::CacheStats;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Result of trying to insert a missed region into the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheInsertOutcome {
+    /// The entry was stored without evicting anything.
+    Inserted,
+    /// The entry was stored after evicting this many victims.
+    InsertedAfterEvicting(usize),
+    /// The entry could not be stored (larger than the whole buffer, or eviction
+    /// could not make room).
+    NotCached,
+}
+
+/// One CLaMPI cache instance: in the paper there are two per rank, `C_offsets` over
+/// the offsets window and `C_adj` over the adjacencies window.
+#[derive(Debug)]
+pub struct Clampi<T> {
+    config: ClampiConfig,
+    /// Hash-table slots; each occupied slot owns its entry, as in CLaMPI where the
+    /// hash table indexes the cached regions directly.
+    slots: Vec<Option<Entry<T>>>,
+    freelist: FreeList,
+    clock: u64,
+    stats: CacheStats,
+    /// Keys ever requested, for compulsory-miss accounting.
+    seen: HashSet<EntryKey>,
+    adaptive: AdaptiveState,
+    occupied: usize,
+    occupied_bytes: usize,
+    max_user_score: f64,
+    /// Deterministic internal RNG state for sampled victim selection.
+    rng_state: u64,
+}
+
+impl<T: Clone> Clampi<T> {
+    /// Creates a cache with the given configuration.
+    pub fn new(config: ClampiConfig) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(config.table_slots.max(1), || None);
+        Self {
+            freelist: FreeList::new(config.capacity_bytes),
+            slots,
+            clock: 0,
+            stats: CacheStats::default(),
+            seen: HashSet::new(),
+            adaptive: AdaptiveState::default(),
+            occupied: 0,
+            occupied_bytes: 0,
+            max_user_score: 0.0,
+            rng_state: 0x9e37_79b9_7f4a_7c15,
+            config,
+        }
+    }
+
+    /// The active configuration (capacity and table size reflect adaptive resizes).
+    pub fn config(&self) -> &ClampiConfig {
+        &self.config
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Bytes currently occupied in the memory buffer.
+    pub fn occupied_bytes(&self) -> usize {
+        self.occupied_bytes
+    }
+
+    /// External fragmentation of the memory buffer, in `[0, 1]`.
+    pub fn fragmentation(&self) -> f64 {
+        self.freelist.fragmentation()
+    }
+
+    /// Number of hash-table slots probed per key (set associativity). A purely
+    /// direct-mapped index evicts on every collision even when the table is sized to
+    /// the expected entry count; a small probe sequence removes those artificial
+    /// conflict evictions, matching the behaviour the paper relies on when it sizes
+    /// the hash tables (Section III-B1).
+    const WAYS: usize = 4;
+
+    /// The probe sequence of a key: `WAYS` consecutive slots starting at its hash.
+    fn probe_slots(&self, key: &EntryKey) -> impl Iterator<Item = usize> {
+        let n = self.slots.len();
+        let base = key.slot(n);
+        (0..Self::WAYS.min(n)).map(move |i| (base + i) % n)
+    }
+
+    /// Looks up a region. On a hit the entry's recency is refreshed and its data is
+    /// returned; on a miss the caller is expected to perform the real RMA get and
+    /// then call [`Clampi::insert`].
+    pub fn lookup(&mut self, key: EntryKey) -> Option<Arc<Vec<T>>> {
+        self.clock += 1;
+        self.adaptive.record_access();
+        let clock = self.clock;
+        let mut hit = None;
+        for slot in self.probe_slots(&key).collect::<Vec<_>>() {
+            if let Some(entry) = &mut self.slots[slot] {
+                if entry.key == key {
+                    entry.last_access = clock;
+                    hit = Some(Arc::clone(&entry.data));
+                    break;
+                }
+            }
+        }
+        if let Some(data) = &hit {
+            self.stats.hits += 1;
+            self.stats.bytes_from_cache += (data.len() * std::mem::size_of::<T>()) as u64;
+        } else {
+            self.stats.misses += 1;
+            if self.seen.insert(key) {
+                self.stats.compulsory_misses += 1;
+            }
+        }
+        self.maybe_adapt();
+        hit
+    }
+
+    /// Inserts data fetched after a miss. `user_score` is the application-defined
+    /// score (the paper passes the out-degree of the vertex whose adjacency list was
+    /// fetched); pass `0.0` when not using application scores.
+    pub fn insert(&mut self, key: EntryKey, data: Vec<T>, user_score: f64) -> CacheInsertOutcome {
+        let bytes = data.len() * std::mem::size_of::<T>();
+        self.stats.bytes_from_network += bytes as u64;
+        if bytes > self.freelist.capacity() {
+            self.stats.uncacheable += 1;
+            return CacheInsertOutcome::NotCached;
+        }
+        self.max_user_score = self.max_user_score.max(user_score);
+        let mut evicted = 0usize;
+        // Index handling: within the key's probe sequence, reuse the slot holding the
+        // same key, else take an empty slot, else this is a hash conflict and CLaMPI's
+        // eviction procedure picks a victim among the residents of the set.
+        let probes: Vec<usize> = self.probe_slots(&key).collect();
+        let mut slot = None;
+        for &s in &probes {
+            match &self.slots[s] {
+                Some(resident) if resident.key == key => {
+                    // Re-inserting an already-cached key (e.g. after a racing fetch):
+                    // refresh the data in place.
+                    let resident = self.slots[s].as_mut().expect("checked above");
+                    resident.data = Arc::new(data);
+                    resident.last_access = self.clock;
+                    resident.user_score = user_score;
+                    return CacheInsertOutcome::Inserted;
+                }
+                None if slot.is_none() => slot = Some(s),
+                _ => {}
+            }
+        }
+        let slot = match slot {
+            Some(s) => s,
+            None => {
+                // Every slot of the set is occupied by a different key: conflict.
+                let victim = probes
+                    .iter()
+                    .copied()
+                    .max_by(|&a, &b| {
+                        let sa = self.victim_score(self.slots[a].as_ref().expect("occupied"));
+                        let sb = self.victim_score(self.slots[b].as_ref().expect("occupied"));
+                        sa.partial_cmp(&sb).expect("scores are not NaN")
+                    })
+                    .expect("probe sequence is never empty");
+                self.evict_slot(victim);
+                self.stats.conflict_evictions += 1;
+                self.adaptive.record_conflict();
+                evicted += 1;
+                victim
+            }
+        };
+        // Space handling: evict until a contiguous region of `bytes` is available.
+        let addr = loop {
+            if let Some(addr) = self.freelist.allocate(bytes) {
+                break addr;
+            }
+            match self.pick_victim_slot(slot) {
+                Some(victim_slot) => {
+                    // Admission control under application-defined scores: the point of
+                    // the paper's extension is to "avoid storing a high number of
+                    // low-degree vertices" — so a new entry whose score is lower than
+                    // the prospective victim's is not admitted at all, instead of
+                    // churning the cache.
+                    if self.config.scoring == ScorePolicy::ApplicationScore {
+                        let victim_score = self.slots[victim_slot]
+                            .as_ref()
+                            .map(|e| e.user_score)
+                            .unwrap_or(0.0);
+                        if user_score < victim_score {
+                            self.stats.uncacheable += 1;
+                            return CacheInsertOutcome::NotCached;
+                        }
+                    }
+                    self.evict_slot(victim_slot);
+                    self.stats.capacity_evictions += 1;
+                    self.adaptive.record_space_eviction();
+                    evicted += 1;
+                }
+                None => {
+                    self.stats.uncacheable += 1;
+                    return CacheInsertOutcome::NotCached;
+                }
+            }
+        };
+        self.slots[slot] = Some(Entry {
+            key,
+            data: Arc::new(data),
+            addr,
+            bytes,
+            last_access: self.clock,
+            user_score,
+            slot,
+        });
+        self.occupied += 1;
+        self.occupied_bytes += bytes;
+        if evicted == 0 {
+            CacheInsertOutcome::Inserted
+        } else {
+            CacheInsertOutcome::InsertedAfterEvicting(evicted)
+        }
+    }
+
+    /// Removes every entry (the cache flush CLaMPI performs at epoch closures in
+    /// transparent mode, on hash-table resizes, or on user request).
+    pub fn flush(&mut self) {
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].is_some() {
+                self.evict_slot(slot);
+            }
+        }
+        self.stats.flushes += 1;
+    }
+
+    /// Signals the closure of an access epoch. In `Transparent` mode this flushes the
+    /// cache; in the other modes it is a no-op.
+    pub fn end_epoch(&mut self) {
+        if self.config.mode == ConsistencyMode::Transparent {
+            self.flush();
+        }
+    }
+
+    /// Victim score of an entry: larger means more evictable.
+    fn victim_score(&self, entry: &Entry<T>) -> f64 {
+        let age = (self.clock.saturating_sub(entry.last_access)) as f64
+            / (self.clock.max(1)) as f64;
+        match self.config.scoring {
+            ScorePolicy::LruPositional => {
+                let (before, after) = self.freelist.adjacency_to_free(entry.addr, entry.bytes);
+                let positional = (before as u8 + after as u8) as f64 / 2.0;
+                self.config.lru_weight * age + self.config.positional_weight * positional
+            }
+            ScorePolicy::ApplicationScore => {
+                let norm = if self.max_user_score > 0.0 {
+                    entry.user_score / self.max_user_score
+                } else {
+                    0.0
+                };
+                self.config.lru_weight * age - self.config.user_weight * norm
+            }
+        }
+    }
+
+    /// Chooses a victim among occupied slots, excluding `protect` (the slot about to
+    /// receive the new entry). CLaMPI scans its index for the best victim; at the
+    /// scale of the LCC experiments an exhaustive scan per eviction is too slow, so
+    /// we sample a bounded number of occupied slots and evict the best-scoring one —
+    /// the standard approximation of weighted-LRU victim selection.
+    fn pick_victim_slot(&mut self, protect: usize) -> Option<usize> {
+        if self.occupied == 0 || (self.occupied == 1 && self.slots[protect].is_some()) {
+            return None;
+        }
+        const SAMPLES: usize = 16;
+        let nslots = self.slots.len();
+        let mut best: Option<(usize, f64)> = None;
+        let mut inspected = 0usize;
+        let mut attempts = 0usize;
+        // Bounded sampling: at most 16 occupied candidates or 8·slots probes.
+        while inspected < SAMPLES && attempts < nslots.saturating_mul(8).max(64) {
+            attempts += 1;
+            let idx = self.next_random() % nslots;
+            if idx == protect {
+                continue;
+            }
+            if let Some(entry) = &self.slots[idx] {
+                inspected += 1;
+                let score = self.victim_score(entry);
+                if best.map(|(_, s)| score > s).unwrap_or(true) {
+                    best = Some((idx, score));
+                }
+            }
+        }
+        if best.is_none() {
+            // Sampling failed (extremely sparse occupancy); fall back to a scan.
+            for idx in 0..nslots {
+                if idx == protect {
+                    continue;
+                }
+                if let Some(entry) = &self.slots[idx] {
+                    let score = self.victim_score(entry);
+                    if best.map(|(_, s)| score > s).unwrap_or(true) {
+                        best = Some((idx, score));
+                    }
+                }
+            }
+        }
+        best.map(|(idx, _)| idx)
+    }
+
+    fn evict_slot(&mut self, slot: usize) {
+        if let Some(entry) = self.slots[slot].take() {
+            self.freelist.free(entry.addr, entry.bytes);
+            self.occupied -= 1;
+            self.occupied_bytes -= entry.bytes;
+        }
+    }
+
+    fn maybe_adapt(&mut self) {
+        let Some(adaptive_cfg) = self.config.adaptive else { return };
+        let action =
+            self.adaptive.decide(&adaptive_cfg, self.slots.len(), self.freelist.capacity());
+        match action {
+            Some(AdaptiveAction::GrowTable { new_slots }) => {
+                // Growing the hash table invalidates slot assignments: flush, as the
+                // real CLaMPI does.
+                self.flush();
+                self.slots = Vec::new();
+                self.slots.resize_with(new_slots, || None);
+                self.config.table_slots = new_slots;
+                self.stats.table_resizes += 1;
+            }
+            Some(AdaptiveAction::GrowCapacity { new_capacity }) => {
+                self.freelist.grow(new_capacity);
+                self.config.capacity_bytes = new_capacity;
+                self.stats.capacity_resizes += 1;
+            }
+            None => {}
+        }
+    }
+
+    /// xorshift64* — deterministic, cheap, good enough for victim sampling.
+    fn next_random(&mut self) -> usize {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmatc_rma::WindowId;
+
+    fn key(offset: usize, len: usize) -> EntryKey {
+        EntryKey::new(WindowId(0), 1, offset, len)
+    }
+
+    fn cache(capacity: usize, slots: usize) -> Clampi<u32> {
+        Clampi::new(ClampiConfig::always_cache(capacity, slots))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = cache(1024, 64);
+        assert!(c.lookup(key(0, 4)).is_none());
+        assert_eq!(c.insert(key(0, 4), vec![1, 2, 3, 4], 0.0), CacheInsertOutcome::Inserted);
+        let hit = c.lookup(key(0, 4)).expect("must hit after insert");
+        assert_eq!(*hit, vec![1, 2, 3, 4]);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().compulsory_misses, 1);
+    }
+
+    #[test]
+    fn different_regions_do_not_alias() {
+        let mut c = cache(1024, 64);
+        c.insert(key(0, 2), vec![1, 2], 0.0);
+        c.insert(key(2, 2), vec![3, 4], 0.0);
+        assert_eq!(*c.lookup(key(0, 2)).unwrap(), vec![1, 2]);
+        assert_eq!(*c.lookup(key(2, 2)).unwrap(), vec![3, 4]);
+        assert!(c.lookup(key(0, 4)).is_none(), "a different length is a different region");
+    }
+
+    #[test]
+    fn compulsory_misses_counted_once_per_key() {
+        let mut c = cache(16, 4);
+        for _ in 0..3 {
+            let _ = c.lookup(key(0, 2));
+        }
+        assert_eq!(c.stats().misses, 3);
+        assert_eq!(c.stats().compulsory_misses, 1);
+    }
+
+    #[test]
+    fn entry_larger_than_buffer_is_uncacheable() {
+        let mut c = cache(8, 4);
+        assert_eq!(
+            c.insert(key(0, 100), vec![0u32; 100], 0.0),
+            CacheInsertOutcome::NotCached
+        );
+        assert_eq!(c.stats().uncacheable, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_old_entries() {
+        // Buffer fits exactly two 4-element (16-byte) entries.
+        let mut c = cache(32, 64);
+        c.insert(key(0, 4), vec![0; 4], 0.0);
+        c.insert(key(4, 4), vec![1; 4], 0.0);
+        assert_eq!(c.len(), 2);
+        let outcome = c.insert(key(8, 4), vec![2; 4], 0.0);
+        assert!(matches!(outcome, CacheInsertOutcome::InsertedAfterEvicting(_)));
+        assert_eq!(c.len(), 2);
+        assert!(c.stats().capacity_evictions >= 1);
+        assert_eq!(c.occupied_bytes(), 32);
+    }
+
+    #[test]
+    fn lru_prefers_evicting_stale_entries() {
+        let mut c = cache(32, 64);
+        c.insert(key(0, 4), vec![0; 4], 0.0);
+        c.insert(key(4, 4), vec![1; 4], 0.0);
+        // Touch the first entry many times so the second is the LRU victim.
+        for _ in 0..50 {
+            assert!(c.lookup(key(0, 4)).is_some());
+        }
+        c.insert(key(8, 4), vec![2; 4], 0.0);
+        assert!(c.lookup(key(0, 4)).is_some(), "hot entry should survive");
+    }
+
+    #[test]
+    fn application_scores_protect_high_degree_entries() {
+        let cfg = ClampiConfig::always_cache(32, 64).with_application_scores();
+        let mut c: Clampi<u32> = Clampi::new(cfg);
+        // Entry with a high application score (a high-degree vertex)...
+        c.insert(key(0, 4), vec![0; 4], 1_000.0);
+        // ...and one with a low score, accessed more recently.
+        c.insert(key(4, 4), vec![1; 4], 1.0);
+        let _ = c.lookup(key(4, 4));
+        // Under plain LRU the high-score entry would be the victim; with application
+        // scores the low-score entry goes instead.
+        c.insert(key(8, 4), vec![2; 4], 1.0);
+        assert!(c.lookup(key(0, 4)).is_some(), "high-score entry must be protected");
+    }
+
+    #[test]
+    fn application_scores_reject_low_value_entries_when_full() {
+        let cfg = ClampiConfig::always_cache(32, 64).with_application_scores();
+        let mut c: Clampi<u32> = Clampi::new(cfg);
+        // Fill the buffer with two high-score (high-degree) entries.
+        c.insert(key(0, 4), vec![0; 4], 500.0);
+        c.insert(key(4, 4), vec![1; 4], 400.0);
+        // A low-degree entry should not displace them (admission control)...
+        assert_eq!(c.insert(key(8, 4), vec![2; 4], 3.0), CacheInsertOutcome::NotCached);
+        assert!(c.lookup(key(0, 4)).is_some());
+        assert!(c.lookup(key(4, 4)).is_some());
+        // ...but a higher-degree entry still evicts its way in.
+        let outcome = c.insert(key(12, 4), vec![3; 4], 900.0);
+        assert!(matches!(outcome, CacheInsertOutcome::InsertedAfterEvicting(_)));
+        assert!(c.lookup(key(12, 4)).is_some());
+    }
+
+    #[test]
+    fn conflict_on_same_slot_evicts_resident() {
+        // A single-slot table forces every distinct key to conflict.
+        let mut c = cache(1024, 1);
+        c.insert(key(0, 2), vec![1, 2], 0.0);
+        c.insert(key(100, 2), vec![3, 4], 0.0);
+        assert_eq!(c.stats().conflict_evictions, 1);
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup(key(0, 2)).is_none());
+        assert_eq!(*c.lookup(key(100, 2)).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn reinserting_same_key_refreshes_data() {
+        let mut c = cache(1024, 16);
+        c.insert(key(0, 2), vec![1, 2], 0.0);
+        assert_eq!(c.insert(key(0, 2), vec![9, 9], 5.0), CacheInsertOutcome::Inserted);
+        assert_eq!(c.len(), 1);
+        assert_eq!(*c.lookup(key(0, 2)).unwrap(), vec![9, 9]);
+    }
+
+    #[test]
+    fn flush_empties_the_cache_and_counts() {
+        let mut c = cache(1024, 16);
+        c.insert(key(0, 2), vec![1, 2], 0.0);
+        c.insert(key(2, 2), vec![3, 4], 0.0);
+        c.flush();
+        assert!(c.is_empty());
+        assert_eq!(c.occupied_bytes(), 0);
+        assert_eq!(c.stats().flushes, 1);
+        assert!(c.lookup(key(0, 2)).is_none());
+    }
+
+    #[test]
+    fn transparent_mode_flushes_on_epoch_end() {
+        let cfg = ClampiConfig {
+            mode: ConsistencyMode::Transparent,
+            ..ClampiConfig::always_cache(1024, 16)
+        };
+        let mut c: Clampi<u32> = Clampi::new(cfg);
+        c.insert(key(0, 2), vec![1, 2], 0.0);
+        c.end_epoch();
+        assert!(c.is_empty());
+
+        let mut always: Clampi<u32> = Clampi::new(ClampiConfig::always_cache(1024, 16));
+        always.insert(key(0, 2), vec![1, 2], 0.0);
+        always.end_epoch();
+        assert_eq!(always.len(), 1, "always-cache mode must persist across epochs");
+    }
+
+    #[test]
+    fn adaptive_grows_table_under_conflicts() {
+        let mut cfg = ClampiConfig::always_cache(4096, 2).with_adaptive();
+        cfg.adaptive.as_mut().unwrap().interval = 32;
+        cfg.adaptive.as_mut().unwrap().conflict_threshold = 0.05;
+        let mut c: Clampi<u32> = Clampi::new(cfg);
+        // Many distinct keys over a 2-slot table: constant conflicts.
+        for i in 0..200usize {
+            let k = key(i * 2, 2);
+            if c.lookup(k).is_none() {
+                c.insert(k, vec![i as u32; 2], 0.0);
+            }
+        }
+        assert!(c.stats().table_resizes >= 1, "table should have grown");
+        assert!(c.config().table_slots > 2);
+        assert!(c.stats().flushes >= 1, "growing the table must flush");
+    }
+
+    #[test]
+    fn adaptive_grows_capacity_under_space_pressure() {
+        let mut cfg = ClampiConfig::always_cache(64, 256).with_adaptive();
+        let a = cfg.adaptive.as_mut().unwrap();
+        a.interval = 64;
+        a.eviction_threshold = 0.2;
+        a.max_capacity_bytes = 1024;
+        let mut c: Clampi<u32> = Clampi::new(cfg);
+        for i in 0..300usize {
+            let k = key(i * 4, 4);
+            if c.lookup(k).is_none() {
+                c.insert(k, vec![0u32; 4], 0.0);
+            }
+        }
+        assert!(c.stats().capacity_resizes >= 1);
+        assert!(c.config().capacity_bytes > 64);
+        assert!(c.config().capacity_bytes <= 1024);
+    }
+
+    #[test]
+    fn hit_and_network_bytes_are_tracked() {
+        let mut c = cache(1024, 16);
+        let _ = c.lookup(key(0, 4));
+        c.insert(key(0, 4), vec![1, 2, 3, 4], 0.0);
+        let _ = c.lookup(key(0, 4));
+        assert_eq!(c.stats().bytes_from_network, 16);
+        assert_eq!(c.stats().bytes_from_cache, 16);
+    }
+
+    #[test]
+    fn eviction_loop_handles_fragmentation() {
+        // Buffer of 40 bytes; insert 8-byte and 12-byte entries to fragment it, then
+        // require a 24-byte entry which only fits after multiple evictions.
+        let mut c = cache(40, 64);
+        c.insert(key(0, 2), vec![0; 2], 0.0); // 8 B
+        c.insert(key(10, 3), vec![0; 3], 0.0); // 12 B
+        c.insert(key(20, 2), vec![0; 2], 0.0); // 8 B
+        c.insert(key(30, 1), vec![0; 1], 0.0); // 4 B
+        let outcome = c.insert(key(40, 6), vec![0; 6], 0.0); // 24 B
+        assert!(matches!(outcome, CacheInsertOutcome::InsertedAfterEvicting(_)));
+        assert!(c.lookup(key(40, 6)).is_some());
+        assert!(c.occupied_bytes() <= 40);
+    }
+}

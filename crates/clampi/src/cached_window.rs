@@ -1,0 +1,202 @@
+//! Interception of RMA gets: the equivalent of linking CLaMPI into an MPI
+//! application so that `MPI_Get`s on an enabled window are looked up in the cache
+//! before touching the network (steps 5–6 in Figure 3 of the paper).
+
+use crate::cache::Clampi;
+use crate::config::ClampiConfig;
+use crate::entry::EntryKey;
+use crate::stats::CacheStats;
+use rmatc_rma::{Endpoint, Window};
+use std::sync::Arc;
+
+/// A caching wrapper around an RMA [`Window`], owned by one rank.
+///
+/// Every rank constructs its own `CachedWindow` over the shared window (the cache is
+/// process-local state, exactly as in CLaMPI). Reads targeting the owner's own rank
+/// bypass the cache — they are local memory accesses, not RMA.
+#[derive(Debug)]
+pub struct CachedWindow<T> {
+    window: Window<T>,
+    cache: Clampi<T>,
+}
+
+impl<T: Copy + Send + Sync> CachedWindow<T> {
+    /// Wraps `window` with a cache configured by `config`.
+    pub fn new(window: Window<T>, config: ClampiConfig) -> Self {
+        Self { window, cache: Clampi::new(config) }
+    }
+
+    /// The underlying window.
+    pub fn window(&self) -> &Window<T> {
+        &self.window
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// The cache itself (for inspection in tests and reports).
+    pub fn cache(&self) -> &Clampi<T> {
+        &self.cache
+    }
+
+    /// Reads `len` elements at `offset` from `target`'s exposed region, using the
+    /// cache. Equivalent to [`CachedWindow::get_scored`] with a zero score.
+    pub fn get(
+        &mut self,
+        ep: &mut Endpoint,
+        target: usize,
+        offset: usize,
+        len: usize,
+    ) -> Arc<Vec<T>> {
+        self.get_scored(ep, target, offset, len, 0.0)
+    }
+
+    /// Reads `len` elements at `offset` from `target`, passing an application-defined
+    /// score for the entry (the paper's extension: for LCC, the degree of the vertex
+    /// whose adjacency list is being fetched). On a hit only the local access cost is
+    /// charged to the endpoint; on a miss the real RMA get is issued, waited for, and
+    /// the result is inserted into the cache with the given score.
+    pub fn get_scored(
+        &mut self,
+        ep: &mut Endpoint,
+        target: usize,
+        offset: usize,
+        len: usize,
+        score: f64,
+    ) -> Arc<Vec<T>> {
+        if target == ep.rank() {
+            // Local partition: served from local memory, never cached (caching it
+            // would only duplicate memory the rank already holds).
+            let data = ep.local_read(&self.window, offset, len).to_vec();
+            return Arc::new(data);
+        }
+        let key = EntryKey::new(self.window.id(), target, offset, len);
+        if let Some(hit) = self.cache.lookup(key) {
+            ep.record_cache_hit(len * std::mem::size_of::<T>());
+            return hit;
+        }
+        let data = ep.get(&self.window, target, offset, len).wait(ep);
+        let arc = Arc::new(data);
+        // Insert a clone of the payload; the Arc we return stays valid even if the
+        // entry is evicted immediately (e.g. it does not fit).
+        self.cache.insert(key, arc.as_ref().clone(), score);
+        arc
+    }
+
+    /// Signals the closure of an access epoch to the cache (flushes in transparent
+    /// mode only).
+    pub fn end_epoch(&mut self) {
+        self.cache.end_epoch();
+    }
+
+    /// Flushes the cache (user-defined consistency mode).
+    pub fn flush(&mut self) {
+        self.cache.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmatc_rma::NetworkModel;
+
+    fn setup() -> (Window<u32>, Endpoint) {
+        let window = Window::from_parts(vec![
+            (0..100u32).collect(),
+            (1000..1100u32).collect(),
+        ]);
+        let mut ep = Endpoint::new(0, 2, NetworkModel::aries());
+        ep.lock_all();
+        (window, ep)
+    }
+
+    #[test]
+    fn first_get_misses_second_hits() {
+        let (window, mut ep) = setup();
+        let mut cw = CachedWindow::new(window, ClampiConfig::always_cache(4096, 64));
+        let a = cw.get(&mut ep, 1, 10, 5);
+        assert_eq!(*a, vec![1010, 1011, 1012, 1013, 1014]);
+        let gets_after_first = ep.stats().gets;
+        let b = cw.get(&mut ep, 1, 10, 5);
+        assert_eq!(*a, *b);
+        assert_eq!(ep.stats().gets, gets_after_first, "second read must not hit the network");
+        assert_eq!(cw.stats().hits, 1);
+        assert_eq!(cw.stats().misses, 1);
+    }
+
+    #[test]
+    fn cache_hits_are_cheaper_than_misses() {
+        let (window, mut ep) = setup();
+        let mut cw = CachedWindow::new(window, ClampiConfig::always_cache(4096, 64));
+        let _ = cw.get(&mut ep, 1, 0, 50);
+        let miss_time = ep.stats().comm_time_ns;
+        let _ = cw.get(&mut ep, 1, 0, 50);
+        assert_eq!(ep.stats().comm_time_ns, miss_time, "hits charge no network time");
+        assert!(ep.stats().local_time_ns > 0.0);
+    }
+
+    #[test]
+    fn local_rank_reads_bypass_the_cache() {
+        let (window, mut ep) = setup();
+        let mut cw = CachedWindow::new(window, ClampiConfig::always_cache(4096, 64));
+        let data = cw.get(&mut ep, 0, 5, 3);
+        assert_eq!(*data, vec![5, 6, 7]);
+        assert_eq!(cw.stats().lookups(), 0);
+        assert_eq!(ep.stats().gets, 0);
+    }
+
+    #[test]
+    fn data_is_correct_even_when_not_cacheable() {
+        let (window, mut ep) = setup();
+        // 8-byte capacity: a 50-element read can never be cached.
+        let mut cw = CachedWindow::new(window, ClampiConfig::always_cache(8, 4));
+        let a = cw.get(&mut ep, 1, 0, 50);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a[0], 1000);
+        let b = cw.get(&mut ep, 1, 0, 50);
+        assert_eq!(*a, *b);
+        assert_eq!(cw.stats().uncacheable, 2);
+        assert_eq!(ep.stats().gets, 2, "both reads go to the network");
+    }
+
+    #[test]
+    fn scored_gets_record_scores() {
+        let (window, mut ep) = setup();
+        let cfg = ClampiConfig::always_cache(4096, 64).with_application_scores();
+        let mut cw = CachedWindow::new(window, cfg);
+        let _ = cw.get_scored(&mut ep, 1, 0, 10, 42.0);
+        assert_eq!(cw.cache().len(), 1);
+    }
+
+    #[test]
+    fn epoch_end_respects_mode() {
+        let (window, mut ep) = setup();
+        let mut cw = CachedWindow::new(window.clone(), ClampiConfig::always_cache(4096, 64));
+        let _ = cw.get(&mut ep, 1, 0, 4);
+        cw.end_epoch();
+        let _ = cw.get(&mut ep, 1, 0, 4);
+        assert_eq!(cw.stats().hits, 1, "always-cache persists across epochs");
+
+        let transparent = ClampiConfig {
+            mode: crate::config::ConsistencyMode::Transparent,
+            ..ClampiConfig::always_cache(4096, 64)
+        };
+        let mut cw2 = CachedWindow::new(window, transparent);
+        let _ = cw2.get(&mut ep, 1, 0, 4);
+        cw2.end_epoch();
+        let _ = cw2.get(&mut ep, 1, 0, 4);
+        assert_eq!(cw2.stats().hits, 0, "transparent mode flushes at epoch end");
+    }
+
+    #[test]
+    fn flush_forces_refetch() {
+        let (window, mut ep) = setup();
+        let mut cw = CachedWindow::new(window, ClampiConfig::always_cache(4096, 64));
+        let _ = cw.get(&mut ep, 1, 0, 4);
+        cw.flush();
+        let _ = cw.get(&mut ep, 1, 0, 4);
+        assert_eq!(ep.stats().gets, 2);
+    }
+}

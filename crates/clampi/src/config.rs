@@ -1,0 +1,179 @@
+//! CLaMPI configuration: buffer capacity, hash-table size, consistency mode,
+//! victim-selection policy and adaptive-tuning parameters.
+
+/// Consistency modes offered by CLaMPI (Section II-F of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ConsistencyMode {
+    /// No assumption on the cached data: the cache is flushed at every epoch closure.
+    /// Hits are only possible within one epoch.
+    Transparent,
+    /// Data accessed through RMA is read-only, so the cache is never flushed. This is
+    /// the mode the LCC application uses for both windows, because the graph is not
+    /// modified during the computation.
+    AlwaysCache,
+    /// The application decides when to flush.
+    UserDefined,
+}
+
+/// Victim-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ScorePolicy {
+    /// CLaMPI's default: least-recently-used weighted by a positional score that
+    /// prefers evicting entries whose removal merges adjacent free regions.
+    LruPositional,
+    /// The paper's extension: the application passes a score with each entry (for
+    /// LCC, the out-degree of the cached vertex). Higher scores are protected; the
+    /// positional component is dropped, as the paper notes ("we lose the spatial
+    /// effect of the score").
+    ApplicationScore,
+}
+
+/// Tuning knobs of the adaptive heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AdaptiveConfig {
+    /// Re-evaluate the configuration every this many accesses.
+    pub interval: u64,
+    /// Grow the hash table (×2, flushing the cache) when the fraction of accesses
+    /// that hit a hash conflict exceeds this threshold.
+    pub conflict_threshold: f64,
+    /// Grow the memory buffer (×1.5, no flush) when the fraction of misses caused by
+    /// lack of space exceeds this threshold, up to `max_capacity_bytes`.
+    pub eviction_threshold: f64,
+    /// Upper bound for adaptive capacity growth.
+    pub max_capacity_bytes: usize,
+    /// Upper bound for adaptive hash-table growth.
+    pub max_table_slots: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            interval: 4096,
+            conflict_threshold: 0.05,
+            eviction_threshold: 0.5,
+            max_capacity_bytes: usize::MAX,
+            max_table_slots: 1 << 24,
+        }
+    }
+}
+
+/// Full CLaMPI configuration for one cached window.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClampiConfig {
+    /// Capacity of the memory buffer reserved for cached data, in bytes.
+    pub capacity_bytes: usize,
+    /// Number of slots in the hash-table index. The paper discusses how to size this:
+    /// for the offsets cache one slot per expected entry (entries are fixed-size), for
+    /// the adjacency cache a power-law-aware estimate (`n · 0.5^α` entries with α≈2
+    /// when the cache holds half the graph).
+    pub table_slots: usize,
+    /// Consistency mode.
+    pub mode: ConsistencyMode,
+    /// Victim-selection policy.
+    pub scoring: ScorePolicy,
+    /// Weight of the recency component in victim selection.
+    pub lru_weight: f64,
+    /// Weight of the positional (fragmentation) component in victim selection.
+    pub positional_weight: f64,
+    /// Weight of the application score in victim selection.
+    pub user_weight: f64,
+    /// Adaptive tuning; `None` disables it.
+    pub adaptive: Option<AdaptiveConfig>,
+}
+
+impl ClampiConfig {
+    /// A reasonable always-cache configuration for read-only graph data.
+    pub fn always_cache(capacity_bytes: usize, table_slots: usize) -> Self {
+        Self {
+            capacity_bytes,
+            table_slots: table_slots.max(1),
+            mode: ConsistencyMode::AlwaysCache,
+            scoring: ScorePolicy::LruPositional,
+            lru_weight: 1.0,
+            positional_weight: 0.5,
+            user_weight: 2.0,
+            adaptive: None,
+        }
+    }
+
+    /// Switches victim selection to application-defined scores (degree centrality in
+    /// the paper's LCC use case).
+    pub fn with_application_scores(mut self) -> Self {
+        self.scoring = ScorePolicy::ApplicationScore;
+        self
+    }
+
+    /// Enables the adaptive tuning heuristic with default thresholds.
+    pub fn with_adaptive(mut self) -> Self {
+        self.adaptive = Some(AdaptiveConfig::default());
+        self
+    }
+
+    /// Sizes the hash table for an offsets cache per the paper's guidance: entries
+    /// are fixed-size (`entry_bytes` each), so the expected number of entries is the
+    /// capacity divided by the entry size. The slot count is doubled because this
+    /// reproduction indexes entries directly in the table (set-associative probing):
+    /// at a load factor near 1 it would suffer conflict evictions that the original
+    /// CLaMPI's chained hash table does not.
+    pub fn offsets_table_slots(capacity_bytes: usize, entry_bytes: usize) -> usize {
+        (2 * capacity_bytes / entry_bytes.max(1)).max(1)
+    }
+
+    /// Sizes the hash table for an adjacencies cache per the paper's guidance: with a
+    /// power-law degree distribution and a cache of `capacity_fraction` of the graph,
+    /// expect about `n · capacity_fraction^α` entries, with `α = 2` found to be a
+    /// good approximation. Doubled for the same load-factor reason as
+    /// [`ClampiConfig::offsets_table_slots`].
+    pub fn adjacency_table_slots(n: usize, capacity_fraction: f64) -> usize {
+        let alpha = 2.0;
+        (2.0 * (n as f64) * capacity_fraction.clamp(0.0, 1.0).powf(alpha)).ceil().max(16.0)
+            as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_cache_defaults_are_sane() {
+        let c = ClampiConfig::always_cache(1 << 20, 1024);
+        assert_eq!(c.mode, ConsistencyMode::AlwaysCache);
+        assert_eq!(c.scoring, ScorePolicy::LruPositional);
+        assert!(c.adaptive.is_none());
+        assert_eq!(c.capacity_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let c = ClampiConfig::always_cache(1024, 64).with_application_scores().with_adaptive();
+        assert_eq!(c.scoring, ScorePolicy::ApplicationScore);
+        assert!(c.adaptive.is_some());
+    }
+
+    #[test]
+    fn table_slots_never_zero() {
+        let c = ClampiConfig::always_cache(1024, 0);
+        assert_eq!(c.table_slots, 1);
+        assert_eq!(ClampiConfig::offsets_table_slots(0, 16), 1);
+    }
+
+    #[test]
+    fn offsets_table_matches_paper_rule() {
+        // "if the cache size equals n/2 bytes, the optimal size of the hash table for
+        // C_offsets will roughly equal n/2" — the expected entry count is
+        // capacity/16 with the real 16-byte (start, end) entries; the slot count is
+        // twice that to keep the direct-indexed table's load factor low.
+        assert_eq!(ClampiConfig::offsets_table_slots(1 << 20, 16), 2 * (1 << 20) / 16);
+    }
+
+    #[test]
+    fn adjacency_table_follows_power_law_estimate() {
+        // Cache half the graph, α = 2 → expect n · 0.25 entries (× 2 slots).
+        let slots = ClampiConfig::adjacency_table_slots(1_000_000, 0.5);
+        assert_eq!(slots, 500_000);
+        // Degenerate fractions clamp cleanly.
+        assert!(ClampiConfig::adjacency_table_slots(100, 0.0) >= 16);
+        assert_eq!(ClampiConfig::adjacency_table_slots(1_000_000, 1.0), 2_000_000);
+    }
+}

@@ -1,0 +1,273 @@
+//! Free-region manager for the cache's memory buffer.
+//!
+//! CLaMPI stores variable-size entries in a contiguous memory buffer and tracks free
+//! regions in an AVL tree; allocating and freeing entries can leave the free space
+//! externally fragmented (many small non-contiguous holes), which is what the
+//! positional eviction score tries to counteract. We track free regions in a
+//! `BTreeMap` keyed by start address (Rust's idiomatic balanced tree), with the same
+//! observable behaviour: first-fit allocation, coalescing on free, and queries for
+//! the largest hole and the total free space used to distinguish capacity misses
+//! from fragmentation misses.
+
+use std::collections::BTreeMap;
+
+/// Allocator over a simulated buffer of `capacity` bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreeList {
+    capacity: usize,
+    /// start address → length of the free region.
+    free: BTreeMap<usize, usize>,
+}
+
+impl FreeList {
+    /// Creates a free list covering an empty buffer of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        let mut free = BTreeMap::new();
+        if capacity > 0 {
+            free.insert(0, capacity);
+        }
+        Self { capacity, free }
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total free bytes (possibly fragmented).
+    pub fn total_free(&self) -> usize {
+        self.free.values().sum()
+    }
+
+    /// Size of the largest contiguous free region.
+    pub fn largest_free(&self) -> usize {
+        self.free.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of disjoint free regions; more regions at the same total free space
+    /// means more external fragmentation.
+    pub fn fragments(&self) -> usize {
+        self.free.len()
+    }
+
+    /// External fragmentation metric in `[0, 1]`: `1 - largest_free / total_free`.
+    pub fn fragmentation(&self) -> f64 {
+        let total = self.total_free();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free() as f64 / total as f64
+    }
+
+    /// Allocates `size` bytes with first-fit. Returns the start address, or `None`
+    /// if no single free region is large enough (even if the total free space is).
+    pub fn allocate(&mut self, size: usize) -> Option<usize> {
+        if size == 0 {
+            return Some(0);
+        }
+        let addr = self
+            .free
+            .iter()
+            .find(|(_, &len)| len >= size)
+            .map(|(&addr, _)| addr)?;
+        let len = self.free.remove(&addr).expect("region disappeared");
+        if len > size {
+            self.free.insert(addr + size, len - size);
+        }
+        Some(addr)
+    }
+
+    /// Frees the region `[addr, addr + size)`, coalescing with adjacent free regions.
+    pub fn free(&mut self, addr: usize, size: usize) {
+        if size == 0 {
+            return;
+        }
+        assert!(addr + size <= self.capacity, "free out of buffer bounds");
+        // Coalesce with the predecessor if it ends exactly at `addr`.
+        let mut start = addr;
+        let mut len = size;
+        if let Some((&prev_addr, &prev_len)) = self.free.range(..addr).next_back() {
+            assert!(prev_addr + prev_len <= addr, "double free / overlap detected");
+            if prev_addr + prev_len == addr {
+                self.free.remove(&prev_addr);
+                start = prev_addr;
+                len += prev_len;
+            }
+        }
+        // Coalesce with the successor if it starts exactly at the end.
+        if let Some((&next_addr, &next_len)) = self.free.range(addr..).next() {
+            assert!(addr + size <= next_addr, "double free / overlap detected");
+            if addr + size == next_addr {
+                self.free.remove(&next_addr);
+                len += next_len;
+            }
+        }
+        self.free.insert(start, len);
+    }
+
+    /// Whether the bytes adjacent to `[addr, addr + size)` (on either side) are free.
+    /// Used by the positional eviction score: evicting an entry that touches free
+    /// space merges regions and reduces fragmentation.
+    pub fn adjacency_to_free(&self, addr: usize, size: usize) -> (bool, bool) {
+        let before = self
+            .free
+            .range(..addr)
+            .next_back()
+            .map(|(&a, &l)| a + l == addr)
+            .unwrap_or(false);
+        let after = self.free.contains_key(&(addr + size));
+        (before, after)
+    }
+
+    /// Grows the buffer to `new_capacity` bytes, making the added tail region
+    /// available without disturbing existing allocations. Used by the adaptive
+    /// heuristic when it enlarges the memory buffer (which, unlike growing the hash
+    /// table, does not require flushing the cache).
+    pub fn grow(&mut self, new_capacity: usize) {
+        assert!(new_capacity >= self.capacity, "cannot shrink the buffer with grow()");
+        if new_capacity == self.capacity {
+            return;
+        }
+        let added = new_capacity - self.capacity;
+        let old_capacity = self.capacity;
+        self.capacity = new_capacity;
+        self.free(old_capacity, added);
+    }
+
+    /// Resets the free list to a (possibly larger) empty buffer.
+    pub fn reset(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.free.clear();
+        if capacity > 0 {
+            self.free.insert(0, capacity);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_buffer_is_one_big_region() {
+        let fl = FreeList::new(1024);
+        assert_eq!(fl.total_free(), 1024);
+        assert_eq!(fl.largest_free(), 1024);
+        assert_eq!(fl.fragments(), 1);
+        assert_eq!(fl.fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn allocate_first_fit_and_split() {
+        let mut fl = FreeList::new(100);
+        assert_eq!(fl.allocate(30), Some(0));
+        assert_eq!(fl.allocate(30), Some(30));
+        assert_eq!(fl.total_free(), 40);
+        assert_eq!(fl.allocate(50), None);
+        assert_eq!(fl.allocate(40), Some(60));
+        assert_eq!(fl.total_free(), 0);
+        assert_eq!(fl.allocate(1), None);
+    }
+
+    #[test]
+    fn zero_sized_allocations_always_succeed() {
+        let mut fl = FreeList::new(0);
+        assert_eq!(fl.allocate(0), Some(0));
+        assert_eq!(fl.allocate(1), None);
+    }
+
+    #[test]
+    fn free_coalesces_with_neighbours() {
+        let mut fl = FreeList::new(100);
+        let a = fl.allocate(20).unwrap();
+        let b = fl.allocate(20).unwrap();
+        let c = fl.allocate(20).unwrap();
+        assert_eq!((a, b, c), (0, 20, 40));
+        fl.free(a, 20);
+        fl.free(c, 20);
+        // Free regions: [0,20), [40,100) → fragmented.
+        assert_eq!(fl.fragments(), 2);
+        assert!(fl.fragmentation() > 0.0);
+        fl.free(b, 20);
+        // Everything coalesces back into one region.
+        assert_eq!(fl.fragments(), 1);
+        assert_eq!(fl.total_free(), 100);
+        assert_eq!(fl.largest_free(), 100);
+    }
+
+    #[test]
+    fn fragmentation_prevents_large_allocation_despite_total_space() {
+        let mut fl = FreeList::new(90);
+        let a = fl.allocate(30).unwrap();
+        let _b = fl.allocate(30).unwrap();
+        let c = fl.allocate(30).unwrap();
+        fl.free(a, 30);
+        fl.free(c, 30);
+        assert_eq!(fl.total_free(), 60);
+        // 60 bytes are free but not contiguous.
+        assert_eq!(fl.allocate(60), None);
+        assert_eq!(fl.largest_free(), 30);
+    }
+
+    #[test]
+    fn adjacency_to_free_detects_mergeable_entries() {
+        let mut fl = FreeList::new(100);
+        let a = fl.allocate(20).unwrap(); // [0,20)
+        let b = fl.allocate(20).unwrap(); // [20,40)
+        let _c = fl.allocate(20).unwrap(); // [40,60)
+        fl.free(a, 20);
+        // Entry b has free space before it (region [0,20)) and none after.
+        assert_eq!(fl.adjacency_to_free(b, 20), (true, false));
+        // Entry c has free space after it (tail region [60,100)) and none before.
+        assert_eq!(fl.adjacency_to_free(40, 20), (false, true));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn overlapping_free_is_detected() {
+        let mut fl = FreeList::new(100);
+        let a = fl.allocate(40).unwrap();
+        fl.free(a, 40);
+        fl.free(a + 10, 10);
+    }
+
+    #[test]
+    fn reset_restores_an_empty_buffer() {
+        let mut fl = FreeList::new(50);
+        fl.allocate(20).unwrap();
+        fl.reset(200);
+        assert_eq!(fl.capacity(), 200);
+        assert_eq!(fl.total_free(), 200);
+        assert_eq!(fl.fragments(), 1);
+    }
+
+    #[test]
+    fn grow_extends_the_tail_and_coalesces() {
+        let mut fl = FreeList::new(64);
+        let a = fl.allocate(64).unwrap();
+        fl.grow(128);
+        assert_eq!(fl.capacity(), 128);
+        assert_eq!(fl.total_free(), 64);
+        assert_eq!(fl.allocate(64), Some(64));
+        fl.free(a, 64);
+        fl.grow(256);
+        // Tail [128,256) coalesces with nothing; [0,64) is separate.
+        assert_eq!(fl.total_free(), 192);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn grow_rejects_shrinking() {
+        let mut fl = FreeList::new(64);
+        fl.grow(32);
+    }
+
+    #[test]
+    fn allocation_after_free_reuses_space() {
+        let mut fl = FreeList::new(64);
+        let a = fl.allocate(64).unwrap();
+        assert_eq!(fl.allocate(1), None);
+        fl.free(a, 64);
+        assert_eq!(fl.allocate(64), Some(0));
+    }
+}

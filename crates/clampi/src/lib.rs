@@ -1,0 +1,45 @@
+//! Reproduction of CLaMPI — a software caching layer for MPI RMA — extended with
+//! application-defined scores, as used by the paper.
+//!
+//! CLaMPI (Di Girolamo, Vella, Hoefler, IPDPS'17) transparently caches data
+//! retrieved through `MPI_Get`. The original is a C library layered over MPI
+//! profiling hooks; it is reimplemented here from the description in Section II-F
+//! and III-B of the paper on top of the [`rmatc_rma`] substrate:
+//!
+//! * **Variable-size entries.** Applications issue arbitrary-size gets, so the cache
+//!   manages a byte buffer of fixed capacity with a free-region manager
+//!   ([`freelist::FreeList`]) and an index ([`cache::Clampi`]) keyed by
+//!   `(window, target rank, offset, length)`.
+//! * **Hash-table index with conflicts.** The index has a fixed number of slots;
+//!   two different regions hashing to the same slot is a *conflict* and triggers the
+//!   eviction procedure, exactly like running out of buffer space does.
+//! * **Eviction by weighted scores.** The default victim selection is LRU weighted
+//!   by a positional score that prefers evicting entries whose removal merges free
+//!   regions (reducing external fragmentation). The paper's extension adds an
+//!   *application-defined score* — for LCC, the degree of the cached vertex — which
+//!   protects entries that are likely to be reused ([`config::ScorePolicy`]).
+//! * **Consistency modes.** `Transparent` flushes at every epoch closure,
+//!   `AlwaysCache` never flushes (the graph is read-only during LCC computation),
+//!   and `UserDefined` leaves flushing to the application.
+//! * **Adaptive tuning.** An optional heuristic observes misses, conflicts and
+//!   evictions and resizes the hash table (flushing the cache, as the paper warns)
+//!   or the memory buffer.
+//!
+//! The integration point is [`CachedWindow`], which wraps an RMA [`rmatc_rma::Window`]
+//! and intercepts gets exactly where CLaMPI's PMPI layer would: on a hit it charges
+//! the local access cost, on a miss it issues the real RMA get, waits for it, and
+//! inserts the result.
+
+pub mod adaptive;
+pub mod cache;
+pub mod cached_window;
+pub mod config;
+pub mod entry;
+pub mod freelist;
+pub mod stats;
+
+pub use cache::{CacheInsertOutcome, Clampi};
+pub use cached_window::CachedWindow;
+pub use config::{ClampiConfig, ConsistencyMode, ScorePolicy};
+pub use entry::EntryKey;
+pub use stats::CacheStats;

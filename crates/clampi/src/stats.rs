@@ -1,0 +1,125 @@
+//! Cache statistics: the quantities plotted in Figures 7 and 8 of the paper
+//! (miss rates, compulsory misses) plus the counters the adaptive heuristic observes.
+
+/// Counters kept by one CLaMPI cache instance.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found the requested region in the cache.
+    pub hits: u64,
+    /// Lookups that did not (for any reason).
+    pub misses: u64,
+    /// Misses on keys never requested before — unavoidable ("compulsory") misses,
+    /// shown as the grey area in Figures 7 and 8.
+    pub compulsory_misses: u64,
+    /// Evictions performed because the memory buffer had no suitable free region.
+    pub capacity_evictions: u64,
+    /// Evictions performed because the hash-table slot was already occupied.
+    pub conflict_evictions: u64,
+    /// Misses whose data could not be inserted (e.g. entry larger than the buffer).
+    pub uncacheable: u64,
+    /// Bytes served from the cache.
+    pub bytes_from_cache: u64,
+    /// Bytes fetched over the network (misses).
+    pub bytes_from_network: u64,
+    /// Number of times the cache was flushed (epoch closures in transparent mode,
+    /// adaptive resizes, or user flushes).
+    pub flushes: u64,
+    /// Number of adaptive resizes of the hash table.
+    pub table_resizes: u64,
+    /// Number of adaptive resizes of the memory buffer.
+    pub capacity_resizes: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; `0` when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Fraction of lookups that are compulsory misses — the floor below which no
+    /// cache configuration can push the miss rate.
+    pub fn compulsory_miss_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.compulsory_misses as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Total evictions.
+    pub fn evictions(&self) -> u64 {
+        self.capacity_evictions + self.conflict_evictions
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.compulsory_misses += other.compulsory_misses;
+        self.capacity_evictions += other.capacity_evictions;
+        self.conflict_evictions += other.conflict_evictions;
+        self.uncacheable += other.uncacheable;
+        self.bytes_from_cache += other.bytes_from_cache;
+        self.bytes_from_network += other.bytes_from_network;
+        self.flushes += other.flushes;
+        self.table_resizes += other.table_resizes;
+        self.capacity_resizes += other.capacity_resizes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_lookups() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.compulsory_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_sum_to_one() {
+        let s = CacheStats { hits: 30, misses: 70, compulsory_misses: 20, ..Default::default() };
+        assert!((s.hit_rate() + s.miss_rate() - 1.0).abs() < 1e-12);
+        assert!((s.compulsory_miss_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(s.lookups(), 100);
+    }
+
+    #[test]
+    fn evictions_sum_both_kinds() {
+        let s = CacheStats { capacity_evictions: 3, conflict_evictions: 4, ..Default::default() };
+        assert_eq!(s.evictions(), 7);
+    }
+
+    #[test]
+    fn merge_adds_all_counters() {
+        let mut a = CacheStats { hits: 1, misses: 2, bytes_from_cache: 10, ..Default::default() };
+        let b = CacheStats { hits: 5, misses: 1, bytes_from_network: 3, flushes: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.hits, 6);
+        assert_eq!(a.misses, 3);
+        assert_eq!(a.bytes_from_cache, 10);
+        assert_eq!(a.bytes_from_network, 3);
+        assert_eq!(a.flushes, 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Configuration of the distributed runner: rank count, partitioning, intersection
+//! method, network model, double buffering, and the CLaMPI cache budget split.
+
+use crate::intersect::IntersectMethod;
+use rmatc_clampi::ClampiConfig;
+use rmatc_graph::partition::PartitionScheme;
+use rmatc_rma::NetworkModel;
+
+/// Which eviction score the adjacency cache uses (Figure 8's comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ScoreMode {
+    /// CLaMPI's original LRU + positional score.
+    Lru,
+    /// The paper's extension: the out-degree of the fetched vertex is passed as the
+    /// application-defined score, protecting high-degree (high-reuse) entries.
+    DegreeCentrality,
+}
+
+/// Cache budget for one rank, split between the offsets cache and the adjacency
+/// cache the way the paper does for its overall-performance experiments.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheSpec {
+    /// Total bytes reserved per rank for both CLaMPI caches.
+    pub total_bytes: usize,
+    /// Bytes reserved for `C_offsets`; `None` uses the paper's rule of
+    /// `0.8 · |V|` bytes (which stores (start, end) pairs for `0.4 · |V|` vertices).
+    pub offsets_bytes: Option<usize>,
+    /// Enable caching of the offsets window.
+    pub cache_offsets: bool,
+    /// Enable caching of the adjacencies window.
+    pub cache_adjacencies: bool,
+    /// Enable CLaMPI's adaptive resizing heuristic.
+    pub adaptive: bool,
+}
+
+impl CacheSpec {
+    /// The paper's configuration: both windows cached, offsets cache sized at
+    /// `0.8 · |V|` bytes, remainder of the budget to the adjacency cache.
+    pub fn paper(total_bytes: usize) -> Self {
+        Self {
+            total_bytes,
+            offsets_bytes: None,
+            cache_offsets: true,
+            cache_adjacencies: true,
+            adaptive: false,
+        }
+    }
+
+    /// Cache only the offsets window (Figure 7, left pair of panels).
+    pub fn offsets_only(bytes: usize) -> Self {
+        Self {
+            total_bytes: bytes,
+            offsets_bytes: Some(bytes),
+            cache_offsets: true,
+            cache_adjacencies: false,
+            adaptive: false,
+        }
+    }
+
+    /// Cache only the adjacencies window (Figure 7, right pair of panels).
+    pub fn adjacencies_only(bytes: usize) -> Self {
+        Self {
+            total_bytes: bytes,
+            offsets_bytes: Some(0),
+            cache_offsets: false,
+            cache_adjacencies: true,
+            adaptive: false,
+        }
+    }
+
+    /// Enables adaptive tuning.
+    pub fn with_adaptive(mut self) -> Self {
+        self.adaptive = true;
+        self
+    }
+
+    /// Resolves the per-window CLaMPI configurations for a graph with `n_global`
+    /// vertices whose full adjacency array occupies `graph_adj_bytes`.
+    ///
+    /// Hash-table sizing follows Section III-B1: the offsets cache stores fixed
+    /// 16-byte (start, end) entries, so one slot per storable entry; the adjacency
+    /// cache uses the power-law estimate `n · f^α` with `α = 2`, where `f` is the
+    /// fraction of the adjacency data the cache can hold.
+    pub fn resolve(&self, n_global: usize, graph_adj_bytes: u64) -> ResolvedCaches {
+        let offsets_bytes = self
+            .offsets_bytes
+            .unwrap_or(((n_global as f64) * 0.8) as usize)
+            .min(self.total_bytes);
+        let adj_bytes = self.total_bytes.saturating_sub(if self.cache_offsets {
+            offsets_bytes
+        } else {
+            0
+        });
+        let offsets_cfg = if self.cache_offsets && offsets_bytes > 0 {
+            let slots = ClampiConfig::offsets_table_slots(offsets_bytes, 16);
+            let mut cfg = ClampiConfig::always_cache(offsets_bytes, slots);
+            if self.adaptive {
+                cfg = cfg.with_adaptive();
+            }
+            Some(cfg)
+        } else {
+            None
+        };
+        let adj_cfg = if self.cache_adjacencies && adj_bytes > 0 {
+            let fraction = if graph_adj_bytes == 0 {
+                1.0
+            } else {
+                (adj_bytes as f64 / graph_adj_bytes as f64).min(1.0)
+            };
+            let slots = ClampiConfig::adjacency_table_slots(n_global, fraction);
+            let mut cfg = ClampiConfig::always_cache(adj_bytes, slots);
+            if self.adaptive {
+                cfg = cfg.with_adaptive();
+            }
+            Some(cfg)
+        } else {
+            None
+        };
+        ResolvedCaches { offsets: offsets_cfg, adjacencies: adj_cfg }
+    }
+}
+
+/// Concrete per-window cache configurations produced by [`CacheSpec::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedCaches {
+    /// Configuration for `C_offsets`, if that window is cached.
+    pub offsets: Option<ClampiConfig>,
+    /// Configuration for `C_adj`, if that window is cached.
+    pub adjacencies: Option<ClampiConfig>,
+}
+
+/// Full configuration of a distributed run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DistConfig {
+    /// Number of ranks (the paper's "computing nodes").
+    pub ranks: usize,
+    /// Vertex partitioning scheme.
+    pub scheme: PartitionScheme,
+    /// Intersection kernel.
+    pub method: IntersectMethod,
+    /// Network cost model for remote reads.
+    pub network: NetworkModel,
+    /// Overlap the communication of the next edge with the computation of the
+    /// current one (Section III-A's double buffering).
+    pub double_buffering: bool,
+    /// CLaMPI caching; `None` runs the non-cached variant.
+    pub cache: Option<CacheSpec>,
+    /// Eviction score mode for the adjacency cache.
+    pub score_mode: ScoreMode,
+}
+
+impl DistConfig {
+    /// Non-cached baseline configuration on `ranks` ranks.
+    pub fn non_cached(ranks: usize) -> Self {
+        Self {
+            ranks,
+            scheme: PartitionScheme::Block1D,
+            method: IntersectMethod::Hybrid,
+            network: NetworkModel::aries(),
+            double_buffering: true,
+            cache: None,
+            score_mode: ScoreMode::Lru,
+        }
+    }
+
+    /// Cached configuration with the paper's budget split.
+    pub fn cached(ranks: usize, cache_bytes: usize) -> Self {
+        Self { cache: Some(CacheSpec::paper(cache_bytes)), ..Self::non_cached(ranks) }
+    }
+
+    /// Switches the adjacency-cache eviction score to degree centrality.
+    pub fn with_degree_scores(mut self) -> Self {
+        self.score_mode = ScoreMode::DegreeCentrality;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_split_gives_offsets_point_eight_n() {
+        let spec = CacheSpec::paper(1 << 20);
+        let resolved = spec.resolve(100_000, 10 << 20);
+        let offsets = resolved.offsets.expect("offsets cache enabled");
+        assert_eq!(offsets.capacity_bytes, 80_000);
+        let adj = resolved.adjacencies.expect("adjacency cache enabled");
+        assert_eq!(adj.capacity_bytes, (1 << 20) - 80_000);
+    }
+
+    #[test]
+    fn offsets_only_disables_adjacency_cache() {
+        let resolved = CacheSpec::offsets_only(1 << 16).resolve(1_000, 1 << 20);
+        assert!(resolved.offsets.is_some());
+        assert!(resolved.adjacencies.is_none());
+    }
+
+    #[test]
+    fn adjacencies_only_disables_offsets_cache() {
+        let resolved = CacheSpec::adjacencies_only(1 << 16).resolve(1_000, 1 << 20);
+        assert!(resolved.offsets.is_none());
+        let adj = resolved.adjacencies.unwrap();
+        assert_eq!(adj.capacity_bytes, 1 << 16);
+    }
+
+    #[test]
+    fn adjacency_slots_shrink_with_smaller_caches() {
+        let big = CacheSpec::adjacencies_only(1 << 20).resolve(100_000, 1 << 20);
+        let small = CacheSpec::adjacencies_only(1 << 14).resolve(100_000, 1 << 20);
+        assert!(big.adjacencies.unwrap().table_slots > small.adjacencies.unwrap().table_slots);
+    }
+
+    #[test]
+    fn adaptive_flag_propagates() {
+        let resolved = CacheSpec::paper(1 << 20).with_adaptive().resolve(1_000, 1 << 20);
+        assert!(resolved.offsets.unwrap().adaptive.is_some());
+        assert!(resolved.adjacencies.unwrap().adaptive.is_some());
+    }
+
+    #[test]
+    fn tiny_budget_never_exceeds_total() {
+        let spec = CacheSpec::paper(1_000);
+        let resolved = spec.resolve(10_000, 1 << 20);
+        // 0.8 · |V| = 8,000 exceeds the budget, so it is clamped to the budget and
+        // the adjacency cache gets nothing.
+        assert_eq!(resolved.offsets.unwrap().capacity_bytes, 1_000);
+        assert!(resolved.adjacencies.is_none());
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = DistConfig::cached(8, 1 << 20).with_degree_scores();
+        assert_eq!(c.ranks, 8);
+        assert!(c.cache.is_some());
+        assert_eq!(c.score_mode, ScoreMode::DegreeCentrality);
+        let nc = DistConfig::non_cached(4);
+        assert!(nc.cache.is_none());
+    }
+}

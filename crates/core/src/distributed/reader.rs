@@ -1,0 +1,180 @@
+//! The two-get remote-adjacency protocol (steps 4–5 in Figure 3), with optional
+//! CLaMPI caching of one or both windows.
+
+use super::config::{DistConfig, ResolvedCaches, ScoreMode};
+use super::windows::GraphWindows;
+use rmatc_clampi::{CacheStats, CachedWindow};
+use rmatc_graph::types::VertexId;
+use rmatc_rma::Endpoint;
+use std::sync::Arc;
+
+/// Per-rank reader of remote adjacency lists.
+///
+/// Reading the adjacency of a remote vertex requires two RMA gets: the first reads
+/// the `(start, end)` pair from the target's `offsets` array, the second reads
+/// `end − start` vertex ids from the target's `adjacencies` array. When caching is
+/// enabled each get is first looked up in the corresponding CLaMPI cache
+/// (`C_offsets`, `C_adj`); the adjacency entry can carry the vertex degree as its
+/// application-defined eviction score.
+#[derive(Debug)]
+pub struct RemoteReader {
+    offsets_plain: rmatc_rma::Window<u64>,
+    adj_plain: rmatc_rma::Window<VertexId>,
+    offsets_cache: Option<CachedWindow<u64>>,
+    adj_cache: Option<CachedWindow<VertexId>>,
+    score_mode: ScoreMode,
+}
+
+impl RemoteReader {
+    /// Builds the reader for one rank. `caches` carries the resolved per-window
+    /// CLaMPI configurations (or `None` entries for non-cached windows).
+    pub fn new(
+        windows: &GraphWindows,
+        caches: &ResolvedCaches,
+        config: &DistConfig,
+    ) -> Self {
+        Self {
+            offsets_plain: windows.offsets.clone(),
+            adj_plain: windows.adjacencies.clone(),
+            offsets_cache: caches
+                .offsets
+                .map(|cfg| CachedWindow::new(windows.offsets.clone(), cfg)),
+            adj_cache: caches
+                .adjacencies
+                .map(|cfg| CachedWindow::new(windows.adjacencies.clone(), cfg)),
+            score_mode: config.score_mode,
+        }
+    }
+
+    /// Builds a reader with no caching at all.
+    pub fn non_cached(windows: &GraphWindows, config: &DistConfig) -> Self {
+        Self::new(windows, &ResolvedCaches { offsets: None, adjacencies: None }, config)
+    }
+
+    /// Reads the adjacency list of the vertex with local index `local_idx` on rank
+    /// `target`, issuing the two gets (cache-intercepted where enabled).
+    pub fn read_adjacency(
+        &mut self,
+        ep: &mut Endpoint,
+        target: usize,
+        local_idx: usize,
+    ) -> Arc<Vec<VertexId>> {
+        // First get: the (start, end) offsets pair for the vertex's row.
+        let offsets = match &mut self.offsets_cache {
+            Some(cache) => cache.get(ep, target, local_idx, 2),
+            None => Arc::new(ep.get(&self.offsets_plain, target, local_idx, 2).wait(ep)),
+        };
+        let start = offsets[0] as usize;
+        let end = offsets[1] as usize;
+        let len = end - start;
+        if len == 0 {
+            return Arc::new(Vec::new());
+        }
+        // After the first get the degree (list length) is known: it becomes the
+        // application-defined score of the adjacency entry when degree scoring is on.
+        let score = match self.score_mode {
+            ScoreMode::Lru => 0.0,
+            ScoreMode::DegreeCentrality => len as f64,
+        };
+        match &mut self.adj_cache {
+            Some(cache) => cache.get_scored(ep, target, start, len, score),
+            None => Arc::new(ep.get(&self.adj_plain, target, start, len).wait(ep)),
+        }
+    }
+
+    /// Statistics of the offsets cache, if caching is enabled on that window.
+    pub fn offsets_cache_stats(&self) -> Option<CacheStats> {
+        self.offsets_cache.as_ref().map(|c| c.stats().clone())
+    }
+
+    /// Statistics of the adjacency cache, if caching is enabled on that window.
+    pub fn adjacency_cache_stats(&self) -> Option<CacheStats> {
+        self.adj_cache.as_ref().map(|c| c.stats().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::config::CacheSpec;
+    use crate::intersect::IntersectMethod;
+    use rmatc_graph::gen::{GraphGenerator, RmatGenerator};
+    use rmatc_graph::partition::{PartitionScheme, PartitionedGraph};
+    use rmatc_rma::NetworkModel;
+
+    fn setup() -> (PartitionedGraph, GraphWindows, DistConfig) {
+        let g = RmatGenerator::paper(8, 8).generate_cleaned(3).into_csr();
+        let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 2).unwrap();
+        let windows = GraphWindows::build(&pg);
+        let config = DistConfig {
+            ranks: 2,
+            scheme: PartitionScheme::Block1D,
+            method: IntersectMethod::Hybrid,
+            network: NetworkModel::aries(),
+            double_buffering: false,
+            cache: None,
+            score_mode: ScoreMode::DegreeCentrality,
+        };
+        (pg, windows, config)
+    }
+
+    #[test]
+    fn non_cached_reader_returns_exact_adjacency() {
+        let (pg, windows, config) = setup();
+        let mut reader = RemoteReader::non_cached(&windows, &config);
+        let mut ep = Endpoint::new(0, 2, config.network);
+        ep.lock_all();
+        let remote = &pg.partitions[1];
+        for (local_idx, _) in remote.global_ids.iter().enumerate().take(20) {
+            let got = reader.read_adjacency(&mut ep, 1, local_idx);
+            assert_eq!(*got, remote.neighbours_of_local(local_idx));
+        }
+        ep.unlock_all();
+        // Two gets per non-empty row, one per empty row.
+        assert!(ep.stats().gets >= 20);
+    }
+
+    #[test]
+    fn cached_reader_returns_exact_adjacency_and_hits_on_reuse() {
+        let (pg, windows, config) = setup();
+        let caches =
+            CacheSpec::paper(1 << 20).resolve(pg.global_vertex_count(), windows.adjacency_bytes() as u64);
+        let mut reader = RemoteReader::new(&windows, &caches, &config);
+        let mut ep = Endpoint::new(0, 2, config.network);
+        ep.lock_all();
+        let remote = &pg.partitions[1];
+        for round in 0..2 {
+            for (local_idx, _) in remote.global_ids.iter().enumerate().take(10) {
+                let got = reader.read_adjacency(&mut ep, 1, local_idx);
+                assert_eq!(*got, remote.neighbours_of_local(local_idx), "round {round}");
+            }
+        }
+        ep.unlock_all();
+        let adj_stats = reader.adjacency_cache_stats().unwrap();
+        assert!(adj_stats.hits > 0, "second round must hit the adjacency cache");
+        let off_stats = reader.offsets_cache_stats().unwrap();
+        assert!(off_stats.hits > 0, "second round must hit the offsets cache");
+    }
+
+    #[test]
+    fn empty_adjacency_rows_need_only_one_get() {
+        // Construct a partition where some rows are empty by filtering edges.
+        let (_pg, _windows, config) = setup();
+        let g = rmatc_graph::CsrGraph::from_edges(
+            8,
+            &[(0, 1), (1, 0), (4, 5), (5, 4)],
+            rmatc_graph::types::Direction::Undirected,
+        );
+        let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 2).unwrap();
+        let windows = GraphWindows::build(&pg);
+        let mut reader = RemoteReader::non_cached(&windows, &config);
+        let mut ep = Endpoint::new(0, 2, config.network);
+        ep.lock_all();
+        // Vertex 6 lives on rank 1 (block [4..8)) and has no neighbours.
+        let local_idx = pg.partitioner.local_index(6);
+        let got = reader.read_adjacency(&mut ep, 1, local_idx);
+        assert!(got.is_empty());
+        assert_eq!(ep.stats().gets, 1);
+        ep.unlock_all();
+    }
+}

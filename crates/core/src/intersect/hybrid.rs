@@ -1,0 +1,102 @@
+//! The hybrid method selection rule (Section III-C, Eq. 3).
+//!
+//! Comparing the asymptotic costs `O(|A| · log |B|)` (binary search) and
+//! `O(|A| + |B|)` (SSI) for `|A| ≤ |B|` gives the rule: SSI is faster when
+//! `|B| / |A| ≤ log2(|B|) − 1`. The hybrid method evaluates this per edge, so that
+//! hub–leaf edges use binary search and balanced edges use SSI — which Table III
+//! shows beats either method used exclusively.
+
+/// Which intersection kernel to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum IntersectMethod {
+    /// Always use sorted set intersection.
+    SortedSetIntersection,
+    /// Always use binary search (shorter list as keys).
+    BinarySearch,
+    /// Decide per pair with Eq. (3).
+    Hybrid,
+}
+
+impl IntersectMethod {
+    /// All methods, in the order of Table III's columns.
+    pub fn all() -> [IntersectMethod; 3] {
+        [
+            IntersectMethod::Hybrid,
+            IntersectMethod::SortedSetIntersection,
+            IntersectMethod::BinarySearch,
+        ]
+    }
+
+    /// Table III column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IntersectMethod::Hybrid => "Hybrid",
+            IntersectMethod::SortedSetIntersection => "SSI",
+            IntersectMethod::BinarySearch => "Binary search",
+        }
+    }
+}
+
+impl std::fmt::Display for IntersectMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Eq. (3): for `short_len ≤ long_len`, returns true when SSI is expected to be
+/// faster than binary search.
+pub fn ssi_is_faster(short_len: usize, long_len: usize) -> bool {
+    debug_assert!(short_len <= long_len);
+    if short_len == 0 || long_len == 0 {
+        return true;
+    }
+    let ratio = long_len as f64 / short_len as f64;
+    ratio <= (long_len as f64).log2() - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_lists_prefer_ssi() {
+        // |B|/|A| = 1, log2(1024) - 1 = 9: SSI.
+        assert!(ssi_is_faster(1024, 1024));
+    }
+
+    #[test]
+    fn highly_skewed_lists_prefer_binary_search() {
+        // |B|/|A| = 1000, log2(100000) - 1 ≈ 15.6: binary search.
+        assert!(!ssi_is_faster(100, 100_000));
+    }
+
+    #[test]
+    fn boundary_follows_equation_three() {
+        // |B| = 4096 → log2 - 1 = 11; ratio 11 exactly satisfies "≤".
+        let b = 4096usize;
+        let a_at_boundary = ((b as f64) / 11.0).ceil() as usize;
+        assert!(ssi_is_faster(a_at_boundary, b));
+        // A slightly shorter key list pushes the ratio above the threshold.
+        let a_below = (b as f64 / 12.5) as usize;
+        assert!(!ssi_is_faster(a_below, b));
+    }
+
+    #[test]
+    fn degenerate_lengths_default_to_ssi() {
+        assert!(ssi_is_faster(0, 10));
+        assert!(ssi_is_faster(0, 0));
+    }
+
+    #[test]
+    fn tiny_lists_prefer_binary_search_by_the_formula() {
+        // log2(4) - 1 = 1, ratio = 2 > 1 → binary search. (In practice both are
+        // instantaneous; the rule is only about the asymptotic model.)
+        assert!(!ssi_is_faster(2, 4));
+    }
+
+    #[test]
+    fn labels_match_table3_columns() {
+        let labels: Vec<&str> = IntersectMethod::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["Hybrid", "SSI", "Binary search"]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Frontier-intersection kernels.
+//!
+//! Triangle counting reduces to computing `|adj(v_i) ∩ adj(v_j)|` for every edge.
+//! The paper uses two kernels — binary search and sorted set intersection (SSI) —
+//! plus a hybrid rule (Eq. 3) that picks per edge, and parallelizes the intersection
+//! itself across threads (Section III-C).
+
+pub mod binary;
+pub mod hybrid;
+pub mod parallel;
+pub mod ssi;
+
+pub use binary::binary_search_count;
+pub use hybrid::{ssi_is_faster, IntersectMethod};
+pub use parallel::ParallelIntersector;
+pub use ssi::ssi_count;
+
+use rmatc_graph::types::VertexId;
+
+/// A sequential intersector: picks the kernel according to the configured method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Intersector {
+    method: IntersectMethod,
+}
+
+impl Intersector {
+    /// Creates an intersector for the given method.
+    pub fn new(method: IntersectMethod) -> Self {
+        Self { method }
+    }
+
+    /// The configured method.
+    pub fn method(&self) -> IntersectMethod {
+        self.method
+    }
+
+    /// Counts `|a ∩ b|` for two sorted, duplicate-free slices.
+    pub fn count(&self, a: &[VertexId], b: &[VertexId]) -> u64 {
+        match self.method {
+            IntersectMethod::SortedSetIntersection => ssi_count(a, b),
+            IntersectMethod::BinarySearch => binary_search_count(a, b),
+            IntersectMethod::Hybrid => {
+                let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                if ssi_is_faster(short.len(), long.len()) {
+                    ssi_count(short, long)
+                } else {
+                    binary_search_count(short, long)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_methods_agree_on_simple_inputs() {
+        let a = &[1, 3, 5, 7, 9, 11];
+        let b = &[2, 3, 4, 5, 6, 7, 20];
+        for method in [
+            IntersectMethod::SortedSetIntersection,
+            IntersectMethod::BinarySearch,
+            IntersectMethod::Hybrid,
+        ] {
+            assert_eq!(Intersector::new(method).count(a, b), 3, "{method:?}");
+            assert_eq!(Intersector::new(method).count(b, a), 3, "{method:?} swapped");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero() {
+        for method in [
+            IntersectMethod::SortedSetIntersection,
+            IntersectMethod::BinarySearch,
+            IntersectMethod::Hybrid,
+        ] {
+            let ix = Intersector::new(method);
+            assert_eq!(ix.count(&[], &[1, 2, 3]), 0);
+            assert_eq!(ix.count(&[1, 2, 3], &[]), 0);
+            assert_eq!(ix.count(&[], &[]), 0);
+        }
+    }
+
+    #[test]
+    fn identical_lists_intersect_fully() {
+        let a: Vec<u32> = (0..1000).map(|x| x * 3).collect();
+        for method in [
+            IntersectMethod::SortedSetIntersection,
+            IntersectMethod::BinarySearch,
+            IntersectMethod::Hybrid,
+        ] {
+            assert_eq!(Intersector::new(method).count(&a, &a), 1000);
+        }
+    }
+}

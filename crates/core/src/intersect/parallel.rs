@@ -1,0 +1,154 @@
+//! Shared-memory parallel intersection (Section III-C).
+//!
+//! The paper parallelizes the *intersection itself* rather than distributing edges
+//! across threads, to keep thread imbalance low: for binary search the key (shorter)
+//! array is split into equal chunks, for SSI the longer array is split and every
+//! thread intersects its chunk with the shorter list. A cut-off avoids paying the
+//! fork/join overhead on small intersections, and the paper further reduces the cost
+//! of entering parallel regions with `OMP_WAIT_POLICY=active`; rayon's persistent
+//! work-stealing pool plays that role here.
+
+use super::binary::binary_search_count;
+use super::hybrid::{ssi_is_faster, IntersectMethod};
+use super::ssi::{ssi_count, ssi_count_chunk};
+use rayon::prelude::*;
+use rmatc_graph::types::VertexId;
+
+/// Default cut-off below which the intersection is computed sequentially.
+pub const DEFAULT_PARALLEL_CUTOFF: usize = 8_192;
+
+/// A parallel intersector with a sequential cut-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelIntersector {
+    method: IntersectMethod,
+    /// Intersections where the longer list is below this length run sequentially.
+    cutoff: usize,
+    /// Number of chunks the parallel region is split into (typically the thread count).
+    chunks: usize,
+}
+
+impl ParallelIntersector {
+    /// Creates a parallel intersector. `chunks` is typically the number of threads
+    /// (the paper uses up to 16); values below 1 are clamped to 1.
+    pub fn new(method: IntersectMethod, chunks: usize, cutoff: usize) -> Self {
+        Self { method, chunks: chunks.max(1), cutoff }
+    }
+
+    /// Creates an intersector with the default cut-off.
+    pub fn with_default_cutoff(method: IntersectMethod, chunks: usize) -> Self {
+        Self::new(method, chunks, DEFAULT_PARALLEL_CUTOFF)
+    }
+
+    /// The configured method.
+    pub fn method(&self) -> IntersectMethod {
+        self.method
+    }
+
+    /// Counts `|a ∩ b|`, using the parallel kernels above the cut-off.
+    pub fn count(&self, a: &[VertexId], b: &[VertexId]) -> u64 {
+        let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        let use_ssi = match self.method {
+            IntersectMethod::SortedSetIntersection => true,
+            IntersectMethod::BinarySearch => false,
+            IntersectMethod::Hybrid => ssi_is_faster(short.len(), long.len()),
+        };
+        let sequential = self.chunks == 1 || long.len() < self.cutoff;
+        match (use_ssi, sequential) {
+            (true, true) => ssi_count(short, long),
+            (false, true) => binary_search_count(short, long),
+            (true, false) => self.parallel_ssi(short, long),
+            (false, false) => self.parallel_binary(short, long),
+        }
+    }
+
+    /// Parallel SSI: split the longer array into chunks, each thread intersects its
+    /// chunk against (the relevant window of) the shorter array.
+    fn parallel_ssi(&self, short: &[VertexId], long: &[VertexId]) -> u64 {
+        let chunk = long.len().div_ceil(self.chunks).max(1);
+        (0..self.chunks)
+            .into_par_iter()
+            .map(|c| {
+                let start = (c * chunk).min(long.len());
+                let end = (start + chunk).min(long.len());
+                ssi_count_chunk(short, long, start..end)
+            })
+            .sum()
+    }
+
+    /// Parallel binary search: split the key (shorter) array into chunks, each
+    /// thread looks its keys up in the longer array.
+    fn parallel_binary(&self, short: &[VertexId], long: &[VertexId]) -> u64 {
+        let chunk = short.len().div_ceil(self.chunks).max(1);
+        (0..self.chunks)
+            .into_par_iter()
+            .map(|c| {
+                let start = (c * chunk).min(short.len());
+                let end = (start + chunk).min(short.len());
+                binary_search_count(&short[start..end], long)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn random_sorted(rng: &mut impl Rng, len: usize, universe: u32) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..len).map(|_| rng.gen_range(0..universe)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_all_methods() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = random_sorted(&mut rng, 20_000, 100_000);
+        let b = random_sorted(&mut rng, 60_000, 100_000);
+        let expected = rmatc_graph::reference::sorted_intersection_count(&a, &b);
+        for method in IntersectMethod::all() {
+            for chunks in [1, 2, 4, 8] {
+                let ix = ParallelIntersector::new(method, chunks, 1024);
+                assert_eq!(ix.count(&a, &b), expected, "{method:?} chunks={chunks}");
+                assert_eq!(ix.count(&b, &a), expected, "{method:?} swapped");
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_is_respected_without_changing_results() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let a = random_sorted(&mut rng, 100, 1_000);
+        let b = random_sorted(&mut rng, 500, 1_000);
+        let expected = rmatc_graph::reference::sorted_intersection_count(&a, &b);
+        let below_cutoff = ParallelIntersector::new(IntersectMethod::Hybrid, 8, 1 << 20);
+        let above_cutoff = ParallelIntersector::new(IntersectMethod::Hybrid, 8, 1);
+        assert_eq!(below_cutoff.count(&a, &b), expected);
+        assert_eq!(above_cutoff.count(&a, &b), expected);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ix = ParallelIntersector::with_default_cutoff(IntersectMethod::Hybrid, 4);
+        assert_eq!(ix.count(&[], &[1, 2, 3]), 0);
+        assert_eq!(ix.count(&[], &[]), 0);
+    }
+
+    #[test]
+    fn zero_chunks_clamps_to_one() {
+        let ix = ParallelIntersector::new(IntersectMethod::SortedSetIntersection, 0, 0);
+        assert_eq!(ix.count(&[1, 2, 3], &[2, 3, 4]), 2);
+    }
+
+    #[test]
+    fn hub_leaf_intersections_are_correct() {
+        // Extremely skewed pair, the case the hybrid rule routes to binary search.
+        let small = vec![10u32, 500_000, 900_000];
+        let big: Vec<u32> = (0..1_000_000).step_by(2).collect();
+        let ix = ParallelIntersector::new(IntersectMethod::Hybrid, 8, 1024);
+        assert_eq!(ix.count(&small, &big), 3);
+    }
+}

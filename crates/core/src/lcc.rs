@@ -1,0 +1,56 @@
+//! Local clustering coefficient formulas (Watts & Strogatz; Eqs. 1 and 2 of the
+//! paper), shared by the local and distributed implementations.
+
+pub use rmatc_graph::reference::lcc_from_triangles;
+use rmatc_graph::types::Direction;
+
+/// Computes LCC scores for a whole vertex set given per-vertex degrees and closed
+/// triplet counts.
+pub fn scores_from_counts(direction: Direction, degrees: &[u32], triangles: &[u64]) -> Vec<f64> {
+    assert_eq!(degrees.len(), triangles.len());
+    degrees
+        .iter()
+        .zip(triangles.iter())
+        .map(|(&d, &t)| lcc_from_triangles(direction, d, t))
+        .collect()
+}
+
+/// Average LCC over a score vector; empty input gives 0.
+pub fn average(scores: &[f64]) -> f64 {
+    if scores.is_empty() {
+        0.0
+    } else {
+        scores.iter().sum::<f64>() / scores.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_match_formula() {
+        let s = scores_from_counts(Direction::Undirected, &[3, 2, 0], &[2, 1, 0]);
+        assert!((s[0] - 2.0 * 2.0 / 6.0).abs() < 1e-12);
+        assert!((s[1] - 1.0).abs() < 1e-12);
+        assert_eq!(s[2], 0.0);
+    }
+
+    #[test]
+    fn directed_scores_have_no_factor_two() {
+        let s = scores_from_counts(Direction::Directed, &[3], &[3]);
+        assert!((s[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_handles_empty() {
+        assert_eq!(average(&[]), 0.0);
+        assert!((average(&[0.5, 1.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        scores_from_counts(Direction::Undirected, &[1, 2], &[0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! The paper's primary contribution: fully asynchronous distributed-memory triangle
+//! counting and local clustering coefficient (LCC) computation with RMA caching.
+//!
+//! The crate is organised to follow Section III of the paper:
+//!
+//! * [`intersect`] — the frontier-intersection kernels of Section II-C and III-C:
+//!   binary search, sorted set intersection (SSI), the hybrid decision rule of
+//!   Eq. (3), and shared-memory parallel variants of both (the paper's OpenMP
+//!   parallelism, here expressed with rayon).
+//! * [`local`] — shared-memory edge-centric TC/LCC over one CSR graph: the code path
+//!   measured in Table III and Figure 6.
+//! * [`distributed`] — the fully asynchronous distributed algorithm (Algorithm 3):
+//!   1D partitioning, CSR windows exposed via RMA, the two-get remote-adjacency
+//!   protocol, optional CLaMPI caching of both windows with LRU or degree-centrality
+//!   scores, and double buffering of communication with computation. This is the
+//!   code path measured in Figures 7–10.
+//! * [`reuse`] — the remote-access data-reuse analyses behind Figures 1, 4 and 5.
+//! * [`lcc`] — the LCC formulas (Eqs. 1 and 2), re-exported from the graph substrate
+//!   so that every implementation shares one definition.
+//! * [`jaccard`] — distributed Jaccard / common-neighbour similarity built on the
+//!   same two-get protocol and caches, the first extension the paper's conclusion
+//!   proposes as future work.
+
+pub mod distributed;
+pub mod intersect;
+pub mod jaccard;
+pub mod lcc;
+pub mod local;
+pub mod reuse;
+
+pub use distributed::{
+    CacheSpec, DistConfig, DistLcc, DistResult, RankReport, ScoreMode, TimingBreakdown,
+};
+pub use jaccard::{DistJaccard, JaccardResult};
+pub use intersect::{IntersectMethod, Intersector};
+pub use local::{LocalConfig, LocalLcc, LocalResult};

@@ -1,0 +1,246 @@
+//! Shared-memory edge-centric triangle counting and LCC over one CSR graph.
+//!
+//! This is the per-node computation kernel of the paper: for every vertex and every
+//! incident edge, intersect the two adjacency lists (Section II-C), offsetting the
+//! intersection on undirected graphs so each triangle is counted once per corner.
+//! Shared-memory parallelism follows Section III-C: the *intersection* is what runs
+//! in parallel, not the edge loop, which keeps thread imbalance low at the price of
+//! frequent parallel-region entry — the effect measured in Figure 6 and Table III.
+
+use crate::intersect::{IntersectMethod, ParallelIntersector};
+use crate::lcc;
+use rmatc_graph::types::{Direction, VertexId};
+use rmatc_graph::CsrGraph;
+use std::time::Instant;
+
+/// Configuration for the shared-memory computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LocalConfig {
+    /// Intersection kernel selection.
+    pub method: IntersectMethod,
+    /// Number of threads used to parallelize each intersection (1 = sequential).
+    pub threads: usize,
+    /// Intersections whose longer list is below this length run sequentially.
+    pub parallel_cutoff: usize,
+}
+
+impl LocalConfig {
+    /// Sequential hybrid configuration.
+    pub fn sequential() -> Self {
+        Self { method: IntersectMethod::Hybrid, threads: 1, parallel_cutoff: usize::MAX }
+    }
+
+    /// Parallel hybrid configuration with the default cut-off.
+    pub fn parallel(threads: usize) -> Self {
+        Self {
+            method: IntersectMethod::Hybrid,
+            threads,
+            parallel_cutoff: crate::intersect::parallel::DEFAULT_PARALLEL_CUTOFF,
+        }
+    }
+
+    /// Same configuration with a different intersection method.
+    pub fn with_method(mut self, method: IntersectMethod) -> Self {
+        self.method = method;
+        self
+    }
+}
+
+impl Default for LocalConfig {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// Result of a shared-memory run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LocalResult {
+    /// Closed-triplet count per vertex (LCC numerators before the formula's factor).
+    pub per_vertex_triangles: Vec<u64>,
+    /// LCC score per vertex.
+    pub lcc: Vec<f64>,
+    /// Global triangle count (undirected) or closed-triplet count (directed).
+    pub triangle_count: u64,
+    /// Number of directed edges processed.
+    pub edges_processed: u64,
+    /// Wall-clock time of the computation, in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl LocalResult {
+    /// Edges processed per microsecond — the throughput metric of Table III and
+    /// Figure 6.
+    pub fn edges_per_us(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.edges_processed as f64 / (self.elapsed_ns as f64 / 1_000.0)
+    }
+
+    /// Average LCC over all vertices.
+    pub fn average_lcc(&self) -> f64 {
+        lcc::average(&self.lcc)
+    }
+}
+
+/// Shared-memory LCC/TC runner.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalLcc {
+    config: LocalConfig,
+}
+
+impl LocalLcc {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: LocalConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LocalConfig {
+        &self.config
+    }
+
+    /// Runs triangle counting and LCC over `g`.
+    pub fn run(&self, g: &CsrGraph) -> LocalResult {
+        let intersector = ParallelIntersector::new(
+            self.config.method,
+            self.config.threads,
+            self.config.parallel_cutoff,
+        );
+        let n = g.vertex_count();
+        let start = Instant::now();
+        let mut per_vertex = vec![0u64; n];
+        let mut edges = 0u64;
+        for u in 0..n as VertexId {
+            let adj_u = g.neighbours(u);
+            let mut t = 0u64;
+            for &v in adj_u {
+                edges += 1;
+                let adj_v = g.neighbours(v);
+                t += count_closing(g.direction(), adj_u, adj_v, v, &intersector);
+            }
+            per_vertex[u as usize] = t;
+        }
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        finish(g, per_vertex, edges, elapsed_ns)
+    }
+}
+
+/// Counts the closing vertices for the edge `(u, v)` given both adjacency lists:
+/// undirected graphs count only `w > v` (upper-triangle offsetting), directed graphs
+/// count the full intersection (ordered pairs, Eq. 1).
+pub fn count_closing(
+    direction: Direction,
+    adj_u: &[VertexId],
+    adj_v: &[VertexId],
+    v: VertexId,
+    intersector: &ParallelIntersector,
+) -> u64 {
+    match direction {
+        Direction::Undirected => {
+            let a = &adj_u[adj_u.partition_point(|&x| x <= v)..];
+            let b = &adj_v[adj_v.partition_point(|&x| x <= v)..];
+            intersector.count(a, b)
+        }
+        Direction::Directed => intersector.count(adj_u, adj_v),
+    }
+}
+
+/// Assembles a [`LocalResult`] from per-vertex closed-triplet counts.
+pub fn finish(
+    g: &CsrGraph,
+    per_vertex_triangles: Vec<u64>,
+    edges_processed: u64,
+    elapsed_ns: u64,
+) -> LocalResult {
+    let degrees = g.degrees();
+    let lcc = lcc::scores_from_counts(g.direction(), &degrees, &per_vertex_triangles);
+    let total: u64 = per_vertex_triangles.iter().sum();
+    let triangle_count = match g.direction() {
+        Direction::Undirected => total / 3,
+        Direction::Directed => total,
+    };
+    LocalResult { per_vertex_triangles, lcc, triangle_count, edges_processed, elapsed_ns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmatc_graph::gen::{GraphGenerator, RmatGenerator, WattsStrogatz};
+    use rmatc_graph::reference;
+
+    fn rmat() -> CsrGraph {
+        RmatGenerator::paper(10, 8).generate_cleaned(1).into_csr()
+    }
+
+    #[test]
+    fn matches_reference_on_rmat() {
+        let g = rmat();
+        let result = LocalLcc::new(LocalConfig::sequential()).run(&g);
+        assert_eq!(result.per_vertex_triangles, reference::per_vertex_triangles(&g));
+        assert_eq!(result.triangle_count, reference::count_triangles(&g));
+        let expected_lcc = reference::lcc_scores(&g);
+        for (a, b) in result.lcc.iter().zip(expected_lcc.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_methods_give_identical_counts() {
+        let g = rmat();
+        let baseline = LocalLcc::new(LocalConfig::sequential()).run(&g).triangle_count;
+        for method in IntersectMethod::all() {
+            let cfg = LocalConfig::sequential().with_method(method);
+            assert_eq!(LocalLcc::new(cfg).run(&g).triangle_count, baseline, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = rmat();
+        let seq = LocalLcc::new(LocalConfig::sequential()).run(&g);
+        let mut par_cfg = LocalConfig::parallel(8);
+        par_cfg.parallel_cutoff = 16; // force the parallel path even on small lists
+        let par = LocalLcc::new(par_cfg).run(&g);
+        assert_eq!(seq.per_vertex_triangles, par.per_vertex_triangles);
+    }
+
+    #[test]
+    fn directed_graph_uses_ordered_pairs() {
+        let mut edges = Vec::new();
+        for u in 0..3u32 {
+            for v in 0..3u32 {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = CsrGraph::from_edges(3, &edges, Direction::Directed);
+        let result = LocalLcc::new(LocalConfig::sequential()).run(&g);
+        assert!(result.lcc.iter().all(|&c| (c - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn edges_processed_counts_directed_edges() {
+        let g = rmat();
+        let result = LocalLcc::new(LocalConfig::sequential()).run(&g);
+        assert_eq!(result.edges_processed, g.edge_count());
+        assert!(result.edges_per_us() > 0.0);
+    }
+
+    #[test]
+    fn watts_strogatz_average_is_analytic() {
+        let g = WattsStrogatz::new(300, 6, 0.0).generate_cleaned(2).into_csr();
+        let result = LocalLcc::new(LocalConfig::parallel(4)).run(&g);
+        assert!((result.average_lcc() - WattsStrogatz::lattice_lcc(6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let g = CsrGraph::from_edges(0, &[], Direction::Undirected);
+        let result = LocalLcc::new(LocalConfig::sequential()).run(&g);
+        assert_eq!(result.triangle_count, 0);
+        assert!(result.lcc.is_empty());
+        assert_eq!(result.edges_processed, 0);
+    }
+}

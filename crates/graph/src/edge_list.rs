@@ -1,0 +1,325 @@
+//! Mutable edge-list staging representation and the cleaning passes the paper applies
+//! before building the CSR (Section II-B): multi-edge removal, self-loop removal,
+//! symmetrization for undirected inputs, and iterative removal of vertices with degree
+//! below two (such vertices cannot participate in a triangle).
+
+use crate::types::{Direction, Edge, VertexId};
+use crate::{GraphError, Result};
+
+/// A graph under construction: a flat list of directed edges plus a vertex count.
+///
+/// The edge list is the mutable staging area; once cleaned it is converted into an
+/// immutable [`crate::CsrGraph`] for computation. All cleaning passes are explicit
+/// methods so the pipeline (and tests) can exercise them independently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    n: usize,
+    edges: Vec<Edge>,
+    direction: Direction,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list over `n` vertices.
+    pub fn new(n: usize, direction: Direction) -> Self {
+        Self { n, edges: Vec::new(), direction }
+    }
+
+    /// Creates an edge list from existing edges, validating vertex ranges.
+    pub fn from_edges(n: usize, edges: Vec<Edge>, direction: Direction) -> Result<Self> {
+        for &(u, v) in &edges {
+            if u as usize >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: u as u64, n: n as u64 });
+            }
+            if v as usize >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v as u64, n: n as u64 });
+            }
+        }
+        Ok(Self { n, edges, direction })
+    }
+
+    /// Number of vertices (including isolated ones).
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges currently stored.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the list is treated as directed or undirected.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The raw directed edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Adds a single edge. Panics in debug builds if the endpoints are out of range.
+    pub fn push(&mut self, u: VertexId, v: VertexId) {
+        debug_assert!((u as usize) < self.n && (v as usize) < self.n);
+        self.edges.push((u, v));
+    }
+
+    /// Appends many edges at once.
+    pub fn extend<I: IntoIterator<Item = Edge>>(&mut self, iter: I) {
+        self.edges.extend(iter);
+    }
+
+    /// Removes self-loops `(v, v)`; the paper's graphs contain no loops.
+    pub fn remove_self_loops(&mut self) -> usize {
+        let before = self.edges.len();
+        self.edges.retain(|&(u, v)| u != v);
+        before - self.edges.len()
+    }
+
+    /// Removes duplicate edges (multi-edges), keeping one copy of each.
+    /// Returns the number of duplicates removed.
+    pub fn deduplicate(&mut self) -> usize {
+        let before = self.edges.len();
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        before - self.edges.len()
+    }
+
+    /// Makes the edge set symmetric by inserting the reverse of every edge, then
+    /// deduplicating. After this call the list is marked undirected.
+    pub fn symmetrize(&mut self) {
+        let reversed: Vec<Edge> = self.edges.iter().map(|&(u, v)| (v, u)).collect();
+        self.edges.extend(reversed);
+        self.deduplicate();
+        self.remove_self_loops();
+        self.direction = Direction::Undirected;
+    }
+
+    /// Out-degrees of all vertices under the current edge set.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n];
+        for &(u, _) in &self.edges {
+            deg[u as usize] += 1;
+        }
+        deg
+    }
+
+    /// In-degrees of all vertices under the current edge set.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n];
+        for &(_, v) in &self.edges {
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Total degree (in + out) of all vertices; for undirected symmetric lists this is
+    /// twice the undirected degree.
+    pub fn total_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Removes vertices whose (undirected) degree is less than two, as the paper does:
+    /// such vertices cannot close a triangle. Removal is applied once (not to a fixed
+    /// point) to mirror the paper's "remove vertices that have degree less than two"
+    /// pre-processing, and remaining vertices are compacted to a dense id range.
+    ///
+    /// Returns the number of vertices removed.
+    pub fn remove_low_degree_vertices(&mut self) -> usize {
+        let deg = match self.direction {
+            Direction::Undirected => {
+                // In a symmetric edge list each undirected edge appears twice, so the
+                // out-degree equals the undirected degree.
+                self.out_degrees()
+            }
+            Direction::Directed => {
+                // For directed graphs a vertex needs at least two incident edges
+                // (in either orientation) to participate in a triangle.
+                self.total_degrees()
+            }
+        };
+        let keep: Vec<bool> = deg.iter().map(|&d| d >= 2).collect();
+        let removed = keep.iter().filter(|&&k| !k).count();
+        if removed == 0 {
+            return 0;
+        }
+        // Build the compaction map old-id -> new-id.
+        let mut remap = vec![VertexId::MAX; self.n];
+        let mut next: VertexId = 0;
+        for (old, &k) in keep.iter().enumerate() {
+            if k {
+                remap[old] = next;
+                next += 1;
+            }
+        }
+        self.edges.retain(|&(u, v)| keep[u as usize] && keep[v as usize]);
+        for e in &mut self.edges {
+            *e = (remap[e.0 as usize], remap[e.1 as usize]);
+        }
+        self.n = next as usize;
+        removed
+    }
+
+    /// Applies a vertex permutation: vertex `v` becomes `perm[v]`.
+    /// `perm` must be a permutation of `0..n`.
+    pub fn relabel(&mut self, perm: &[VertexId]) {
+        assert_eq!(perm.len(), self.n, "permutation length must equal vertex count");
+        debug_assert!(crate::relabel::is_permutation(perm));
+        for e in &mut self.edges {
+            *e = (perm[e.0 as usize], perm[e.1 as usize]);
+        }
+    }
+
+    /// Runs the paper's full cleaning pipeline: drop self-loops and multi-edges,
+    /// symmetrize if undirected, and remove vertices that cannot be in a triangle.
+    pub fn clean(&mut self) {
+        self.remove_self_loops();
+        self.deduplicate();
+        if self.direction == Direction::Undirected {
+            self.symmetrize();
+        }
+        self.remove_low_degree_vertices();
+    }
+
+    /// Consumes the edge list and produces the immutable CSR representation.
+    pub fn into_csr(mut self) -> crate::CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        crate::CsrGraph::from_sorted_edges(self.n, &self.edges, self.direction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_directed() -> EdgeList {
+        EdgeList::from_edges(
+            4,
+            vec![(0, 1), (1, 2), (2, 0), (3, 3), (0, 1)],
+            Direction::Directed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        let err = EdgeList::from_edges(2, vec![(0, 5)], Direction::Directed).unwrap_err();
+        assert_eq!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 });
+    }
+
+    #[test]
+    fn remove_self_loops_counts_removed() {
+        let mut el = small_directed();
+        assert_eq!(el.remove_self_loops(), 1);
+        assert!(el.edges().iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn deduplicate_removes_multi_edges() {
+        let mut el = small_directed();
+        assert_eq!(el.deduplicate(), 1);
+        assert_eq!(el.edge_count(), 4);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_edges_and_marks_undirected() {
+        let mut el =
+            EdgeList::from_edges(3, vec![(0, 1), (1, 2)], Direction::Directed).unwrap();
+        el.symmetrize();
+        assert_eq!(el.direction(), Direction::Undirected);
+        let mut edges = el.edges().to_vec();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn symmetrize_is_idempotent() {
+        let mut el =
+            EdgeList::from_edges(3, vec![(0, 1), (1, 2)], Direction::Directed).unwrap();
+        el.symmetrize();
+        let once = el.clone();
+        el.symmetrize();
+        assert_eq!(el, once);
+    }
+
+    #[test]
+    fn degrees_are_consistent() {
+        let el = small_directed();
+        assert_eq!(el.out_degrees(), vec![2, 1, 1, 1]);
+        assert_eq!(el.in_degrees(), vec![1, 2, 1, 1]);
+        assert_eq!(el.total_degrees(), vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn low_degree_removal_drops_isolated_and_pendant_vertices() {
+        // Triangle 0-1-2 plus a pendant vertex 3 attached to 0 and an isolated vertex 4.
+        let mut el = EdgeList::from_edges(
+            5,
+            vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (0, 3), (3, 0)],
+            Direction::Undirected,
+        )
+        .unwrap();
+        let removed = el.remove_low_degree_vertices();
+        assert_eq!(removed, 2);
+        assert_eq!(el.vertex_count(), 3);
+        // The remaining edges form the symmetric triangle on relabeled vertices 0..3.
+        assert_eq!(el.edge_count(), 6);
+        let deg = el.out_degrees();
+        assert!(deg.iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn low_degree_removal_noop_when_all_qualify() {
+        let mut el = EdgeList::from_edges(
+            3,
+            vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)],
+            Direction::Undirected,
+        )
+        .unwrap();
+        assert_eq!(el.remove_low_degree_vertices(), 0);
+        assert_eq!(el.vertex_count(), 3);
+    }
+
+    #[test]
+    fn relabel_applies_permutation() {
+        let mut el =
+            EdgeList::from_edges(3, vec![(0, 1), (1, 2)], Direction::Directed).unwrap();
+        el.relabel(&[2, 0, 1]);
+        assert_eq!(el.edges(), &[(2, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn clean_produces_triangle_ready_graph() {
+        let mut el = EdgeList::from_edges(
+            6,
+            vec![(0, 1), (1, 2), (2, 0), (0, 0), (0, 1), (4, 5)],
+            Direction::Undirected,
+        )
+        .unwrap();
+        el.clean();
+        // Vertices 3 (isolated), 4 and 5 (degree 1 after symmetrization) are removed.
+        assert_eq!(el.vertex_count(), 3);
+        assert_eq!(el.edge_count(), 6);
+    }
+
+    #[test]
+    fn into_csr_round_trips_edges() {
+        let el = EdgeList::from_edges(
+            3,
+            vec![(0, 1), (0, 2), (1, 2)],
+            Direction::Directed,
+        )
+        .unwrap();
+        let csr = el.into_csr();
+        assert_eq!(csr.vertex_count(), 3);
+        assert_eq!(csr.edge_count(), 3);
+        assert_eq!(csr.neighbours(0), &[1, 2]);
+        assert_eq!(csr.neighbours(1), &[2]);
+        assert_eq!(csr.neighbours(2), &[] as &[VertexId]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Plain-text edge-list I/O in the SNAP format the paper's datasets ship in:
+//! one `source<whitespace>destination` pair per line, `#`-prefixed comment lines.
+
+use crate::types::{Direction, VertexId};
+use crate::{EdgeList, GraphError, Result};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Reads an edge list from a SNAP-style text file. Vertex ids are compacted to a
+/// dense `0..n` range in first-appearance order.
+pub fn read_edge_list<P: AsRef<Path>>(path: P, direction: Direction) -> Result<EdgeList> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list_from(BufReader::new(file), direction)
+}
+
+/// Reads an edge list from any buffered reader (used by tests with in-memory data).
+pub fn read_edge_list_from<R: BufRead>(reader: R, direction: Direction) -> Result<EdgeList> {
+    let mut raw_edges: Vec<(u64, u64)> = Vec::new();
+    let mut max_id = 0u64;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u = parse_vertex(parts.next(), idx + 1)?;
+        let v = parse_vertex(parts.next(), idx + 1)?;
+        max_id = max_id.max(u).max(v);
+        raw_edges.push((u, v));
+    }
+    // Compact ids: many SNAP files have sparse id spaces.
+    let mut remap: std::collections::HashMap<u64, VertexId> = std::collections::HashMap::new();
+    let mut next: VertexId = 0;
+    let mut edges = Vec::with_capacity(raw_edges.len());
+    for (u, v) in raw_edges {
+        let nu = *remap.entry(u).or_insert_with(|| {
+            let id = next;
+            next += 1;
+            id
+        });
+        let nv = *remap.entry(v).or_insert_with(|| {
+            let id = next;
+            next += 1;
+            id
+        });
+        edges.push((nu, nv));
+    }
+    EdgeList::from_edges(next as usize, edges, direction)
+}
+
+fn parse_vertex(tok: Option<&str>, line: usize) -> Result<u64> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two whitespace-separated vertex ids".to_string(),
+    })?;
+    tok.parse::<u64>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("invalid vertex id {tok:?}: {e}"),
+    })
+}
+
+/// Writes an edge list to a SNAP-style text file with a small header comment.
+pub fn write_edge_list<P: AsRef<Path>>(path: P, edges: &EdgeList) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(
+        w,
+        "# rmatc edge list: {} vertices, {} edges, {}",
+        edges.vertex_count(),
+        edges.edge_count(),
+        edges.direction()
+    )?;
+    for &(u, v) in edges.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_snap_format_with_comments() {
+        let data = "# comment line\n% another comment\n0 1\n1\t2\n\n2 0\n";
+        let el = read_edge_list_from(Cursor::new(data), Direction::Directed).unwrap();
+        assert_eq!(el.vertex_count(), 3);
+        assert_eq!(el.edges(), &[(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn compacts_sparse_vertex_ids() {
+        let data = "1000 2000\n2000 50\n";
+        let el = read_edge_list_from(Cursor::new(data), Direction::Directed).unwrap();
+        assert_eq!(el.vertex_count(), 3);
+        assert_eq!(el.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let data = "0 1\nnot_a_vertex 2\n";
+        let err = read_edge_list_from(Cursor::new(data), Direction::Directed).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_missing_second_vertex() {
+        let data = "0\n";
+        let err = read_edge_list_from(Cursor::new(data), Direction::Directed).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn write_and_read_round_trip() {
+        let dir = std::env::temp_dir().join("rmatc-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.txt");
+        let el = EdgeList::from_edges(
+            4,
+            vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+            Direction::Directed,
+        )
+        .unwrap();
+        write_edge_list(&path, &el).unwrap();
+        let back = read_edge_list(&path, Direction::Directed).unwrap();
+        assert_eq!(back.edge_count(), el.edge_count());
+        assert_eq!(back.vertex_count(), el.vertex_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = read_edge_list("/nonexistent/rmatc/file.txt", Direction::Directed)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

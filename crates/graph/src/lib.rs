@@ -1,0 +1,98 @@
+//! Graph substrate for the asynchronous distributed TC/LCC reproduction.
+//!
+//! This crate provides everything the paper assumes exists below its algorithm:
+//!
+//! * [`EdgeList`] — mutable staging representation with cleaning passes
+//!   (multi-edge removal, self-loop removal, symmetrization, iterative removal of
+//!   vertices that cannot be part of a triangle, random relabeling).
+//! * [`CsrGraph`] — the immutable Compressed Sparse Row representation used for
+//!   computation (Figure 2 of the paper), with sorted adjacency lists.
+//! * [`gen`] — synthetic graph generators: R-MAT with the paper's parameters,
+//!   uniform (Erdős–Rényi), Barabási–Albert, Watts–Strogatz, and ego-circle graphs.
+//! * [`datasets`] — a registry of named stand-ins for the real-world datasets the
+//!   paper evaluates on (Orkut, LiveJournal, Skitter, uk-2005, wiki-en, Facebook
+//!   circles), generated synthetically at laptop scale with matching degree shapes.
+//! * [`partition`] — 1D block and cyclic vertex partitioning plus the per-rank CSR
+//!   construction used by the distributed algorithm.
+//! * [`reference`] — simple sequential triangle counting and LCC used as ground truth.
+//! * [`stats`] — degree distributions, CSR sizes, cut fractions and skew metrics.
+//! * [`io`] — plain-text edge list reading/writing (SNAP format).
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod edge_list;
+pub mod gen;
+pub mod io;
+pub mod partition;
+pub mod reference;
+pub mod relabel;
+pub mod stats;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use edge_list::EdgeList;
+pub use partition::{PartitionScheme, PartitionedGraph, Partitioner, RankPartition};
+pub use types::{EdgeId, VertexId};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced while building or manipulating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a vertex id that is outside the declared vertex range.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph.
+        n: u64,
+    },
+    /// The requested partition count is invalid (zero, or larger than the vertex count).
+    InvalidPartitionCount {
+        /// Requested number of parts.
+        parts: usize,
+        /// Number of vertices available.
+        n: usize,
+    },
+    /// A parse error while reading a graph from text.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of what failed to parse.
+        message: String,
+    },
+    /// An I/O error, stringified (io::Error is not Clone/PartialEq).
+    Io(String),
+    /// A generator was asked for parameters it cannot satisfy.
+    InvalidGeneratorParams(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::InvalidPartitionCount { parts, n } => {
+                write!(f, "cannot split {n} vertices into {parts} partitions")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "I/O error: {msg}"),
+            GraphError::InvalidGeneratorParams(msg) => {
+                write!(f, "invalid generator parameters: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}

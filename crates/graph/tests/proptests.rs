@@ -1,0 +1,117 @@
+//! Property-based tests of the graph substrate: the cleaning pipeline, CSR
+//! invariants, relabeling and partitioning hold for arbitrary edge lists.
+
+use proptest::prelude::*;
+use rmatc_graph::partition::{PartitionScheme, Partitioner};
+use rmatc_graph::types::Direction;
+use rmatc_graph::{relabel, reference, CsrGraph, EdgeList};
+
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..50).prop_flat_map(|n| {
+        (Just(n), prop::collection::vec((0..n as u32, 0..n as u32), 0..300))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clean_always_yields_triangle_ready_graphs((n, edges) in arb_edges()) {
+        let original_edges = edges.clone();
+        let mut el = EdgeList::from_edges(n, edges, Direction::Undirected).unwrap();
+        el.clean();
+        let csr = el.into_csr();
+        prop_assert!(csr.adjacency_lists_sorted());
+        prop_assert!(csr.adjacency_in_range());
+        prop_assert!(csr.is_symmetric());
+        prop_assert!(csr.vertex_count() <= n);
+        // No self loops, and no vertex that was already below degree 2 in the input
+        // survives (the paper applies the removal once, so removals can themselves
+        // create new degree-1 vertices — those are allowed to remain).
+        for v in 0..csr.vertex_count() as u32 {
+            prop_assert!(!csr.has_edge(v, v));
+        }
+        // Triangle counting is unaffected by whichever low-degree vertices remain.
+        let mut unpruned = EdgeList::from_edges(n, original_edges.clone(), Direction::Undirected)
+            .unwrap();
+        unpruned.remove_self_loops();
+        unpruned.symmetrize();
+        prop_assert_eq!(
+            reference::count_triangles(&csr),
+            reference::count_triangles(&unpruned.into_csr())
+        );
+    }
+
+    #[test]
+    fn csr_size_formula_holds((n, edges) in arb_edges()) {
+        let csr = CsrGraph::from_edges(n, &edges, Direction::Directed);
+        prop_assert_eq!(
+            csr.csr_size_bytes(),
+            (csr.vertex_count() as u64 + 1) * 8 + csr.edge_count() * 4
+        );
+        prop_assert_eq!(csr.degrees().iter().map(|&d| d as u64).sum::<u64>(), csr.edge_count());
+    }
+
+    #[test]
+    fn relabeling_preserves_structure((n, edges) in arb_edges(), seed in 0u64..100) {
+        let mut el = EdgeList::from_edges(n, edges, Direction::Undirected).unwrap();
+        el.remove_self_loops();
+        el.symmetrize();
+        let original = el.clone().into_csr();
+        let perm = relabel::random_permutation(n, seed);
+        el.relabel(&perm);
+        let relabeled = el.into_csr();
+        prop_assert_eq!(original.edge_count(), relabeled.edge_count());
+        prop_assert_eq!(
+            reference::count_triangles(&original),
+            reference::count_triangles(&relabeled)
+        );
+        // Degree multiset is preserved.
+        let mut d1 = original.degrees();
+        let mut d2 = relabeled.degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn partitioner_is_a_total_function(n in 1usize..2000, ranks in 1usize..32,
+                                       scheme_cyclic in any::<bool>()) {
+        prop_assume!(ranks <= n);
+        let scheme = if scheme_cyclic { PartitionScheme::Cyclic } else { PartitionScheme::Block1D };
+        let p = Partitioner::new(scheme, n, ranks).unwrap();
+        let mut counts = vec![0usize; ranks];
+        for v in 0..n as u32 {
+            let owner = p.owner(v);
+            prop_assert!(owner < ranks);
+            prop_assert_eq!(p.global_index(owner, p.local_index(v)), v);
+            counts[owner] += 1;
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), n);
+        for (rank, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(c, p.owned_count(rank));
+            // 1D assigns equal blocks up to rounding.
+            prop_assert!(c <= n.div_ceil(ranks));
+        }
+    }
+
+    #[test]
+    fn inverse_permutations_compose_to_identity(n in 1usize..500, seed in 0u64..100) {
+        let perm = relabel::random_permutation(n, seed);
+        let inv = relabel::invert_permutation(&perm);
+        for v in 0..n {
+            prop_assert_eq!(inv[perm[v] as usize] as usize, v);
+        }
+    }
+
+    #[test]
+    fn lcc_of_directed_graphs_is_bounded((n, edges) in arb_edges()) {
+        let mut el = EdgeList::from_edges(n, edges, Direction::Directed).unwrap();
+        el.remove_self_loops();
+        el.deduplicate();
+        let csr = el.into_csr();
+        for score in reference::lcc_scores(&csr) {
+            prop_assert!((0.0..=1.0).contains(&score));
+        }
+    }
+}

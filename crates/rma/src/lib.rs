@@ -1,0 +1,48 @@
+//! Simulated MPI-3 RMA (Remote Memory Access) substrate.
+//!
+//! The paper's implementation runs on a Cray XC50 with cray-mpich and uses MPI-3
+//! passive-target one-sided operations: every process exposes its CSR arrays in two
+//! windows (`w_offsets`, `w_adj`), opens an access epoch with `MPI_Win_lock_all`,
+//! issues `MPI_Get`s at will, and completes them with `MPI_Win_flush` — no
+//! synchronization with the target is ever required. That hardware and MPI stack is
+//! not available here, so this crate reproduces the *programming model* and the
+//! *cost model* in-process:
+//!
+//! * Each MPI rank becomes a worker thread (spawned by [`runner::run_ranks`]).
+//! * [`Window`] is a logically distributed, read-only memory region: one exposed
+//!   slice per rank, accessible from any rank without involving the target —
+//!   exactly the passive-target exposure epoch of MPI-3.
+//! * [`Endpoint`] is the per-rank access object. [`Endpoint::get`] copies the
+//!   requested region (the data transfer of `MPI_Get`) and records its modeled
+//!   network cost; the data may only be used after [`PendingGet::wait`] or
+//!   [`Endpoint::flush_all`], mirroring `MPI_Win_flush` semantics. Issuing a get
+//!   outside an access epoch is a programming error and panics, like an MPI
+//!   `MPI_ERR_RMA_SYNC` abort would.
+//! * [`NetworkModel`] is the linear cost model `t(s) = α + β·s` the paper uses to
+//!   reason about remote reads (Section IV-D1), with defaults calibrated to the
+//!   Cray Aries numbers quoted in the paper (≈2–3 µs per get).
+//! * Communication time is accumulated per rank in *virtual time* ([`RankStats`]),
+//!   while computation is measured in real time by the caller; the two are combined
+//!   by the algorithm crates when reporting per-rank running times. An optional
+//!   injection mode spins for the modeled latency instead, for end-to-end wall-clock
+//!   realism at small scales.
+//!
+//! What is deliberately preserved from the paper: the two-window exposure, the
+//! get/flush discipline, per-get setup cost (which makes caching worthwhile even for
+//! small entries), per-byte cost (which makes caching adjacency lists of high-degree
+//! vertices especially worthwhile), and the complete absence of target-side
+//! synchronization during computation.
+
+pub mod cputime;
+pub mod endpoint;
+pub mod network;
+pub mod runner;
+pub mod stats;
+pub mod window;
+
+pub use cputime::ThreadTimer;
+pub use endpoint::{Endpoint, PendingGet};
+pub use network::NetworkModel;
+pub use runner::{run_ranks, SimBarrier};
+pub use stats::{CommStats, RankStats};
+pub use window::{Window, WindowId};

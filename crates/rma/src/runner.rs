@@ -1,0 +1,121 @@
+//! Rank spawning and setup-phase synchronization.
+//!
+//! [`run_ranks`] plays the role of `mpirun`: it launches one worker thread per rank
+//! and collects their results. The only synchronization primitive offered is
+//! [`SimBarrier`], which exists for (a) the untimed setup phase and (b) the
+//! bulk-synchronous TriC baseline, where each barrier is *charged* to the ranks via
+//! the network model — the asynchronous algorithm of the paper never calls it during
+//! computation.
+
+use crate::network::NetworkModel;
+use std::sync::Arc;
+use std::sync::Barrier;
+
+/// Spawns `ranks` worker threads, runs `body(rank)` on each, and returns the results
+/// indexed by rank. Panics in any rank are propagated.
+pub fn run_ranks<R, F>(ranks: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(ranks > 0, "need at least one rank");
+    if ranks == 1 {
+        return vec![body(0)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..ranks)
+            .map(|rank| {
+                let body = &body;
+                scope.spawn(move || body(rank))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+/// A barrier over all ranks that also knows its modeled synchronization cost.
+///
+/// `wait()` blocks until every rank arrives (real synchronization between the rank
+/// threads) and returns the modeled cost in nanoseconds of a dissemination barrier,
+/// which bulk-synchronous algorithms add to their per-rank communication time.
+#[derive(Debug, Clone)]
+pub struct SimBarrier {
+    inner: Arc<Barrier>,
+    ranks: usize,
+    network: NetworkModel,
+}
+
+impl SimBarrier {
+    /// Creates a barrier for `ranks` ranks with the given network model.
+    pub fn new(ranks: usize, network: NetworkModel) -> Self {
+        Self { inner: Arc::new(Barrier::new(ranks)), ranks, network }
+    }
+
+    /// Waits for all ranks; returns the modeled cost of the barrier in nanoseconds.
+    pub fn wait(&self) -> f64 {
+        self.inner.wait();
+        self.network.barrier_cost_ns(self.ranks)
+    }
+
+    /// Number of ranks participating.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_ranks_returns_results_in_rank_order() {
+        let results = run_ranks(8, |rank| rank * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn run_ranks_single_rank_runs_inline() {
+        assert_eq!(run_ranks(1, |r| r + 100), vec![100]);
+    }
+
+    #[test]
+    fn run_ranks_actually_runs_concurrently() {
+        // All ranks must be alive at the same time for a barrier to pass.
+        let barrier = SimBarrier::new(4, NetworkModel::zero());
+        let counter = AtomicUsize::new(0);
+        run_ranks(4, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            barrier.wait();
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_is_an_error() {
+        run_ranks(0, |_| ());
+    }
+
+    #[test]
+    fn barrier_reports_modeled_cost() {
+        let b = SimBarrier::new(16, NetworkModel::aries());
+        let costs = run_ranks(16, |_| b.wait());
+        let expected = NetworkModel::aries().barrier_cost_ns(16);
+        assert!(costs.iter().all(|&c| (c - expected).abs() < 1e-9));
+        assert_eq!(b.ranks(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn panics_are_propagated() {
+        run_ranks(2, |rank| {
+            if rank == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-rank and aggregated communication statistics.
+//!
+//! The evaluation reasons almost entirely in these terms: number of remote reads,
+//! bytes moved, modeled communication time, and how those change with caching and
+//! with the number of ranks.
+
+/// Statistics accumulated by one rank's [`crate::Endpoint`].
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RankStats {
+    /// Number of RMA get operations issued.
+    pub gets: u64,
+    /// Total bytes transferred by gets.
+    pub bytes: u64,
+    /// Modeled communication time in nanoseconds (after overlap credit).
+    pub comm_time_ns: f64,
+    /// Modeled communication time that was hidden behind computation
+    /// (the double-buffering benefit).
+    pub overlapped_ns: f64,
+    /// Number of flush operations.
+    pub flushes: u64,
+    /// Number of local (cache or owner-side) reads served without a network get.
+    pub local_reads: u64,
+    /// Modeled time spent on those local reads, in nanoseconds.
+    pub local_time_ns: f64,
+    /// Gets per target rank.
+    pub gets_per_target: Vec<u64>,
+    /// Bytes per target rank.
+    pub bytes_per_target: Vec<u64>,
+}
+
+impl RankStats {
+    /// Creates empty statistics sized for `ranks` targets.
+    pub fn new(ranks: usize) -> Self {
+        Self {
+            gets_per_target: vec![0; ranks],
+            bytes_per_target: vec![0; ranks],
+            ..Default::default()
+        }
+    }
+
+    /// Records an issued get of `bytes` bytes towards `target`.
+    pub fn record_get(&mut self, target: usize, bytes: usize) {
+        self.gets += 1;
+        self.bytes += bytes as u64;
+        if target < self.gets_per_target.len() {
+            self.gets_per_target[target] += 1;
+            self.bytes_per_target[target] += bytes as u64;
+        }
+    }
+
+    /// Records the charged (non-overlapped) and overlapped portions of a completed get.
+    pub fn record_completion(&mut self, charged_ns: f64, overlapped_ns: f64) {
+        self.comm_time_ns += charged_ns;
+        self.overlapped_ns += overlapped_ns;
+    }
+
+    /// Records a read served locally (cache hit or owner-local access).
+    pub fn record_local(&mut self, cost_ns: f64) {
+        self.local_reads += 1;
+        self.local_time_ns += cost_ns;
+    }
+
+    /// Merges another rank's statistics into this one (used for aggregation).
+    pub fn merge(&mut self, other: &RankStats) {
+        self.gets += other.gets;
+        self.bytes += other.bytes;
+        self.comm_time_ns += other.comm_time_ns;
+        self.overlapped_ns += other.overlapped_ns;
+        self.flushes += other.flushes;
+        self.local_reads += other.local_reads;
+        self.local_time_ns += other.local_time_ns;
+        if self.gets_per_target.len() < other.gets_per_target.len() {
+            self.gets_per_target.resize(other.gets_per_target.len(), 0);
+            self.bytes_per_target.resize(other.bytes_per_target.len(), 0);
+        }
+        for (i, &g) in other.gets_per_target.iter().enumerate() {
+            self.gets_per_target[i] += g;
+        }
+        for (i, &b) in other.bytes_per_target.iter().enumerate() {
+            self.bytes_per_target[i] += b;
+        }
+    }
+
+    /// Average modeled time per get, in nanoseconds.
+    pub fn avg_get_time_ns(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            (self.comm_time_ns + self.overlapped_ns) / self.gets as f64
+        }
+    }
+}
+
+/// Aggregated communication statistics across all ranks of a run.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CommStats {
+    /// Per-rank statistics, indexed by rank.
+    pub per_rank: Vec<RankStats>,
+}
+
+impl CommStats {
+    /// Wraps per-rank statistics.
+    pub fn new(per_rank: Vec<RankStats>) -> Self {
+        Self { per_rank }
+    }
+
+    /// Total gets across ranks.
+    pub fn total_gets(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.gets).sum()
+    }
+
+    /// Total bytes across ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Maximum modeled communication time over ranks, in nanoseconds — the quantity
+    /// that bounds the running time of a communication-dominated run.
+    pub fn max_comm_time_ns(&self) -> f64 {
+        self.per_rank.iter().map(|r| r.comm_time_ns).fold(0.0, f64::max)
+    }
+
+    /// Sum of modeled communication time over ranks, in nanoseconds.
+    pub fn total_comm_time_ns(&self) -> f64 {
+        self.per_rank.iter().map(|r| r.comm_time_ns).sum()
+    }
+
+    /// Total local (cache-served) reads across ranks.
+    pub fn total_local_reads(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.local_reads).sum()
+    }
+
+    /// Folds all ranks into a single [`RankStats`].
+    pub fn merged(&self) -> RankStats {
+        let mut out = RankStats::new(self.per_rank.len());
+        for r in &self.per_rank {
+            out.merge(r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_get_tracks_per_target_counts() {
+        let mut s = RankStats::new(4);
+        s.record_get(1, 100);
+        s.record_get(1, 50);
+        s.record_get(3, 8);
+        assert_eq!(s.gets, 3);
+        assert_eq!(s.bytes, 158);
+        assert_eq!(s.gets_per_target, vec![0, 2, 0, 1]);
+        assert_eq!(s.bytes_per_target, vec![0, 150, 0, 8]);
+    }
+
+    #[test]
+    fn completion_splits_charged_and_overlapped() {
+        let mut s = RankStats::new(1);
+        s.record_completion(1_000.0, 500.0);
+        assert_eq!(s.comm_time_ns, 1_000.0);
+        assert_eq!(s.overlapped_ns, 500.0);
+    }
+
+    #[test]
+    fn avg_get_time_counts_total_latency() {
+        let mut s = RankStats::new(1);
+        assert_eq!(s.avg_get_time_ns(), 0.0);
+        s.record_get(0, 10);
+        s.record_get(0, 10);
+        s.record_completion(3_000.0, 1_000.0);
+        assert!((s.avg_get_time_ns() - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_all_fields() {
+        let mut a = RankStats::new(2);
+        a.record_get(0, 10);
+        a.record_local(5.0);
+        let mut b = RankStats::new(2);
+        b.record_get(1, 20);
+        b.record_completion(100.0, 0.0);
+        a.merge(&b);
+        assert_eq!(a.gets, 2);
+        assert_eq!(a.bytes, 30);
+        assert_eq!(a.local_reads, 1);
+        assert_eq!(a.gets_per_target, vec![1, 1]);
+        assert_eq!(a.comm_time_ns, 100.0);
+    }
+
+    #[test]
+    fn merge_handles_different_target_widths() {
+        let mut a = RankStats::new(1);
+        let mut b = RankStats::new(3);
+        b.record_get(2, 8);
+        a.merge(&b);
+        assert_eq!(a.gets_per_target, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn comm_stats_aggregates_over_ranks() {
+        let mut r0 = RankStats::new(2);
+        r0.record_get(1, 100);
+        r0.record_completion(500.0, 0.0);
+        let mut r1 = RankStats::new(2);
+        r1.record_get(0, 200);
+        r1.record_completion(700.0, 0.0);
+        r1.record_local(10.0);
+        let cs = CommStats::new(vec![r0, r1]);
+        assert_eq!(cs.total_gets(), 2);
+        assert_eq!(cs.total_bytes(), 300);
+        assert_eq!(cs.max_comm_time_ns(), 700.0);
+        assert_eq!(cs.total_comm_time_ns(), 1_200.0);
+        assert_eq!(cs.total_local_reads(), 1);
+        assert_eq!(cs.merged().gets, 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! Reproduction of **TriC** (Ghosh & Halappanavar, HPEC'20) — the 2020 Graph
+//! Challenge champion the paper compares against — plus the *TriC Buffered* variant
+//! the authors had to use when TriC ran out of memory on scale-free graphs.
+//!
+//! TriC counts triangles per vertex with a *query–response* scheme: for every owned
+//! vertex `i` and every pair of its neighbours `(j, k)`, the edge `(j, k)` either can
+//! be checked locally (if `j` is owned) or must be asked of `j`'s owner. Queries are
+//! exchanged with blocking all-to-all collectives, which synchronizes all ranks every
+//! round — the synchronization overhead the paper identifies as TriC's main
+//! scalability limit. The buffered variant caps the per-destination buffer (the paper
+//! uses 16 MiB) and loops over multiple exchange rounds, trading memory for even more
+//! synchronization.
+//!
+//! The reproduction runs every rank as a thread over the same
+//! [`rmatc_rma::NetworkModel`] used by the asynchronous algorithm, so the comparison
+//! in Figures 9 and 10 charges both systems identically: per-destination message
+//! costs `α + β·s`, a logarithmic barrier cost per round, and real barrier waiting
+//! time caused by load imbalance.
+
+pub mod config;
+pub mod exchange;
+pub mod report;
+pub mod runner;
+
+pub use config::TricConfig;
+pub use report::{TricRankReport, TricResult};
+pub use runner::Tric;

@@ -1,0 +1,69 @@
+//! Edge-similarity search with distributed Jaccard scores — the extension direction
+//! the paper's conclusion proposes ("other graph problems that may benefit from the
+//! proposed approach"), using the exact same asynchronous RMA machinery and CLaMPI
+//! caches as the LCC computation.
+//!
+//! The scenario: in a co-purchase / co-occurrence graph, edges whose endpoints share
+//! most of their neighbourhoods (high Jaccard similarity) indicate near-duplicate or
+//! strongly substitutable items, while low-similarity edges are incidental
+//! co-occurrences. The example scores every edge, prints the strongest and weakest
+//! ties, and shows that caching cuts the remote traffic of the similarity pass just
+//! like it does for LCC.
+//!
+//! Run with: `cargo run --release --example similarity_search`
+
+use rmatc::prelude::*;
+
+fn main() {
+    // A clustered co-occurrence graph: dense communities with a few global hubs.
+    let graph = EgoCircles {
+        vertices: 2_500,
+        communities: 160,
+        max_community_size: 120,
+        intra_probability: 0.4,
+        hubs: 6,
+    }
+    .generate_cleaned(5)
+    .into_csr();
+    println!(
+        "Co-occurrence graph: {} items, {} co-occurrence edges",
+        graph.vertex_count(),
+        graph.logical_edge_count()
+    );
+
+    let ranks = 8;
+    let plain = DistJaccard::new(DistConfig::non_cached(ranks)).run(&graph);
+    let cached = DistJaccard::new(
+        DistConfig::cached(ranks, graph.csr_size_bytes() as usize / 2).with_degree_scores(),
+    )
+    .run(&graph);
+    assert_eq!(plain.edges, cached.edges, "caching must not change the scores");
+
+    println!(
+        "Scored {} edges on {ranks} ranks; mean Jaccard similarity {:.3}.",
+        plain.edges.len(),
+        plain.mean_jaccard()
+    );
+    println!("\nStrongest ties (near-duplicate neighbourhoods):");
+    for e in cached.top_k(5) {
+        println!(
+            "  ({:>5}, {:>5})  {} shared neighbours, Jaccard {:.3}",
+            e.source, e.destination, e.common_neighbours, e.jaccard
+        );
+    }
+    let weakest = plain
+        .edges
+        .iter()
+        .filter(|e| e.common_neighbours == 0)
+        .take(3)
+        .collect::<Vec<_>>();
+    println!("\nIncidental co-occurrences (no shared neighbourhood): {} edges", weakest.len());
+
+    println!(
+        "\nRMA traffic: {} gets without caching vs {} with CLaMPI ({}% saved) — the same \
+         data reuse LCC exploits carries over to the similarity pass.",
+        plain.total_gets(),
+        cached.total_gets(),
+        (100.0 * (1.0 - cached.total_gets() as f64 / plain.total_gets() as f64)).round()
+    );
+}

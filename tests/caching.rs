@@ -1,0 +1,129 @@
+//! Integration tests of the caching behaviour the paper's evaluation depends on:
+//! caching eliminates repeated remote reads, larger caches miss less, degree scores
+//! help under pressure, and the compulsory-miss floor grows with the rank count.
+
+use rmatc::prelude::*;
+
+fn skewed_graph() -> CsrGraph {
+    RmatGenerator::paper(11, 16).generate_cleaned(21).into_csr()
+}
+
+#[test]
+fn caching_reduces_gets_and_communication_time() {
+    let g = skewed_graph();
+    let non_cached = DistLcc::new(DistConfig::non_cached(4)).run(&g);
+    let cached =
+        DistLcc::new(DistConfig::cached(4, g.csr_size_bytes() as usize).with_degree_scores())
+            .run(&g);
+    assert!(cached.total_gets() < non_cached.total_gets() / 2);
+    assert!(cached.max_comm_time_ns() < non_cached.max_comm_time_ns());
+    assert!(cached.cache_hits() > 0);
+}
+
+#[test]
+fn miss_rate_decreases_monotonically_with_cache_size() {
+    let g = skewed_graph();
+    let adj_bytes = g.edge_count() as usize * 4;
+    let mut previous_miss_rate = 1.0f64;
+    for fraction in [0.05, 0.25, 1.0] {
+        let mut cfg = DistConfig::non_cached(2);
+        cfg.cache = Some(CacheSpec::adjacencies_only((adj_bytes as f64 * fraction) as usize));
+        let result = DistLcc::new(cfg).run(&g);
+        let miss = result.adjacency_cache_totals().unwrap().miss_rate();
+        assert!(
+            miss <= previous_miss_rate + 0.02,
+            "miss rate should not grow with a larger cache ({miss} after {previous_miss_rate})"
+        );
+        previous_miss_rate = miss;
+    }
+    // A cache as large as the adjacency data reaches (close to) the compulsory floor.
+    let mut cfg = DistConfig::non_cached(2);
+    cfg.cache = Some(CacheSpec::adjacencies_only(adj_bytes));
+    let result = DistLcc::new(cfg).run(&g);
+    let stats = result.adjacency_cache_totals().unwrap();
+    assert!(stats.miss_rate() < stats.compulsory_miss_rate() + 0.05);
+}
+
+#[test]
+fn degree_scores_do_not_hit_less_than_lru_under_pressure() {
+    let g = skewed_graph();
+    let adj_bytes = g.edge_count() as usize * 4;
+    // 25% of the non-local partition, as in Figure 8: evictions are guaranteed.
+    let capacity = adj_bytes / 4;
+    let run = |mode| {
+        let mut cfg = DistConfig::non_cached(4);
+        cfg.cache = Some(CacheSpec::adjacencies_only(capacity));
+        cfg.score_mode = mode;
+        DistLcc::new(cfg).run(&g)
+    };
+    let lru = run(ScoreMode::Lru);
+    let degree = run(ScoreMode::DegreeCentrality);
+    let lru_stats = lru.adjacency_cache_totals().unwrap();
+    let degree_stats = degree.adjacency_cache_totals().unwrap();
+    assert!(lru_stats.evictions() > 0, "the configuration must create cache pressure");
+    assert!(
+        degree_stats.hit_rate() >= lru_stats.hit_rate() - 0.01,
+        "degree scores should not lose to LRU on a skewed graph ({} vs {})",
+        degree_stats.hit_rate(),
+        lru_stats.hit_rate()
+    );
+}
+
+#[test]
+fn compulsory_miss_floor_grows_with_rank_count() {
+    let g = skewed_graph();
+    let budget = g.csr_size_bytes() as usize;
+    let rate = |ranks| {
+        let result = DistLcc::new(DistConfig::cached(ranks, budget)).run(&g);
+        result.adjacency_cache_totals().unwrap().compulsory_miss_rate()
+    };
+    let at_2 = rate(2);
+    let at_16 = rate(16);
+    assert!(
+        at_16 > at_2,
+        "partitioning over more ranks must increase compulsory misses ({at_2} -> {at_16})"
+    );
+}
+
+#[test]
+fn offsets_cache_alone_already_saves_communication() {
+    let g = skewed_graph();
+    let baseline = DistLcc::new(DistConfig::non_cached(2)).run(&g);
+    let mut cfg = DistConfig::non_cached(2);
+    cfg.cache = Some(CacheSpec::offsets_only((g.vertex_count() + 2) * 16));
+    let cached = DistLcc::new(cfg).run(&g);
+    assert!(cached.max_comm_time_ns() < baseline.max_comm_time_ns());
+    assert!(cached.adjacency_cache_totals().is_none());
+    assert!(cached.offsets_cache_totals().unwrap().hits > 0);
+}
+
+#[test]
+fn double_buffering_never_increases_charged_communication() {
+    let g = skewed_graph();
+    let run = |db| {
+        let mut cfg = DistConfig::non_cached(4);
+        cfg.double_buffering = db;
+        DistLcc::new(cfg).run(&g)
+    };
+    let with = run(true);
+    let without = run(false);
+    let with_comm: f64 = with.ranks.iter().map(|r| r.timing.comm_ns).sum();
+    let without_comm: f64 = without.ranks.iter().map(|r| r.timing.comm_ns).sum();
+    assert!(with_comm <= without_comm + 1e-3);
+    let overlapped: f64 = with.ranks.iter().map(|r| r.timing.overlapped_ns).sum();
+    assert!(overlapped > 0.0, "double buffering must hide some latency");
+}
+
+#[test]
+fn cache_statistics_are_internally_consistent() {
+    let g = skewed_graph();
+    let result = DistLcc::new(DistConfig::cached(4, g.csr_size_bytes() as usize / 4)).run(&g);
+    for report in &result.ranks {
+        for stats in [&report.offsets_cache, &report.adjacency_cache].into_iter().flatten() {
+            assert_eq!(stats.lookups(), stats.hits + stats.misses);
+            assert!(stats.compulsory_misses <= stats.misses);
+            assert!((stats.hit_rate() + stats.miss_rate() - 1.0).abs() < 1e-9
+                || stats.lookups() == 0);
+        }
+    }
+}

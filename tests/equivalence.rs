@@ -1,0 +1,131 @@
+//! Cross-implementation equivalence: every triangle-counting / LCC implementation in
+//! the workspace (sequential reference, shared-memory kernel, asynchronous
+//! distributed with and without caching, TriC baseline) must produce identical
+//! counts and scores on the same graph.
+
+use rmatc::prelude::*;
+use rmatc_graph::reference;
+
+fn assert_scores_equal(a: &[f64], b: &[f64], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: length mismatch");
+    for (v, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!((x - y).abs() < 1e-12, "{context}: vertex {v} differs ({x} vs {y})");
+    }
+}
+
+fn graphs_under_test() -> Vec<(String, CsrGraph)> {
+    vec![
+        (
+            "rmat".to_string(),
+            RmatGenerator::paper(9, 8).generate_cleaned(1).into_csr(),
+        ),
+        ("orkut-standin".to_string(), Dataset::Orkut.generate(DatasetScale::Tiny, 2)),
+        (
+            "facebook-circles".to_string(),
+            Dataset::FacebookCircles.generate(DatasetScale::Tiny, 3),
+        ),
+        ("directed-lj1".to_string(), Dataset::LiveJournal1.generate(DatasetScale::Tiny, 4)),
+        ("uniform".to_string(), Dataset::Uniform.generate(DatasetScale::Tiny, 5)),
+    ]
+}
+
+#[test]
+fn local_kernel_matches_reference_on_all_graphs() {
+    for (name, g) in graphs_under_test() {
+        let expected = reference::lcc_scores(&g);
+        for method in IntersectMethod::all() {
+            let result = LocalLcc::new(LocalConfig::sequential().with_method(method)).run(&g);
+            assert_eq!(
+                result.triangle_count,
+                reference::count_triangles(&g),
+                "{name} with {method:?}"
+            );
+            assert_scores_equal(&result.lcc, &expected, &format!("{name} with {method:?}"));
+        }
+    }
+}
+
+#[test]
+fn distributed_matches_reference_across_rank_counts_and_schemes() {
+    for (name, g) in graphs_under_test() {
+        let expected = reference::lcc_scores(&g);
+        let expected_triangles = reference::count_triangles(&g);
+        for ranks in [2usize, 3, 8] {
+            for scheme in [PartitionScheme::Block1D, PartitionScheme::Cyclic] {
+                let mut cfg = DistConfig::non_cached(ranks);
+                cfg.scheme = scheme;
+                let result = DistLcc::new(cfg).run(&g);
+                let context = format!("{name}, {ranks} ranks, {scheme:?}");
+                assert_eq!(result.triangle_count, expected_triangles, "{context}");
+                assert_scores_equal(&result.lcc, &expected, &context);
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_distributed_matches_reference_for_all_cache_sizes() {
+    let g = Dataset::Orkut.generate(DatasetScale::Tiny, 7);
+    let expected = reference::lcc_scores(&g);
+    let expected_triangles = reference::count_triangles(&g);
+    // From a cache too small to hold anything useful to one larger than the graph:
+    // correctness must never depend on the cache configuration.
+    for budget in [64usize, 4 << 10, 256 << 10, 64 << 20] {
+        for mode in [ScoreMode::Lru, ScoreMode::DegreeCentrality] {
+            let mut cfg = DistConfig::cached(4, budget);
+            cfg.score_mode = mode;
+            let result = DistLcc::new(cfg).run(&g);
+            let context = format!("budget {budget}, {mode:?}");
+            assert_eq!(result.triangle_count, expected_triangles, "{context}");
+            assert_scores_equal(&result.lcc, &expected, &context);
+        }
+    }
+}
+
+#[test]
+fn tric_and_async_agree_on_every_graph() {
+    for (name, g) in graphs_under_test() {
+        let asynchronous = DistLcc::new(DistConfig::non_cached(4)).run(&g);
+        let tric = Tric::new(TricConfig::plain(4)).run(&g);
+        let buffered = Tric::new(TricConfig::buffered_with(4, 128)).run(&g);
+        assert_eq!(asynchronous.triangle_count, tric.triangle_count, "{name}");
+        assert_eq!(tric.triangle_count, buffered.triangle_count, "{name}");
+        assert_scores_equal(&asynchronous.lcc, &tric.lcc, &format!("{name} async vs tric"));
+        assert_scores_equal(&tric.lcc, &buffered.lcc, &format!("{name} plain vs buffered"));
+    }
+}
+
+#[test]
+fn double_buffering_and_intersection_method_do_not_change_results() {
+    let g = RmatGenerator::paper(9, 16).generate_cleaned(11).into_csr();
+    let baseline = DistLcc::new(DistConfig::non_cached(4)).run(&g);
+    for method in IntersectMethod::all() {
+        for db in [false, true] {
+            let mut cfg = DistConfig::non_cached(4);
+            cfg.method = method;
+            cfg.double_buffering = db;
+            let result = DistLcc::new(cfg).run(&g);
+            assert_eq!(result.per_vertex_triangles, baseline.per_vertex_triangles);
+        }
+    }
+}
+
+#[test]
+fn relabeling_preserves_triangle_count_through_the_whole_pipeline() {
+    let gen = RmatGenerator::paper(9, 8);
+    let plain = GraphBuilder::from_generator(&gen, 5).build_csr();
+    let relabeled = GraphBuilder::from_generator(&gen, 5)
+        .relabel(rmatc_graph::builder::RelabelStrategy::Random { seed: 123 })
+        .build_csr();
+    let a = DistLcc::new(DistConfig::non_cached(4)).run(&plain);
+    let b = DistLcc::new(DistConfig::non_cached(4)).run(&relabeled);
+    assert_eq!(a.triangle_count, b.triangle_count);
+    // The multiset of LCC scores is permutation-invariant.
+    let mut sa = a.lcc.clone();
+    let mut sb = b.lcc.clone();
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    for (x, y) in sa.iter().zip(sb.iter()) {
+        assert!((x - y).abs() < 1e-12);
+    }
+}
