@@ -4,7 +4,9 @@
 //! partitioning.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rmatc_core::{CacheSpec, DistConfig, DistLcc, IntersectMethod, LocalConfig, LocalLcc, ScoreMode};
+use rmatc_core::{
+    CacheSpec, DistConfig, DistLcc, IntersectMethod, LocalConfig, LocalLcc, ScoreMode,
+};
 use rmatc_graph::gen::{GraphGenerator, RmatGenerator};
 use rmatc_graph::partition::PartitionScheme;
 
@@ -27,8 +29,10 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/eviction_scores");
     group.sample_size(10);
     let pressure_cache = CacheSpec::adjacencies_only(adj_bytes / 8);
-    for (label, mode) in [("lru_positional", ScoreMode::Lru), ("degree", ScoreMode::DegreeCentrality)]
-    {
+    for (label, mode) in [
+        ("lru_positional", ScoreMode::Lru),
+        ("degree", ScoreMode::DegreeCentrality),
+    ] {
         group.bench_function(label, |b| {
             let mut cfg = DistConfig::non_cached(4);
             cfg.cache = Some(pressure_cache);
@@ -56,8 +60,10 @@ fn bench_ablations(c: &mut Criterion) {
     // 4. Block vs cyclic 1D distribution.
     let mut group = c.benchmark_group("ablation/partitioning");
     group.sample_size(10);
-    for (label, scheme) in [("block", PartitionScheme::Block1D), ("cyclic", PartitionScheme::Cyclic)]
-    {
+    for (label, scheme) in [
+        ("block", PartitionScheme::Block1D),
+        ("cyclic", PartitionScheme::Cyclic),
+    ] {
         group.bench_function(label, |b| {
             let mut cfg = DistConfig::non_cached(4);
             cfg.scheme = scheme;

@@ -14,10 +14,14 @@ fn bench_distributed(c: &mut Criterion) {
     group.throughput(Throughput::Elements(g.edge_count()));
     group.sample_size(10);
     for ranks in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("async_non_cached", ranks), &ranks, |b, &r| {
-            let runner = DistLcc::new(DistConfig::non_cached(r));
-            b.iter(|| runner.run(&g))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("async_non_cached", ranks),
+            &ranks,
+            |b, &r| {
+                let runner = DistLcc::new(DistConfig::non_cached(r));
+                b.iter(|| runner.run(&g))
+            },
+        );
         group.bench_with_input(BenchmarkId::new("async_cached", ranks), &ranks, |b, &r| {
             let runner = DistLcc::new(DistConfig::cached(r, cache_budget).with_degree_scores());
             b.iter(|| runner.run(&g))

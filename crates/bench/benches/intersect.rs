@@ -1,11 +1,18 @@
 //! Criterion micro-benchmarks of the intersection kernels (Section II-C / III-C):
-//! SSI vs binary search vs hybrid on balanced and skewed list pairs, sequential and
-//! parallel.
+//! SSI vs binary search vs SIMD vs galloping vs hybrid on balanced and skewed
+//! list pairs, sequential and parallel.
+//!
+//! Pass `--json <path>` after `--` to emit machine-readable results
+//! (`cargo bench --bench intersect -- --json BENCH_intersect.json`); the
+//! committed `BENCH_intersect.json` is this suite's perf trajectory record.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::Rng;
 use rand::SeedableRng;
-use rmatc_core::intersect::{binary_search_count, ssi_count, IntersectMethod, ParallelIntersector};
+use rmatc_core::intersect::{
+    binary_search_count, galloping_count, simd_count, ssi_count, IntersectMethod,
+    ParallelIntersector,
+};
 use rmatc_core::Intersector;
 
 fn sorted_random(rng: &mut impl Rng, len: usize, universe: u32) -> Vec<u32> {
@@ -15,38 +22,50 @@ fn sorted_random(rng: &mut impl Rng, len: usize, universe: u32) -> Vec<u32> {
     v
 }
 
+/// All five sequential kernels on one list pair. `short` must be the shorter
+/// list (the search-class kernels take it as the key array).
+fn bench_pair(c: &mut Criterion, group_name: &str, short: &[u32], long: &[u32], samples: usize) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(samples);
+    group.throughput(Throughput::Elements((short.len() + long.len()) as u64));
+    group.bench_function("ssi", |b| b.iter(|| ssi_count(short, long)));
+    group.bench_function("simd", |b| b.iter(|| simd_count(short, long)));
+    group.bench_function("binary", |b| b.iter(|| binary_search_count(short, long)));
+    group.bench_function("galloping", |b| b.iter(|| galloping_count(short, long)));
+    group.bench_function("hybrid", |b| {
+        let ix = Intersector::new(IntersectMethod::Hybrid);
+        b.iter(|| ix.count(short, long))
+    });
+    group.finish();
+}
+
 fn bench_kernels(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    // The paper's Table III shapes (4k balanced, 1024x skew) plus the
+    // acceptance shapes of this reproduction's kernel upgrades: 64k balanced
+    // for the SIMD merge, 1000x skew for galloping.
     let balanced_a = sorted_random(&mut rng, 4_096, 1 << 20);
     let balanced_b = sorted_random(&mut rng, 4_096, 1 << 20);
-    let skewed_a = sorted_random(&mut rng, 64, 1 << 20);
-    let skewed_b = sorted_random(&mut rng, 65_536, 1 << 20);
+    let big_a = sorted_random(&mut rng, 65_536, 1 << 22);
+    let big_b = sorted_random(&mut rng, 65_536, 1 << 22);
+    // Hub-leaf: few keys against a huge row — the |B| >= |A|^2 regime where
+    // restart binary search is optimal and the hybrid must pick it.
+    let hub_keys = sorted_random(&mut rng, 64, 1 << 20);
+    let hub_hay = sorted_random(&mut rng, 65_536, 1 << 20);
+    // 1000x skew with enough keys (|B| < |A|^2) — galloping's regime.
+    let skew_keys = sorted_random(&mut rng, 4_200, 1 << 25);
+    let skew_hay = sorted_random(&mut rng, 4_200_000, 1 << 25);
 
-    let mut group = c.benchmark_group("intersect/balanced");
-    group.throughput(Throughput::Elements((balanced_a.len() + balanced_b.len()) as u64));
-    group.bench_function("ssi", |b| b.iter(|| ssi_count(&balanced_a, &balanced_b)));
-    group.bench_function("binary", |b| b.iter(|| binary_search_count(&balanced_a, &balanced_b)));
-    group.bench_function("hybrid", |b| {
-        let ix = Intersector::new(IntersectMethod::Hybrid);
-        b.iter(|| ix.count(&balanced_a, &balanced_b))
-    });
-    group.finish();
-
-    let mut group = c.benchmark_group("intersect/skewed");
-    group.throughput(Throughput::Elements((skewed_a.len() + skewed_b.len()) as u64));
-    group.bench_function("ssi", |b| b.iter(|| ssi_count(&skewed_a, &skewed_b)));
-    group.bench_function("binary", |b| b.iter(|| binary_search_count(&skewed_a, &skewed_b)));
-    group.bench_function("hybrid", |b| {
-        let ix = Intersector::new(IntersectMethod::Hybrid);
-        b.iter(|| ix.count(&skewed_a, &skewed_b))
-    });
-    group.finish();
+    bench_pair(c, "intersect/balanced", &balanced_a, &balanced_b, 20);
+    bench_pair(c, "intersect/balanced64k", &big_a, &big_b, 20);
+    bench_pair(c, "intersect/hubleaf1024x", &hub_keys, &hub_hay, 20);
+    bench_pair(c, "intersect/skewed1000x", &skew_keys, &skew_hay, 20);
 
     let mut group = c.benchmark_group("intersect/parallel");
     for threads in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("hybrid", threads), &threads, |b, &t| {
             let ix = ParallelIntersector::new(IntersectMethod::Hybrid, t, 1_024);
-            b.iter(|| ix.count(&balanced_a, &balanced_b))
+            b.iter(|| ix.count(&big_a, &big_b))
         });
     }
     group.finish();

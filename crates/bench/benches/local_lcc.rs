@@ -1,8 +1,13 @@
 //! Criterion benchmarks of the shared-memory LCC/TC kernel (the Table III / Figure 6
-//! code path): edge-centric counting with each intersection method.
+//! code path): edge-centric counting with each intersection method, and the
+//! Figure 6-style comparison of the three parallelization strategies
+//! (intersection-, vertex- and edge-parallel outer loops).
+//!
+//! Pass `--json <path>` after `--` to emit machine-readable results
+//! (`cargo bench --bench local_lcc -- --json BENCH_local_lcc.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rmatc_core::{IntersectMethod, LocalConfig, LocalLcc};
+use rmatc_core::{IntersectMethod, LocalConfig, LocalLcc, LocalParallelism};
 use rmatc_graph::datasets::{Dataset, DatasetScale};
 use rmatc_graph::gen::{GraphGenerator, RmatGenerator};
 
@@ -36,9 +41,33 @@ fn bench_local(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallelism(c: &mut Criterion) {
+    let rmat = RmatGenerator::paper(11, 16).generate_cleaned(1).into_csr();
+    let modes = [
+        ("intersection", LocalParallelism::IntersectionParallel),
+        ("vertex", LocalParallelism::VertexParallel),
+        ("edge", LocalParallelism::EdgeParallel),
+    ];
+    let mut group = c.benchmark_group("local_lcc/parallelism");
+    group.throughput(Throughput::Elements(rmat.edge_count()));
+    group.bench_function("sequential", |b| {
+        let runner = LocalLcc::new(LocalConfig::sequential());
+        b.iter(|| runner.run(&rmat))
+    });
+    for (label, mode) in modes {
+        for threads in [2usize, 4] {
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &t| {
+                let runner = LocalLcc::new(LocalConfig::parallel(t).with_parallelism(mode));
+                b.iter(|| runner.run(&rmat))
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_local
+    targets = bench_local, bench_parallelism
 }
 criterion_main!(benches);

@@ -6,8 +6,8 @@
 //! cached version up to 73% faster than the non-cached one on R-MAT S30 (with a
 //! cache of only 12% of the CSR size), and up to 3.6x over TriC.
 
-use rmatc_bench::{experiment_scale, fmt_ms, seed, Table};
 use rmatc_bench::runs::ranks_large_scale;
+use rmatc_bench::{experiment_scale, fmt_ms, seed, Table};
 use rmatc_core::{DistConfig, DistLcc};
 use rmatc_graph::datasets::Dataset;
 use rmatc_tric::{Tric, TricConfig};
@@ -25,7 +25,13 @@ fn main() {
                 "Figure 10: {} — running time (ms) vs number of computing nodes",
                 ds.short_name()
             ),
-            &["ranks", "LCC non-cached", "LCC cached", "TriC", "cached vs non-cached"],
+            &[
+                "ranks",
+                "LCC non-cached",
+                "LCC cached",
+                "TriC",
+                "cached vs non-cached",
+            ],
         );
         for &ranks in &rank_counts {
             if ranks >= g.vertex_count() {
@@ -36,8 +42,7 @@ fn main() {
                 DistLcc::new(DistConfig::cached(ranks, cache_budget).with_degree_scores()).run(&g);
             let tric = Tric::new(TricConfig::plain(ranks)).run(&g);
             assert_eq!(non_cached.triangle_count, cached.triangle_count);
-            let improvement =
-                1.0 - cached.max_rank_time_ns() / non_cached.max_rank_time_ns();
+            let improvement = 1.0 - cached.max_rank_time_ns() / non_cached.max_rank_time_ns();
             table.row(vec![
                 ranks.to_string(),
                 fmt_ms(non_cached.max_rank_time_ns()),

@@ -9,8 +9,8 @@ use rmatc_graph::partition::{PartitionScheme, PartitionedGraph};
 
 fn main() {
     let g = Dataset::FacebookCircles.generate(DatasetScale::Tiny, seed());
-    let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 2)
-        .expect("two-way partition");
+    let pg =
+        PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 2).expect("two-way partition");
     let counts = reuse::remote_read_counts_from_rank(&pg, 0);
     let hist = reuse::repetition_histogram(&counts);
 
@@ -28,7 +28,10 @@ fn main() {
     let buckets = [1u64, 4, 16, 64, 256, u64::MAX];
     let mut aggregated = vec![0u64; buckets.len()];
     for b in &hist {
-        let idx = buckets.iter().position(|&cap| b.repetitions <= cap).unwrap();
+        let idx = buckets
+            .iter()
+            .position(|&cap| b.repetitions <= cap)
+            .unwrap();
         aggregated[idx] += b.reads;
     }
     for (i, &cap) in buckets.iter().enumerate() {

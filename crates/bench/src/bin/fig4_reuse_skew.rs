@@ -20,7 +20,13 @@ fn main() {
     ];
     let mut table = Table::new(
         "Figure 4: remote reads targeting the top-degree vertices (8 processes, 1D)",
-        &["Graph", "top 10% share (ours)", "top 10% share (paper)", "top 1%", "top 50%"],
+        &[
+            "Graph",
+            "top 10% share (ours)",
+            "top 10% share (paper)",
+            "top 1%",
+            "top 50%",
+        ],
     );
     for (ds, paper_pct) in datasets {
         let g = ds.generate(scale, seed);

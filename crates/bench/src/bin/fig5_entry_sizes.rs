@@ -9,8 +9,8 @@ use rmatc_graph::partition::{PartitionScheme, PartitionedGraph};
 
 fn main() {
     let g = Dataset::FacebookCircles.generate(DatasetScale::Tiny, seed());
-    let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 2)
-        .expect("two-way partition");
+    let pg =
+        PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 2).expect("two-way partition");
     let records = reuse::vertex_reuse(&pg);
 
     // Bucket by degree to produce a readable series instead of one row per vertex.
@@ -18,7 +18,12 @@ fn main() {
     let bucket_width = (max_degree / 12).max(1);
     let mut table = Table::new(
         "Figure 5: remote accesses and C_adj entry size vs vertex degree (2 nodes)",
-        &["degree bucket", "vertices", "avg remote accesses", "avg entry size (B)"],
+        &[
+            "degree bucket",
+            "vertices",
+            "avg remote accesses",
+            "avg entry size (B)",
+        ],
     );
     let mut bucket_start = 0u32;
     while bucket_start <= max_degree {
@@ -28,10 +33,10 @@ fn main() {
             .filter(|r| r.degree >= bucket_start && r.degree < bucket_end)
             .collect();
         if !in_bucket.is_empty() {
-            let avg_reads =
-                in_bucket.iter().map(|r| r.remote_reads as f64).sum::<f64>() / in_bucket.len() as f64;
-            let avg_bytes =
-                in_bucket.iter().map(|r| r.entry_bytes as f64).sum::<f64>() / in_bucket.len() as f64;
+            let avg_reads = in_bucket.iter().map(|r| r.remote_reads as f64).sum::<f64>()
+                / in_bucket.len() as f64;
+            let avg_bytes = in_bucket.iter().map(|r| r.entry_bytes as f64).sum::<f64>()
+                / in_bucket.len() as f64;
             table.row(vec![
                 format!("{bucket_start}..{bucket_end}"),
                 in_bucket.len().to_string(),

@@ -18,13 +18,17 @@ fn rmat(scale: DatasetScale, edge_factor: u32, seed: u64) -> CsrGraph {
         DatasetScale::Small => 15,
         DatasetScale::Medium => 17,
     };
-    RmatGenerator::paper(log_n, edge_factor).generate_cleaned(seed).into_csr()
+    RmatGenerator::paper(log_n, edge_factor)
+        .generate_cleaned(seed)
+        .into_csr()
 }
 
 fn main() {
     let scale = experiment_scale();
     let seed = seed();
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     let graphs: Vec<(String, CsrGraph)> = vec![
         ("R-MAT S20 EF16".to_string(), rmat(scale, 16, seed)),
         ("R-MAT S20 EF32".to_string(), rmat(scale, 32, seed)),
@@ -35,8 +39,10 @@ fn main() {
     header.extend(thread_counts.iter().map(|t| format!("{t} thr")));
     header.push("speedup 1→16".to_string());
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut table =
-        Table::new("Figure 6: shared-memory strong scaling (edges/µs, hybrid method)", &header_refs);
+    let mut table = Table::new(
+        "Figure 6: shared-memory strong scaling (edges/µs, hybrid method)",
+        &header_refs,
+    );
     for (name, g) in &graphs {
         let mut cells = vec![name.clone()];
         let mut first = 0.0;
@@ -54,7 +60,10 @@ fn main() {
             last = m.median;
             cells.push(format!("{:.3}", m.median));
         }
-        cells.push(format!("{:.2}x", if first > 0.0 { last / first } else { 0.0 }));
+        cells.push(format!(
+            "{:.2}x",
+            if first > 0.0 { last / first } else { 0.0 }
+        ));
         table.row(cells);
     }
     table.print();

@@ -21,7 +21,9 @@ fn main() {
         DatasetScale::Medium => 18,
     };
     // The paper's instance is scale 20 with edge factor 16 (2^24 edges).
-    let g = RmatGenerator::paper(log_n, 16).generate_cleaned(seed).into_csr();
+    let g = RmatGenerator::paper(log_n, 16)
+        .generate_cleaned(seed)
+        .into_csr();
     let ranks = 2;
     let n = g.vertex_count();
     let adj_bytes = g.edge_count() as usize * 4;
@@ -40,19 +42,31 @@ fn main() {
 
     let mut offsets_table = Table::new(
         "Figure 7 (left): offsets cache only — communication time and miss rate",
-        &["relative size", "capacity", "comm time (ms)", "vs non-cached", "miss rate", "compulsory"],
+        &[
+            "relative size",
+            "capacity",
+            "comm time (ms)",
+            "vs non-cached",
+            "miss rate",
+            "compulsory",
+        ],
     );
     for &f in &fractions {
         let capacity = ((offsets_full as f64) * f) as usize;
         let mut cfg = DistConfig::non_cached(ranks);
         cfg.cache = Some(CacheSpec::offsets_only(capacity));
         let result = DistLcc::new(cfg).run(&g);
-        let stats = result.offsets_cache_totals().expect("offsets cache enabled");
+        let stats = result
+            .offsets_cache_totals()
+            .expect("offsets cache enabled");
         offsets_table.row(vec![
             format!("{f:.2}"),
             format!("{:.1} KiB", capacity as f64 / 1024.0),
             fmt_ms(result.max_comm_time_ns()),
-            format!("{:.1}%", 100.0 * (1.0 - result.max_comm_time_ns() / baseline_comm)),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - result.max_comm_time_ns() / baseline_comm)
+            ),
             format!("{:.3}", stats.miss_rate()),
             format!("{:.3}", stats.compulsory_miss_rate()),
         ]);
@@ -61,19 +75,31 @@ fn main() {
 
     let mut adj_table = Table::new(
         "Figure 7 (right): adjacencies cache only — communication time and miss rate",
-        &["relative size", "capacity", "comm time (ms)", "vs non-cached", "miss rate", "compulsory"],
+        &[
+            "relative size",
+            "capacity",
+            "comm time (ms)",
+            "vs non-cached",
+            "miss rate",
+            "compulsory",
+        ],
     );
     for &f in &fractions {
         let capacity = ((adj_bytes as f64) * f) as usize;
         let mut cfg = DistConfig::non_cached(ranks);
         cfg.cache = Some(CacheSpec::adjacencies_only(capacity));
         let result = DistLcc::new(cfg).run(&g);
-        let stats = result.adjacency_cache_totals().expect("adjacency cache enabled");
+        let stats = result
+            .adjacency_cache_totals()
+            .expect("adjacency cache enabled");
         adj_table.row(vec![
             format!("{f:.2}"),
             format!("{:.1} KiB", capacity as f64 / 1024.0),
             fmt_ms(result.max_comm_time_ns()),
-            format!("{:.1}%", 100.0 * (1.0 - result.max_comm_time_ns() / baseline_comm)),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - result.max_comm_time_ns() / baseline_comm)
+            ),
             format!("{:.3}", stats.miss_rate()),
             format!("{:.3}", stats.compulsory_miss_rate()),
         ]);

@@ -18,7 +18,9 @@ fn main() {
         DatasetScale::Small => 15,
         DatasetScale::Medium => 18,
     };
-    let g = RmatGenerator::paper(log_n, 16).generate_cleaned(seed).into_csr();
+    let g = RmatGenerator::paper(log_n, 16)
+        .generate_cleaned(seed)
+        .into_csr();
     let adj_bytes = g.edge_count() as f64 * 4.0;
 
     let mut table = Table::new(
@@ -46,9 +48,17 @@ fn main() {
         };
         let lru = run(ScoreMode::Lru);
         let degree = run(ScoreMode::DegreeCentrality);
-        let lru_read = lru.ranks.iter().map(|r| r.avg_remote_read_ns()).sum::<f64>()
+        let lru_read = lru
+            .ranks
+            .iter()
+            .map(|r| r.avg_remote_read_ns())
+            .sum::<f64>()
             / lru.ranks.len() as f64;
-        let deg_read = degree.ranks.iter().map(|r| r.avg_remote_read_ns()).sum::<f64>()
+        let deg_read = degree
+            .ranks
+            .iter()
+            .map(|r| r.avg_remote_read_ns())
+            .sum::<f64>()
             / degree.ranks.len() as f64;
         let lru_stats = lru.adjacency_cache_totals().expect("cache enabled");
         let deg_stats = degree.adjacency_cache_totals().expect("cache enabled");

@@ -28,7 +28,14 @@ fn main() {
                 "Figure 9: {} — running time (ms) vs number of computing nodes",
                 ds.short_name()
             ),
-            &["ranks", "LCC non-cached", "LCC cached", "TriC", "TriC buffered", "remote edges"],
+            &[
+                "ranks",
+                "LCC non-cached",
+                "LCC cached",
+                "TriC",
+                "TriC buffered",
+                "remote edges",
+            ],
         );
         let mut first_noncached = None;
         let mut last_noncached = None;

@@ -17,7 +17,9 @@ fn rmat(scale: DatasetScale, edge_factor: u32, seed: u64) -> CsrGraph {
         DatasetScale::Small => 15,
         DatasetScale::Medium => 17,
     };
-    RmatGenerator::paper(log_n, edge_factor).generate_cleaned(seed).into_csr()
+    RmatGenerator::paper(log_n, edge_factor)
+        .generate_cleaned(seed)
+        .into_csr()
 }
 
 fn main() {
@@ -28,12 +30,20 @@ fn main() {
         ("R-MAT S20 EF8".to_string(), rmat(scale, 8, seed)),
         ("R-MAT S20 EF16".to_string(), rmat(scale, 16, seed)),
         ("R-MAT S20 EF32".to_string(), rmat(scale, 32, seed)),
-        ("LiveJournal".to_string(), Dataset::LiveJournal.generate(scale, seed)),
+        (
+            "LiveJournal".to_string(),
+            Dataset::LiveJournal.generate(scale, seed),
+        ),
         ("Orkut".to_string(), Dataset::Orkut.generate(scale, seed)),
     ];
+    // Header follows IntersectMethod::all(): the paper's three columns plus
+    // this reproduction's SIMD and galloping kernel upgrades.
+    let mut header = vec!["Name".to_string()];
+    header.extend(IntersectMethod::all().iter().map(|m| m.label().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = Table::new(
         "Table III: edges processed per microsecond (16 threads)",
-        &["Name", "Hybrid", "SSI", "Binary search"],
+        &header_refs,
     );
     for (name, g) in &graphs {
         let mut cells = vec![name.clone()];

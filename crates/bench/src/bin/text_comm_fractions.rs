@@ -15,7 +15,12 @@ fn main() {
     let rmat = Dataset::RmatS21Ef16.generate(scale, seed);
     let mut table = Table::new(
         "Section IV-D: R-MAT S21 EF16 — remote edges and communication share",
-        &["ranks", "remote edge fraction", "comm share of total", "avg per-rank gets"],
+        &[
+            "ranks",
+            "remote edge fraction",
+            "comm share of total",
+            "avg per-rank gets",
+        ],
     );
     for ranks in ranks_small_scale() {
         let result = DistLcc::new(DistConfig::non_cached(ranks)).run(&rmat);
@@ -43,7 +48,12 @@ fn main() {
     let cache_budget = (lj.csr_size_bytes() as usize) / 2;
     let mut misses = Table::new(
         "Section IV-D: LiveJournal — compulsory misses vs rank count (cached run)",
-        &["ranks", "compulsory miss rate", "overall miss rate", "hit rate"],
+        &[
+            "ranks",
+            "compulsory miss rate",
+            "overall miss rate",
+            "hit rate",
+        ],
     );
     for ranks in ranks_small_scale() {
         let cfg = DistConfig::cached(ranks, cache_budget).with_degree_scores();

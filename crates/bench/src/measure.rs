@@ -22,7 +22,12 @@ impl Measurement {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
         let median = percentile(&sorted, 0.5);
         let (ci_low, ci_high) = median_ci95(&sorted);
-        Self { median, ci_low, ci_high, samples }
+        Self {
+            median,
+            ci_low,
+            ci_high,
+            samples,
+        }
     }
 
     /// Half-width of the confidence interval relative to the median.
@@ -124,7 +129,9 @@ mod tests {
 
     #[test]
     fn noisy_samples_give_wide_ci() {
-        let samples: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 10.0 } else { 1000.0 }).collect();
+        let samples: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 10.0 } else { 1000.0 })
+            .collect();
         let m = Measurement::from_samples(samples);
         assert!(!m.is_tight(0.05));
     }
@@ -142,7 +149,10 @@ mod tests {
             0.05,
         );
         assert_eq!(m.median, 42.0);
-        assert_eq!(calls, 5, "stable samples should stop at the minimum repetitions");
+        assert_eq!(
+            calls, 5,
+            "stable samples should stop at the minimum repetitions"
+        );
     }
 
     #[test]

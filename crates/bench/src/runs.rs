@@ -6,7 +6,11 @@ use rmatc_graph::datasets::DatasetScale;
 /// Reads the experiment scale from the `RMATC_SCALE` environment variable
 /// (`tiny` / `small` / `medium`, default `tiny`).
 pub fn experiment_scale() -> DatasetScale {
-    match std::env::var("RMATC_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("RMATC_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "medium" => DatasetScale::Medium,
         "small" => DatasetScale::Small,
         _ => DatasetScale::Tiny,
@@ -15,22 +19,35 @@ pub fn experiment_scale() -> DatasetScale {
 
 /// Deterministic seed shared by all experiments; override with `RMATC_SEED`.
 pub fn seed() -> u64 {
-    std::env::var("RMATC_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+    std::env::var("RMATC_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
 }
 
 /// The node counts of the paper's small-scale experiments (Figures 8 and 9).
 /// Override with `RMATC_MAX_RANKS` to cap the sweep.
 pub fn ranks_small_scale() -> Vec<usize> {
-    let cap: usize =
-        std::env::var("RMATC_MAX_RANKS").ok().and_then(|s| s.parse().ok()).unwrap_or(64);
-    [4usize, 8, 16, 32, 64].into_iter().filter(|&r| r <= cap).collect()
+    let cap: usize = std::env::var("RMATC_MAX_RANKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    [4usize, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&r| r <= cap)
+        .collect()
 }
 
 /// The node counts of the paper's large-scale experiments (Figure 10).
 pub fn ranks_large_scale() -> Vec<usize> {
-    let cap: usize =
-        std::env::var("RMATC_MAX_RANKS").ok().and_then(|s| s.parse().ok()).unwrap_or(512);
-    [128usize, 256, 512].into_iter().filter(|&r| r <= cap).collect()
+    let cap: usize = std::env::var("RMATC_MAX_RANKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    [128usize, 256, 512]
+        .into_iter()
+        .filter(|&r| r <= cap)
+        .collect()
 }
 
 /// Formats nanoseconds as milliseconds with three significant decimals.

@@ -76,8 +76,9 @@ impl AdaptiveState {
             return Some(AdaptiveAction::GrowTable { new_slots });
         }
         if eviction_rate > cfg.eviction_threshold && current_capacity < cfg.max_capacity_bytes {
-            let new_capacity =
-                (current_capacity + current_capacity / 2).min(cfg.max_capacity_bytes).max(1);
+            let new_capacity = (current_capacity + current_capacity / 2)
+                .min(cfg.max_capacity_bytes)
+                .max(1);
             return Some(AdaptiveAction::GrowCapacity { new_capacity });
         }
         None
@@ -117,7 +118,10 @@ mod tests {
         for _ in 0..5 {
             st.record_conflict();
         }
-        assert_eq!(st.decide(&cfg(), 8, 100), Some(AdaptiveAction::GrowTable { new_slots: 16 }));
+        assert_eq!(
+            st.decide(&cfg(), 8, 100),
+            Some(AdaptiveAction::GrowTable { new_slots: 16 })
+        );
         // The window resets after a decision.
         assert_eq!(st.accesses(), 0);
     }
@@ -158,7 +162,9 @@ mod tests {
         }
         assert_eq!(
             st.decide(&cfg(), 64, 900),
-            Some(AdaptiveAction::GrowCapacity { new_capacity: 1_000 })
+            Some(AdaptiveAction::GrowCapacity {
+                new_capacity: 1_000
+            })
         );
     }
 
@@ -179,6 +185,9 @@ mod tests {
             st.record_conflict();
             st.record_space_eviction();
         }
-        assert!(matches!(st.decide(&cfg(), 8, 100), Some(AdaptiveAction::GrowTable { .. })));
+        assert!(matches!(
+            st.decide(&cfg(), 8, 100),
+            Some(AdaptiveAction::GrowTable { .. })
+        ));
     }
 }

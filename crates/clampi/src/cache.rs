@@ -260,8 +260,8 @@ impl<T: Clone> Clampi<T> {
 
     /// Victim score of an entry: larger means more evictable.
     fn victim_score(&self, entry: &Entry<T>) -> f64 {
-        let age = (self.clock.saturating_sub(entry.last_access)) as f64
-            / (self.clock.max(1)) as f64;
+        let age =
+            (self.clock.saturating_sub(entry.last_access)) as f64 / (self.clock.max(1)) as f64;
         match self.config.scoring {
             ScorePolicy::LruPositional => {
                 let (before, after) = self.freelist.adjacency_to_free(entry.addr, entry.bytes);
@@ -334,9 +334,12 @@ impl<T: Clone> Clampi<T> {
     }
 
     fn maybe_adapt(&mut self) {
-        let Some(adaptive_cfg) = self.config.adaptive else { return };
+        let Some(adaptive_cfg) = self.config.adaptive else {
+            return;
+        };
         let action =
-            self.adaptive.decide(&adaptive_cfg, self.slots.len(), self.freelist.capacity());
+            self.adaptive
+                .decide(&adaptive_cfg, self.slots.len(), self.freelist.capacity());
         match action {
             Some(AdaptiveAction::GrowTable { new_slots }) => {
                 // Growing the hash table invalidates slot assignments: flush, as the
@@ -384,7 +387,10 @@ mod tests {
     fn miss_then_hit() {
         let mut c = cache(1024, 64);
         assert!(c.lookup(key(0, 4)).is_none());
-        assert_eq!(c.insert(key(0, 4), vec![1, 2, 3, 4], 0.0), CacheInsertOutcome::Inserted);
+        assert_eq!(
+            c.insert(key(0, 4), vec![1, 2, 3, 4], 0.0),
+            CacheInsertOutcome::Inserted
+        );
         let hit = c.lookup(key(0, 4)).expect("must hit after insert");
         assert_eq!(*hit, vec![1, 2, 3, 4]);
         assert_eq!(c.stats().hits, 1);
@@ -399,7 +405,10 @@ mod tests {
         c.insert(key(2, 2), vec![3, 4], 0.0);
         assert_eq!(*c.lookup(key(0, 2)).unwrap(), vec![1, 2]);
         assert_eq!(*c.lookup(key(2, 2)).unwrap(), vec![3, 4]);
-        assert!(c.lookup(key(0, 4)).is_none(), "a different length is a different region");
+        assert!(
+            c.lookup(key(0, 4)).is_none(),
+            "a different length is a different region"
+        );
     }
 
     #[test]
@@ -431,7 +440,10 @@ mod tests {
         c.insert(key(4, 4), vec![1; 4], 0.0);
         assert_eq!(c.len(), 2);
         let outcome = c.insert(key(8, 4), vec![2; 4], 0.0);
-        assert!(matches!(outcome, CacheInsertOutcome::InsertedAfterEvicting(_)));
+        assert!(matches!(
+            outcome,
+            CacheInsertOutcome::InsertedAfterEvicting(_)
+        ));
         assert_eq!(c.len(), 2);
         assert!(c.stats().capacity_evictions >= 1);
         assert_eq!(c.occupied_bytes(), 32);
@@ -462,7 +474,10 @@ mod tests {
         // Under plain LRU the high-score entry would be the victim; with application
         // scores the low-score entry goes instead.
         c.insert(key(8, 4), vec![2; 4], 1.0);
-        assert!(c.lookup(key(0, 4)).is_some(), "high-score entry must be protected");
+        assert!(
+            c.lookup(key(0, 4)).is_some(),
+            "high-score entry must be protected"
+        );
     }
 
     #[test]
@@ -473,12 +488,18 @@ mod tests {
         c.insert(key(0, 4), vec![0; 4], 500.0);
         c.insert(key(4, 4), vec![1; 4], 400.0);
         // A low-degree entry should not displace them (admission control)...
-        assert_eq!(c.insert(key(8, 4), vec![2; 4], 3.0), CacheInsertOutcome::NotCached);
+        assert_eq!(
+            c.insert(key(8, 4), vec![2; 4], 3.0),
+            CacheInsertOutcome::NotCached
+        );
         assert!(c.lookup(key(0, 4)).is_some());
         assert!(c.lookup(key(4, 4)).is_some());
         // ...but a higher-degree entry still evicts its way in.
         let outcome = c.insert(key(12, 4), vec![3; 4], 900.0);
-        assert!(matches!(outcome, CacheInsertOutcome::InsertedAfterEvicting(_)));
+        assert!(matches!(
+            outcome,
+            CacheInsertOutcome::InsertedAfterEvicting(_)
+        ));
         assert!(c.lookup(key(12, 4)).is_some());
     }
 
@@ -498,7 +519,10 @@ mod tests {
     fn reinserting_same_key_refreshes_data() {
         let mut c = cache(1024, 16);
         c.insert(key(0, 2), vec![1, 2], 0.0);
-        assert_eq!(c.insert(key(0, 2), vec![9, 9], 5.0), CacheInsertOutcome::Inserted);
+        assert_eq!(
+            c.insert(key(0, 2), vec![9, 9], 5.0),
+            CacheInsertOutcome::Inserted
+        );
         assert_eq!(c.len(), 1);
         assert_eq!(*c.lookup(key(0, 2)).unwrap(), vec![9, 9]);
     }
@@ -529,7 +553,11 @@ mod tests {
         let mut always: Clampi<u32> = Clampi::new(ClampiConfig::always_cache(1024, 16));
         always.insert(key(0, 2), vec![1, 2], 0.0);
         always.end_epoch();
-        assert_eq!(always.len(), 1, "always-cache mode must persist across epochs");
+        assert_eq!(
+            always.len(),
+            1,
+            "always-cache mode must persist across epochs"
+        );
     }
 
     #[test]
@@ -589,7 +617,10 @@ mod tests {
         c.insert(key(20, 2), vec![0; 2], 0.0); // 8 B
         c.insert(key(30, 1), vec![0; 1], 0.0); // 4 B
         let outcome = c.insert(key(40, 6), vec![0; 6], 0.0); // 24 B
-        assert!(matches!(outcome, CacheInsertOutcome::InsertedAfterEvicting(_)));
+        assert!(matches!(
+            outcome,
+            CacheInsertOutcome::InsertedAfterEvicting(_)
+        ));
         assert!(c.lookup(key(40, 6)).is_some());
         assert!(c.occupied_bytes() <= 40);
     }

@@ -23,7 +23,10 @@ pub struct CachedWindow<T> {
 impl<T: Copy + Send + Sync> CachedWindow<T> {
     /// Wraps `window` with a cache configured by `config`.
     pub fn new(window: Window<T>, config: ClampiConfig) -> Self {
-        Self { window, cache: Clampi::new(config) }
+        Self {
+            window,
+            cache: Clampi::new(config),
+        }
     }
 
     /// The underlying window.
@@ -103,10 +106,7 @@ mod tests {
     use rmatc_rma::NetworkModel;
 
     fn setup() -> (Window<u32>, Endpoint) {
-        let window = Window::from_parts(vec![
-            (0..100u32).collect(),
-            (1000..1100u32).collect(),
-        ]);
+        let window = Window::from_parts(vec![(0..100u32).collect(), (1000..1100u32).collect()]);
         let mut ep = Endpoint::new(0, 2, NetworkModel::aries());
         ep.lock_all();
         (window, ep)
@@ -121,7 +121,11 @@ mod tests {
         let gets_after_first = ep.stats().gets;
         let b = cw.get(&mut ep, 1, 10, 5);
         assert_eq!(*a, *b);
-        assert_eq!(ep.stats().gets, gets_after_first, "second read must not hit the network");
+        assert_eq!(
+            ep.stats().gets,
+            gets_after_first,
+            "second read must not hit the network"
+        );
         assert_eq!(cw.stats().hits, 1);
         assert_eq!(cw.stats().misses, 1);
     }
@@ -133,7 +137,11 @@ mod tests {
         let _ = cw.get(&mut ep, 1, 0, 50);
         let miss_time = ep.stats().comm_time_ns;
         let _ = cw.get(&mut ep, 1, 0, 50);
-        assert_eq!(ep.stats().comm_time_ns, miss_time, "hits charge no network time");
+        assert_eq!(
+            ep.stats().comm_time_ns,
+            miss_time,
+            "hits charge no network time"
+        );
         assert!(ep.stats().local_time_ns > 0.0);
     }
 

@@ -126,8 +126,9 @@ impl ClampiConfig {
     /// [`ClampiConfig::offsets_table_slots`].
     pub fn adjacency_table_slots(n: usize, capacity_fraction: f64) -> usize {
         let alpha = 2.0;
-        (2.0 * (n as f64) * capacity_fraction.clamp(0.0, 1.0).powf(alpha)).ceil().max(16.0)
-            as usize
+        (2.0 * (n as f64) * capacity_fraction.clamp(0.0, 1.0).powf(alpha))
+            .ceil()
+            .max(16.0) as usize
     }
 }
 
@@ -146,7 +147,9 @@ mod tests {
 
     #[test]
     fn builder_style_modifiers() {
-        let c = ClampiConfig::always_cache(1024, 64).with_application_scores().with_adaptive();
+        let c = ClampiConfig::always_cache(1024, 64)
+            .with_application_scores()
+            .with_adaptive();
         assert_eq!(c.scoring, ScorePolicy::ApplicationScore);
         assert!(c.adaptive.is_some());
     }
@@ -164,7 +167,10 @@ mod tests {
         // C_offsets will roughly equal n/2" — the expected entry count is
         // capacity/16 with the real 16-byte (start, end) entries; the slot count is
         // twice that to keep the direct-indexed table's load factor low.
-        assert_eq!(ClampiConfig::offsets_table_slots(1 << 20, 16), 2 * (1 << 20) / 16);
+        assert_eq!(
+            ClampiConfig::offsets_table_slots(1 << 20, 16),
+            2 * (1 << 20) / 16
+        );
     }
 
     #[test]
@@ -174,6 +180,9 @@ mod tests {
         assert_eq!(slots, 500_000);
         // Degenerate fractions clamp cleanly.
         assert!(ClampiConfig::adjacency_table_slots(100, 0.0) >= 16);
-        assert_eq!(ClampiConfig::adjacency_table_slots(1_000_000, 1.0), 2_000_000);
+        assert_eq!(
+            ClampiConfig::adjacency_table_slots(1_000_000, 1.0),
+            2_000_000
+        );
     }
 }

@@ -21,7 +21,12 @@ pub struct EntryKey {
 impl EntryKey {
     /// Creates a key.
     pub fn new(window: WindowId, target: usize, offset: usize, len: usize) -> Self {
-        Self { window, target, offset, len }
+        Self {
+            window,
+            target,
+            offset,
+            len,
+        }
     }
 
     /// Hash-table slot for this key given `slots` total slots. A simple multiplicative
@@ -29,7 +34,12 @@ impl EntryKey {
     pub fn slot(&self, slots: usize) -> usize {
         debug_assert!(slots > 0);
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for v in [self.window.0, self.target as u64, self.offset as u64, self.len as u64] {
+        for v in [
+            self.window.0,
+            self.target as u64,
+            self.offset as u64,
+            self.len as u64,
+        ] {
             h ^= v;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
@@ -92,6 +102,10 @@ mod tests {
         for off in 0..1000 {
             used.insert(key(off).slot(slots));
         }
-        assert!(used.len() > slots / 2, "hash too degenerate: {} slots used", used.len());
+        assert!(
+            used.len() > slots / 2,
+            "hash too degenerate: {} slots used",
+            used.len()
+        );
     }
 }

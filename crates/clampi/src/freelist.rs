@@ -87,7 +87,10 @@ impl FreeList {
         let mut start = addr;
         let mut len = size;
         if let Some((&prev_addr, &prev_len)) = self.free.range(..addr).next_back() {
-            assert!(prev_addr + prev_len <= addr, "double free / overlap detected");
+            assert!(
+                prev_addr + prev_len <= addr,
+                "double free / overlap detected"
+            );
             if prev_addr + prev_len == addr {
                 self.free.remove(&prev_addr);
                 start = prev_addr;
@@ -124,7 +127,10 @@ impl FreeList {
     /// heuristic when it enlarges the memory buffer (which, unlike growing the hash
     /// table, does not require flushing the cache).
     pub fn grow(&mut self, new_capacity: usize) {
-        assert!(new_capacity >= self.capacity, "cannot shrink the buffer with grow()");
+        assert!(
+            new_capacity >= self.capacity,
+            "cannot shrink the buffer with grow()"
+        );
         if new_capacity == self.capacity {
             return;
         }

@@ -99,7 +99,12 @@ mod tests {
 
     #[test]
     fn rates_sum_to_one() {
-        let s = CacheStats { hits: 30, misses: 70, compulsory_misses: 20, ..Default::default() };
+        let s = CacheStats {
+            hits: 30,
+            misses: 70,
+            compulsory_misses: 20,
+            ..Default::default()
+        };
         assert!((s.hit_rate() + s.miss_rate() - 1.0).abs() < 1e-12);
         assert!((s.compulsory_miss_rate() - 0.2).abs() < 1e-12);
         assert_eq!(s.lookups(), 100);
@@ -107,14 +112,29 @@ mod tests {
 
     #[test]
     fn evictions_sum_both_kinds() {
-        let s = CacheStats { capacity_evictions: 3, conflict_evictions: 4, ..Default::default() };
+        let s = CacheStats {
+            capacity_evictions: 3,
+            conflict_evictions: 4,
+            ..Default::default()
+        };
         assert_eq!(s.evictions(), 7);
     }
 
     #[test]
     fn merge_adds_all_counters() {
-        let mut a = CacheStats { hits: 1, misses: 2, bytes_from_cache: 10, ..Default::default() };
-        let b = CacheStats { hits: 5, misses: 1, bytes_from_network: 3, flushes: 1, ..Default::default() };
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            bytes_from_cache: 10,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            hits: 5,
+            misses: 1,
+            bytes_from_network: 3,
+            flushes: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.hits, 6);
         assert_eq!(a.misses, 3);

@@ -86,11 +86,9 @@ impl CacheSpec {
             .offsets_bytes
             .unwrap_or(((n_global as f64) * 0.8) as usize)
             .min(self.total_bytes);
-        let adj_bytes = self.total_bytes.saturating_sub(if self.cache_offsets {
-            offsets_bytes
-        } else {
-            0
-        });
+        let adj_bytes =
+            self.total_bytes
+                .saturating_sub(if self.cache_offsets { offsets_bytes } else { 0 });
         let offsets_cfg = if self.cache_offsets && offsets_bytes > 0 {
             let slots = ClampiConfig::offsets_table_slots(offsets_bytes, 16);
             let mut cfg = ClampiConfig::always_cache(offsets_bytes, slots);
@@ -116,7 +114,10 @@ impl CacheSpec {
         } else {
             None
         };
-        ResolvedCaches { offsets: offsets_cfg, adjacencies: adj_cfg }
+        ResolvedCaches {
+            offsets: offsets_cfg,
+            adjacencies: adj_cfg,
+        }
     }
 }
 
@@ -165,7 +166,10 @@ impl DistConfig {
 
     /// Cached configuration with the paper's budget split.
     pub fn cached(ranks: usize, cache_bytes: usize) -> Self {
-        Self { cache: Some(CacheSpec::paper(cache_bytes)), ..Self::non_cached(ranks) }
+        Self {
+            cache: Some(CacheSpec::paper(cache_bytes)),
+            ..Self::non_cached(ranks)
+        }
     }
 
     /// Switches the adjacency-cache eviction score to degree centrality.
@@ -213,7 +217,9 @@ mod tests {
 
     #[test]
     fn adaptive_flag_propagates() {
-        let resolved = CacheSpec::paper(1 << 20).with_adaptive().resolve(1_000, 1 << 20);
+        let resolved = CacheSpec::paper(1 << 20)
+            .with_adaptive()
+            .resolve(1_000, 1 << 20);
         assert!(resolved.offsets.unwrap().adaptive.is_some());
         assert!(resolved.adjacencies.unwrap().adaptive.is_some());
     }

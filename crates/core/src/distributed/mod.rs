@@ -65,7 +65,9 @@ impl DistLcc {
     pub fn run_partitioned(&self, pg: &PartitionedGraph) -> DistResult {
         let windows = GraphWindows::build(pg);
         let cfg = &self.config;
-        let outputs = run_ranks(cfg.ranks, |rank| worker::run_worker(rank, pg, &windows, cfg));
+        let outputs = run_ranks(cfg.ranks, |rank| {
+            worker::run_worker(rank, pg, &windows, cfg)
+        });
         report::assemble(pg, cfg, outputs)
     }
 }
@@ -102,10 +104,17 @@ mod tests {
         let expected = reference::lcc_scores(&g);
         for ranks in [1, 2, 4, 8] {
             let result = DistLcc::new(base_config(ranks)).run(&g);
-            assert_eq!(result.triangle_count, reference::count_triangles(&g), "p = {ranks}");
+            assert_eq!(
+                result.triangle_count,
+                reference::count_triangles(&g),
+                "p = {ranks}"
+            );
             assert_eq!(result.lcc.len(), expected.len());
             for (v, (a, b)) in result.lcc.iter().zip(expected.iter()).enumerate() {
-                assert!((a - b).abs() < 1e-12, "vertex {v}: {a} vs {b} at p = {ranks}");
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "vertex {v}: {a} vs {b} at p = {ranks}"
+                );
             }
         }
     }

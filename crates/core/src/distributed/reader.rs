@@ -28,11 +28,7 @@ pub struct RemoteReader {
 impl RemoteReader {
     /// Builds the reader for one rank. `caches` carries the resolved per-window
     /// CLaMPI configurations (or `None` entries for non-cached windows).
-    pub fn new(
-        windows: &GraphWindows,
-        caches: &ResolvedCaches,
-        config: &DistConfig,
-    ) -> Self {
+    pub fn new(windows: &GraphWindows, caches: &ResolvedCaches, config: &DistConfig) -> Self {
         Self {
             offsets_plain: windows.offsets.clone(),
             adj_plain: windows.adjacencies.clone(),
@@ -48,7 +44,14 @@ impl RemoteReader {
 
     /// Builds a reader with no caching at all.
     pub fn non_cached(windows: &GraphWindows, config: &DistConfig) -> Self {
-        Self::new(windows, &ResolvedCaches { offsets: None, adjacencies: None }, config)
+        Self::new(
+            windows,
+            &ResolvedCaches {
+                offsets: None,
+                adjacencies: None,
+            },
+            config,
+        )
     }
 
     /// Reads the adjacency list of the vertex with local index `local_idx` on rank
@@ -137,8 +140,8 @@ mod tests {
     #[test]
     fn cached_reader_returns_exact_adjacency_and_hits_on_reuse() {
         let (pg, windows, config) = setup();
-        let caches =
-            CacheSpec::paper(1 << 20).resolve(pg.global_vertex_count(), windows.adjacency_bytes() as u64);
+        let caches = CacheSpec::paper(1 << 20)
+            .resolve(pg.global_vertex_count(), windows.adjacency_bytes() as u64);
         let mut reader = RemoteReader::new(&windows, &caches, &config);
         let mut ep = Endpoint::new(0, 2, config.network);
         ep.lock_all();
@@ -151,9 +154,15 @@ mod tests {
         }
         ep.unlock_all();
         let adj_stats = reader.adjacency_cache_stats().unwrap();
-        assert!(adj_stats.hits > 0, "second round must hit the adjacency cache");
+        assert!(
+            adj_stats.hits > 0,
+            "second round must hit the adjacency cache"
+        );
         let off_stats = reader.offsets_cache_stats().unwrap();
-        assert!(off_stats.hits > 0, "second round must hit the offsets cache");
+        assert!(
+            off_stats.hits > 0,
+            "second round must hit the offsets cache"
+        );
     }
 
     #[test]

@@ -67,8 +67,7 @@ impl RankReport {
     /// the y-axis of Figure 8 (left).
     pub fn avg_remote_read_ns(&self) -> f64 {
         let reads = self.remote_edges.max(1);
-        (self.timing.comm_ns + self.timing.overlapped_ns + self.timing.local_ns)
-            / reads as f64
+        (self.timing.comm_ns + self.timing.overlapped_ns + self.timing.local_ns) / reads as f64
     }
 }
 
@@ -93,12 +92,18 @@ impl DistResult {
     /// The paper reports "the median of the longest-running node": the running time
     /// of a configuration is the maximum total time over its ranks.
     pub fn max_rank_time_ns(&self) -> f64 {
-        self.ranks.iter().map(|r| r.timing.total_ns()).fold(0.0, f64::max)
+        self.ranks
+            .iter()
+            .map(|r| r.timing.total_ns())
+            .fold(0.0, f64::max)
     }
 
     /// Maximum modeled communication time over ranks.
     pub fn max_comm_time_ns(&self) -> f64 {
-        self.ranks.iter().map(|r| r.timing.comm_ns).fold(0.0, f64::max)
+        self.ranks
+            .iter()
+            .map(|r| r.timing.comm_ns)
+            .fold(0.0, f64::max)
     }
 
     /// Total RMA gets across ranks.
@@ -250,7 +255,12 @@ mod tests {
 
     #[test]
     fn timing_breakdown_totals_and_fractions() {
-        let t = TimingBreakdown { compute_ns: 100.0, comm_ns: 300.0, local_ns: 0.0, overlapped_ns: 50.0 };
+        let t = TimingBreakdown {
+            compute_ns: 100.0,
+            comm_ns: 300.0,
+            local_ns: 0.0,
+            overlapped_ns: 50.0,
+        };
         assert_eq!(t.total_ns(), 400.0);
         assert!((t.comm_fraction() - 0.75).abs() < 1e-12);
         assert_eq!(TimingBreakdown::default().comm_fraction(), 0.0);
@@ -282,9 +292,17 @@ mod tests {
     #[test]
     fn cache_totals_merge_across_ranks() {
         let mut a = report(0, 1.0, 1.0);
-        a.adjacency_cache = Some(CacheStats { hits: 5, misses: 5, ..Default::default() });
+        a.adjacency_cache = Some(CacheStats {
+            hits: 5,
+            misses: 5,
+            ..Default::default()
+        });
         let mut b = report(1, 1.0, 1.0);
-        b.adjacency_cache = Some(CacheStats { hits: 15, misses: 5, ..Default::default() });
+        b.adjacency_cache = Some(CacheStats {
+            hits: 15,
+            misses: 5,
+            ..Default::default()
+        });
         let r = result(vec![a, b]);
         let totals = r.adjacency_cache_totals().unwrap();
         assert_eq!(totals.hits, 20);

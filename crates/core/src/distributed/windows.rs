@@ -18,10 +18,16 @@ pub struct GraphWindows {
 impl GraphWindows {
     /// Exposes the CSR arrays of every partition.
     pub fn build(pg: &PartitionedGraph) -> Self {
-        let offsets_parts: Vec<Vec<u64>> =
-            pg.partitions.iter().map(|p| p.csr.offsets().to_vec()).collect();
-        let adj_parts: Vec<Vec<VertexId>> =
-            pg.partitions.iter().map(|p| p.csr.adjacencies().to_vec()).collect();
+        let offsets_parts: Vec<Vec<u64>> = pg
+            .partitions
+            .iter()
+            .map(|p| p.csr.offsets().to_vec())
+            .collect();
+        let adj_parts: Vec<Vec<VertexId>> = pg
+            .partitions
+            .iter()
+            .map(|p| p.csr.adjacencies().to_vec())
+            .collect();
         Self {
             offsets: Window::from_parts(offsets_parts),
             adjacencies: Window::from_parts(adj_parts),

@@ -6,7 +6,7 @@ use super::config::{DistConfig, ResolvedCaches};
 use super::reader::RemoteReader;
 use super::windows::GraphWindows;
 use crate::intersect::ParallelIntersector;
-use crate::local::count_closing;
+use crate::local::count_closing_at;
 use rmatc_clampi::CacheStats;
 use rmatc_graph::partition::PartitionedGraph;
 use rmatc_rma::{Endpoint, RankStats, ThreadTimer};
@@ -45,7 +45,10 @@ pub fn run_worker(
     let n_global = pg.global_vertex_count();
     let caches = match &config.cache {
         Some(spec) => spec.resolve(n_global, windows.adjacency_bytes() as u64),
-        None => ResolvedCaches { offsets: None, adjacencies: None },
+        None => ResolvedCaches {
+            offsets: None,
+            adjacencies: None,
+        },
     };
     let mut reader = RemoteReader::new(windows, &caches, config);
     let mut ep = Endpoint::new(rank, config.ranks, config.network);
@@ -63,23 +66,26 @@ pub fn run_worker(
     // no synchronization with any other rank in between.
     ep.lock_all();
     let timer = ThreadTimer::start();
-    for local_idx in 0..part.local_vertex_count() {
+    for (local_idx, triangles_slot) in local_triangles.iter_mut().enumerate() {
         let adj_u = part.neighbours_of_local(local_idx);
         let mut triangles = 0u64;
-        for &v in adj_u {
+        // `v` walks `adj_u` in sorted order, so the upper-triangle suffix of
+        // `adj_u` is just `adj_u[k + 1..]` — the same O(1) incremental offset
+        // the shared-memory path uses (`count_closing_at`).
+        for (k, &v) in adj_u.iter().enumerate() {
             edges_processed += 1;
             let owner = pg.partitioner.owner(v);
             let count = if owner == rank {
                 // Neighbour owned locally: its row is in this rank's partition.
                 let v_local = pg.partitioner.local_index(v);
                 let adj_v = part.neighbours_of_local(v_local);
-                triangles_for_edge(direction, adj_u, adj_v, v, &intersector)
+                triangles_for_edge(direction, adj_u, adj_v, v, k, &intersector)
             } else {
                 remote_edges += 1;
                 let v_local = pg.partitioner.local_index(v);
                 let adj_v = reader.read_adjacency(&mut ep, owner, v_local);
                 let compute_start = timer.elapsed_ns();
-                let c = triangles_for_edge(direction, adj_u, &adj_v, v, &intersector);
+                let c = triangles_for_edge(direction, adj_u, &adj_v, v, k, &intersector);
                 if config.double_buffering {
                     // Double buffering: the computation of this edge overlaps the
                     // communication of the next one, so bank its duration as overlap
@@ -90,7 +96,7 @@ pub fn run_worker(
             };
             triangles += count;
         }
-        local_triangles[local_idx] = triangles;
+        *triangles_slot = triangles;
     }
     let compute_ns = timer.elapsed_ns();
     ep.unlock_all();
@@ -112,9 +118,10 @@ fn triangles_for_edge(
     adj_u: &[rmatc_graph::types::VertexId],
     adj_v: &[rmatc_graph::types::VertexId],
     v: rmatc_graph::types::VertexId,
+    neighbour_idx: usize,
     intersector: &ParallelIntersector,
 ) -> u64 {
-    count_closing(direction, adj_u, adj_v, v, intersector)
+    count_closing_at(direction, adj_u, adj_v, v, neighbour_idx, intersector)
 }
 
 #[cfg(test)]

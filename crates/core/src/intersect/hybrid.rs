@@ -1,29 +1,58 @@
-//! The hybrid method selection rule (Section III-C, Eq. 3).
+//! The hybrid method selection rule (Section III-C, Eq. 3), extended from the
+//! paper's two kernels to a three-way cost model over four kernels.
 //!
-//! Comparing the asymptotic costs `O(|A| · log |B|)` (binary search) and
-//! `O(|A| + |B|)` (SSI) for `|A| ≤ |B|` gives the rule: SSI is faster when
-//! `|B| / |A| ≤ log2(|B|) − 1`. The hybrid method evaluates this per edge, so that
-//! hub–leaf edges use binary search and balanced edges use SSI — which Table III
-//! shows beats either method used exclusively.
+//! Comparing the asymptotic costs `O(|A| · log |B|)` (search-class kernels)
+//! and `O(|A| + |B|)` (merge-class kernels) for `|A| ≤ |B|` gives the paper's
+//! rule: merging is faster when `|B| / |A| ≤ log2(|B|) − 1`. The hybrid method
+//! evaluates this per edge, so hub–leaf edges use a search kernel and balanced
+//! edges use a merge kernel — which Table III shows beats either class used
+//! exclusively.
+//!
+//! This reproduction keeps Eq. (3) as the class boundary but upgrades the
+//! kernel chosen *within* each class:
+//!
+//! * merge class — [`simd_count`](super::simd::simd_count) (block-compare
+//!   SIMD/branchless) instead of scalar SSI;
+//! * search class — [`galloping_count`](super::galloping::galloping_count)
+//!   (exponential probing with a running cursor) instead of
+//!   restart-from-zero binary search.
+//!
+//! The upgraded kernels dominate asymptotically but not on every small or
+//! cache-resident shape (e.g. scalar SSI edges out SIMD on ~4k-element pairs,
+//! and restart binary search wins when `|B| >= |A|²` — which is why the
+//! search class itself is split in two). The Eq. (3) crossover is therefore
+//! kept as the paper's approximation of the class boundary, not re-derived
+//! per kernel; `BENCH_intersect.json` records the measured shapes.
 
 /// Which intersection kernel to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum IntersectMethod {
-    /// Always use sorted set intersection.
+    /// Always use scalar sorted set intersection (Algorithm 2).
     SortedSetIntersection,
-    /// Always use binary search (shorter list as keys).
+    /// Always use binary search, shorter list as keys (Algorithm 1).
     BinarySearch,
-    /// Decide per pair with Eq. (3).
+    /// Always use the SIMD/branchless block-compare merge kernel.
+    Simd,
+    /// Always use galloping search, shorter list as keys.
+    Galloping,
+    /// Decide per pair with the three-way cost model: Eq. (3) picks the class
+    /// ([`Simd`](IntersectMethod::Simd) merge for balanced pairs, search for
+    /// skewed ones) and the probe model picks the search kernel
+    /// ([`Galloping`](IntersectMethod::Galloping) when `|B| < |A|²`, else
+    /// [`BinarySearch`](IntersectMethod::BinarySearch)).
     Hybrid,
 }
 
 impl IntersectMethod {
-    /// All methods, in the order of Table III's columns.
-    pub fn all() -> [IntersectMethod; 3] {
+    /// All methods, in the order of Table III's columns (the paper's three
+    /// first, then this reproduction's kernel upgrades).
+    pub fn all() -> [IntersectMethod; 5] {
         [
             IntersectMethod::Hybrid,
             IntersectMethod::SortedSetIntersection,
             IntersectMethod::BinarySearch,
+            IntersectMethod::Simd,
+            IntersectMethod::Galloping,
         ]
     }
 
@@ -33,6 +62,17 @@ impl IntersectMethod {
             IntersectMethod::Hybrid => "Hybrid",
             IntersectMethod::SortedSetIntersection => "SSI",
             IntersectMethod::BinarySearch => "Binary search",
+            IntersectMethod::Simd => "SIMD",
+            IntersectMethod::Galloping => "Galloping",
+        }
+    }
+
+    /// Resolves the per-pair decision: `Hybrid` applies the three-way cost
+    /// model ([`select_kernel`]), every other method is already concrete.
+    pub fn resolve(self, short_len: usize, long_len: usize) -> IntersectMethod {
+        match self {
+            IntersectMethod::Hybrid => select_kernel(short_len, long_len),
+            concrete => concrete,
         }
     }
 }
@@ -43,8 +83,9 @@ impl std::fmt::Display for IntersectMethod {
     }
 }
 
-/// Eq. (3): for `short_len ≤ long_len`, returns true when SSI is expected to be
-/// faster than binary search.
+/// Eq. (3): for `short_len ≤ long_len`, returns true when a merge-class kernel
+/// (SSI / SIMD) is expected to beat a search-class kernel (binary search /
+/// galloping).
 pub fn ssi_is_faster(short_len: usize, long_len: usize) -> bool {
     debug_assert!(short_len <= long_len);
     if short_len == 0 || long_len == 0 {
@@ -52,6 +93,37 @@ pub fn ssi_is_faster(short_len: usize, long_len: usize) -> bool {
     }
     let ratio = long_len as f64 / short_len as f64;
     ratio <= (long_len as f64).log2() - 1.0
+}
+
+/// Within the search class: returns true when galloping is expected to beat
+/// restart-from-zero binary search.
+///
+/// With `|A|` uniformly spread keys the cursor advances `|B| / |A|` positions
+/// per key on average, so galloping pays `≈ 2·log2(|B| / |A|)` probes per key
+/// (exponential probe + window binary search) against binary search's
+/// `log2(|B|)` — galloping wins exactly when `|B| < |A|²`. Its probes are also
+/// nearly sequential while binary search's are random, so past the cache the
+/// inequality is conservative in galloping's favour.
+pub fn galloping_is_faster(short_len: usize, long_len: usize) -> bool {
+    debug_assert!(short_len <= long_len);
+    if short_len == 0 || long_len == 0 {
+        return true;
+    }
+    let gap = (long_len as f64 / short_len as f64).max(1.0);
+    2.0 * gap.log2() < (long_len as f64).log2()
+}
+
+/// The three-way cost model: Eq. (3) decides merge vs search, and the probe
+/// model above decides which search kernel. Returns the concrete kernel for a
+/// `(short, long)` pair.
+pub fn select_kernel(short_len: usize, long_len: usize) -> IntersectMethod {
+    if ssi_is_faster(short_len, long_len) {
+        IntersectMethod::Simd
+    } else if galloping_is_faster(short_len, long_len) {
+        IntersectMethod::Galloping
+    } else {
+        IntersectMethod::BinarySearch
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +169,44 @@ mod tests {
     #[test]
     fn labels_match_table3_columns() {
         let labels: Vec<&str> = IntersectMethod::all().iter().map(|m| m.label()).collect();
-        assert_eq!(labels, vec!["Hybrid", "SSI", "Binary search"]);
+        assert_eq!(
+            labels,
+            vec!["Hybrid", "SSI", "Binary search", "SIMD", "Galloping"]
+        );
+    }
+
+    #[test]
+    fn hybrid_resolves_by_class() {
+        // Balanced: merge class, SIMD kernel.
+        assert_eq!(
+            IntersectMethod::Hybrid.resolve(1024, 1024),
+            IntersectMethod::Simd
+        );
+        // Extreme skew with few keys (|B| >= |A|^2): restart binary search.
+        assert_eq!(
+            IntersectMethod::Hybrid.resolve(64, 65_536),
+            IntersectMethod::BinarySearch
+        );
+        // Large skew with enough keys (|B| < |A|^2): galloping amortizes.
+        assert_eq!(
+            IntersectMethod::Hybrid.resolve(4_096, 4_000_000),
+            IntersectMethod::Galloping
+        );
+        // Concrete methods resolve to themselves regardless of shape.
+        for m in IntersectMethod::all() {
+            if m != IntersectMethod::Hybrid {
+                assert_eq!(m.resolve(1, 1_000_000), m);
+                assert_eq!(m.resolve(500, 500), m);
+            }
+        }
+    }
+
+    #[test]
+    fn galloping_rule_is_the_square_boundary() {
+        assert!(galloping_is_faster(1_000, 999_000 / 2));
+        assert!(!galloping_is_faster(100, 100_000));
+        // Degenerate inputs never panic and default to galloping.
+        assert!(galloping_is_faster(0, 0));
+        assert!(galloping_is_faster(0, 50));
     }
 }

@@ -4,15 +4,27 @@
 //! The paper uses two kernels — binary search and sorted set intersection (SSI) —
 //! plus a hybrid rule (Eq. 3) that picks per edge, and parallelizes the intersection
 //! itself across threads (Section III-C).
+//!
+//! This reproduction extends the suite with two faster kernels in the same two
+//! cost classes, selected by the same Eq. (3) boundary:
+//!
+//! * [`simd`] — branchless/SIMD block-compare merge (`O(|A| + |B|)`), the
+//!   merge-class upgrade of SSI;
+//! * [`galloping`] — exponential-probe search with a running cursor
+//!   (`O(|A| · (1 + log(|B|/|A|)))`), the search-class upgrade of binary search.
 
 pub mod binary;
+pub mod galloping;
 pub mod hybrid;
 pub mod parallel;
+pub mod simd;
 pub mod ssi;
 
 pub use binary::binary_search_count;
-pub use hybrid::{ssi_is_faster, IntersectMethod};
+pub use galloping::galloping_count;
+pub use hybrid::{galloping_is_faster, select_kernel, ssi_is_faster, IntersectMethod};
 pub use parallel::ParallelIntersector;
+pub use simd::simd_count;
 pub use ssi::ssi_count;
 
 use rmatc_graph::types::VertexId;
@@ -36,17 +48,13 @@ impl Intersector {
 
     /// Counts `|a ∩ b|` for two sorted, duplicate-free slices.
     pub fn count(&self, a: &[VertexId], b: &[VertexId]) -> u64 {
-        match self.method {
-            IntersectMethod::SortedSetIntersection => ssi_count(a, b),
-            IntersectMethod::BinarySearch => binary_search_count(a, b),
-            IntersectMethod::Hybrid => {
-                let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-                if ssi_is_faster(short.len(), long.len()) {
-                    ssi_count(short, long)
-                } else {
-                    binary_search_count(short, long)
-                }
-            }
+        let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        match self.method.resolve(short.len(), long.len()) {
+            IntersectMethod::SortedSetIntersection => ssi_count(short, long),
+            IntersectMethod::BinarySearch => binary_search_count(short, long),
+            IntersectMethod::Simd => simd_count(short, long),
+            IntersectMethod::Galloping => galloping_count(short, long),
+            IntersectMethod::Hybrid => unreachable!("resolve() returns a concrete method"),
         }
     }
 }
@@ -59,23 +67,19 @@ mod tests {
     fn all_methods_agree_on_simple_inputs() {
         let a = &[1, 3, 5, 7, 9, 11];
         let b = &[2, 3, 4, 5, 6, 7, 20];
-        for method in [
-            IntersectMethod::SortedSetIntersection,
-            IntersectMethod::BinarySearch,
-            IntersectMethod::Hybrid,
-        ] {
+        for method in IntersectMethod::all() {
             assert_eq!(Intersector::new(method).count(a, b), 3, "{method:?}");
-            assert_eq!(Intersector::new(method).count(b, a), 3, "{method:?} swapped");
+            assert_eq!(
+                Intersector::new(method).count(b, a),
+                3,
+                "{method:?} swapped"
+            );
         }
     }
 
     #[test]
     fn empty_inputs_yield_zero() {
-        for method in [
-            IntersectMethod::SortedSetIntersection,
-            IntersectMethod::BinarySearch,
-            IntersectMethod::Hybrid,
-        ] {
+        for method in IntersectMethod::all() {
             let ix = Intersector::new(method);
             assert_eq!(ix.count(&[], &[1, 2, 3]), 0);
             assert_eq!(ix.count(&[1, 2, 3], &[]), 0);
@@ -86,12 +90,26 @@ mod tests {
     #[test]
     fn identical_lists_intersect_fully() {
         let a: Vec<u32> = (0..1000).map(|x| x * 3).collect();
-        for method in [
-            IntersectMethod::SortedSetIntersection,
-            IntersectMethod::BinarySearch,
-            IntersectMethod::Hybrid,
-        ] {
+        for method in IntersectMethod::all() {
             assert_eq!(Intersector::new(method).count(&a, &a), 1000);
+        }
+    }
+
+    #[test]
+    fn methods_agree_on_hub_leaf_skew() {
+        let small = vec![10u32, 500_000, 900_000];
+        let big: Vec<u32> = (0..1_000_000).step_by(2).collect();
+        for method in IntersectMethod::all() {
+            assert_eq!(
+                Intersector::new(method).count(&small, &big),
+                3,
+                "{method:?}"
+            );
+            assert_eq!(
+                Intersector::new(method).count(&big, &small),
+                3,
+                "{method:?}"
+            );
         }
     }
 }

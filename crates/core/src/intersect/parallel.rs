@@ -1,15 +1,19 @@
 //! Shared-memory parallel intersection (Section III-C).
 //!
 //! The paper parallelizes the *intersection itself* rather than distributing edges
-//! across threads, to keep thread imbalance low: for binary search the key (shorter)
-//! array is split into equal chunks, for SSI the longer array is split and every
-//! thread intersects its chunk with the shorter list. A cut-off avoids paying the
-//! fork/join overhead on small intersections, and the paper further reduces the cost
-//! of entering parallel regions with `OMP_WAIT_POLICY=active`; rayon's persistent
-//! work-stealing pool plays that role here.
+//! across threads, to keep thread imbalance low: for search-class kernels (binary
+//! search, galloping) the key (shorter) array is split into equal chunks, for
+//! merge-class kernels (SSI, SIMD) the longer array is split and every thread
+//! intersects its chunk with the relevant window of the shorter list. A cut-off
+//! avoids paying the fork/join overhead on small intersections, and the paper
+//! further reduces the cost of entering parallel regions with
+//! `OMP_WAIT_POLICY=active`; rayon's persistent work-stealing pool plays that role
+//! here.
 
 use super::binary::binary_search_count;
-use super::hybrid::{ssi_is_faster, IntersectMethod};
+use super::galloping::{galloping_count, galloping_count_range};
+use super::hybrid::IntersectMethod;
+use super::simd::{simd_count, simd_count_chunk};
 use super::ssi::{ssi_count, ssi_count_chunk};
 use rayon::prelude::*;
 use rmatc_graph::types::VertexId;
@@ -31,7 +35,11 @@ impl ParallelIntersector {
     /// Creates a parallel intersector. `chunks` is typically the number of threads
     /// (the paper uses up to 16); values below 1 are clamped to 1.
     pub fn new(method: IntersectMethod, chunks: usize, cutoff: usize) -> Self {
-        Self { method, chunks: chunks.max(1), cutoff }
+        Self {
+            method,
+            chunks: chunks.max(1),
+            cutoff,
+        }
     }
 
     /// Creates an intersector with the default cut-off.
@@ -47,44 +55,66 @@ impl ParallelIntersector {
     /// Counts `|a ∩ b|`, using the parallel kernels above the cut-off.
     pub fn count(&self, a: &[VertexId], b: &[VertexId]) -> u64 {
         let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-        let use_ssi = match self.method {
-            IntersectMethod::SortedSetIntersection => true,
-            IntersectMethod::BinarySearch => false,
-            IntersectMethod::Hybrid => ssi_is_faster(short.len(), long.len()),
-        };
-        let sequential = self.chunks == 1 || long.len() < self.cutoff;
-        match (use_ssi, sequential) {
-            (true, true) => ssi_count(short, long),
-            (false, true) => binary_search_count(short, long),
-            (true, false) => self.parallel_ssi(short, long),
-            (false, false) => self.parallel_binary(short, long),
+        let method = self.method.resolve(short.len(), long.len());
+        if self.chunks == 1 || long.len() < self.cutoff {
+            return match method {
+                IntersectMethod::SortedSetIntersection => ssi_count(short, long),
+                IntersectMethod::BinarySearch => binary_search_count(short, long),
+                IntersectMethod::Simd => simd_count(short, long),
+                IntersectMethod::Galloping => galloping_count(short, long),
+                IntersectMethod::Hybrid => unreachable!("resolve() returns a concrete method"),
+            };
+        }
+        match method {
+            IntersectMethod::SortedSetIntersection => {
+                self.parallel_merge(short, long, ssi_count_chunk)
+            }
+            IntersectMethod::Simd => self.parallel_merge(short, long, simd_count_chunk),
+            IntersectMethod::BinarySearch => {
+                self.parallel_search(short, long, |keys, hay, range| {
+                    binary_search_count(&keys[range], hay)
+                })
+            }
+            IntersectMethod::Galloping => self.parallel_search(short, long, galloping_count_range),
+            IntersectMethod::Hybrid => unreachable!("resolve() returns a concrete method"),
         }
     }
 
-    /// Parallel SSI: split the longer array into chunks, each thread intersects its
-    /// chunk against (the relevant window of) the shorter array.
-    fn parallel_ssi(&self, short: &[VertexId], long: &[VertexId]) -> u64 {
+    /// Parallel merge-class kernel: split the longer array into chunks, each
+    /// thread intersects its chunk against (the relevant window of) the
+    /// shorter array.
+    fn parallel_merge(
+        &self,
+        short: &[VertexId],
+        long: &[VertexId],
+        kernel: impl Fn(&[VertexId], &[VertexId], std::ops::Range<usize>) -> u64 + Sync,
+    ) -> u64 {
         let chunk = long.len().div_ceil(self.chunks).max(1);
         (0..self.chunks)
             .into_par_iter()
             .map(|c| {
                 let start = (c * chunk).min(long.len());
                 let end = (start + chunk).min(long.len());
-                ssi_count_chunk(short, long, start..end)
+                kernel(short, long, start..end)
             })
             .sum()
     }
 
-    /// Parallel binary search: split the key (shorter) array into chunks, each
-    /// thread looks its keys up in the longer array.
-    fn parallel_binary(&self, short: &[VertexId], long: &[VertexId]) -> u64 {
+    /// Parallel search-class kernel: split the key (shorter) array into chunks,
+    /// each thread looks its keys up in the longer array.
+    fn parallel_search(
+        &self,
+        short: &[VertexId],
+        long: &[VertexId],
+        kernel: impl Fn(&[VertexId], &[VertexId], std::ops::Range<usize>) -> u64 + Sync,
+    ) -> u64 {
         let chunk = short.len().div_ceil(self.chunks).max(1);
         (0..self.chunks)
             .into_par_iter()
             .map(|c| {
                 let start = (c * chunk).min(short.len());
                 let end = (start + chunk).min(short.len());
-                binary_search_count(&short[start..end], long)
+                kernel(short, long, start..end)
             })
             .sum()
     }
@@ -132,9 +162,11 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        let ix = ParallelIntersector::with_default_cutoff(IntersectMethod::Hybrid, 4);
-        assert_eq!(ix.count(&[], &[1, 2, 3]), 0);
-        assert_eq!(ix.count(&[], &[]), 0);
+        for method in IntersectMethod::all() {
+            let ix = ParallelIntersector::with_default_cutoff(method, 4);
+            assert_eq!(ix.count(&[], &[1, 2, 3]), 0, "{method:?}");
+            assert_eq!(ix.count(&[], &[]), 0, "{method:?}");
+        }
     }
 
     #[test]
@@ -145,10 +177,12 @@ mod tests {
 
     #[test]
     fn hub_leaf_intersections_are_correct() {
-        // Extremely skewed pair, the case the hybrid rule routes to binary search.
+        // Extremely skewed pair, the case the hybrid rule routes to galloping.
         let small = vec![10u32, 500_000, 900_000];
         let big: Vec<u32> = (0..1_000_000).step_by(2).collect();
-        let ix = ParallelIntersector::new(IntersectMethod::Hybrid, 8, 1024);
-        assert_eq!(ix.count(&small, &big), 3);
+        for method in IntersectMethod::all() {
+            let ix = ParallelIntersector::new(method, 8, 1024);
+            assert_eq!(ix.count(&small, &big), 3, "{method:?}");
+        }
     }
 }

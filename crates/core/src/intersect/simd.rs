@@ -1,0 +1,269 @@
+//! SIMD / branchless sorted-set-intersection kernel.
+//!
+//! The scalar SSI of Algorithm 2 compares one element per step behind an
+//! unpredictable branch — on the ~6%-density adjacency intersections of R-MAT
+//! graphs that branch mispredicts constantly and the kernel runs far below
+//! one comparison per cycle. This module replaces it with block comparisons:
+//!
+//! * On `x86_64`, 4-wide SSE2 (always available) or 8-wide AVX2 (runtime
+//!   detected once) all-pairs block comparison — the "V1" kernel of
+//!   Schlegel/Lemire-style SIMD intersection: load one block from each list,
+//!   compare every pair of lanes with rotations, popcount the match mask, and
+//!   advance the block whose maximum is smaller. Every step retires 4 (resp.
+//!   8) elements of one list with two branches total.
+//! * Everywhere else, a branch-free scalar merge whose index advances are
+//!   computed with comparison masks instead of taken branches.
+//!
+//! Both paths are exact drop-in replacements for [`ssi_count`]: same inputs
+//! (sorted, duplicate-free), same count, `O(|A| + |B|)` work.
+//!
+//! [`ssi_count`]: super::ssi::ssi_count
+
+use rmatc_graph::types::VertexId;
+
+/// Counts `|a ∩ b|` for two sorted, duplicate-free slices using the fastest
+/// block-compare kernel available on this CPU.
+pub fn simd_count(a: &[VertexId], b: &[VertexId]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_available() {
+            // SAFETY: `avx2_available` just confirmed the CPU supports AVX2.
+            return unsafe { avx2::count(a, b) };
+        }
+        // SSE2 is part of the x86_64 baseline.
+        unsafe { sse2::count(a, b) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        branchless_count(a, b)
+    }
+}
+
+/// Chunked variant for the shared-memory parallel kernel: intersects
+/// `long[range]` against the relevant window of `short` (same contract as
+/// [`ssi_count_chunk`]).
+///
+/// [`ssi_count_chunk`]: super::ssi::ssi_count_chunk
+pub fn simd_count_chunk(
+    short: &[VertexId],
+    long: &[VertexId],
+    range: std::ops::Range<usize>,
+) -> u64 {
+    if range.is_empty() || short.is_empty() {
+        return 0;
+    }
+    let chunk = &long[range];
+    let lo = short.partition_point(|&x| x < chunk[0]);
+    let hi = short.partition_point(|&x| x <= *chunk.last().expect("chunk not empty"));
+    simd_count(&short[lo..hi], chunk)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static AVX2: AtomicU8 = AtomicU8::new(0);
+    match AVX2.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let detected = std::arch::is_x86_feature_detected!("avx2");
+            AVX2.store(if detected { 1 } else { 2 }, Ordering::Relaxed);
+            detected
+        }
+    }
+}
+
+/// Branch-free scalar merge: the cursor advances are data-dependent adds, not
+/// taken branches, so the only branch left is the (perfectly predicted) loop
+/// bound. Used as the portable fallback and for the SIMD kernels' tails.
+pub fn branchless_count(a: &[VertexId], b: &[VertexId]) -> u64 {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        let x = a[i];
+        let y = b[j];
+        count += u64::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    count
+}
+
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use super::branchless_count;
+    use rmatc_graph::types::VertexId;
+    use std::arch::x86_64::*;
+
+    /// 4-wide all-pairs block intersection.
+    ///
+    /// SSE2 is unconditionally available on `x86_64`, so this needs no runtime
+    /// check; it is still `unsafe` because of the raw loads.
+    pub unsafe fn count(a: &[VertexId], b: &[VertexId]) -> u64 {
+        const W: usize = 4;
+        let a_blocks = a.len() & !(W - 1);
+        let b_blocks = b.len() & !(W - 1);
+        let mut i = 0usize;
+        let mut j = 0usize;
+        let mut count = 0u64;
+        if a_blocks > 0 && b_blocks > 0 {
+            loop {
+                let va = _mm_loadu_si128(a.as_ptr().add(i).cast());
+                let vb = _mm_loadu_si128(b.as_ptr().add(j).cast());
+                // Compare va against every rotation of vb: each a-lane can
+                // match at most one b value (lists are duplicate-free), so the
+                // OR of the four equality masks has one bit per matching lane.
+                let m0 = _mm_cmpeq_epi32(va, vb);
+                let m1 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32::<0b00_11_10_01>(vb));
+                let m2 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32::<0b01_00_11_10>(vb));
+                let m3 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32::<0b10_01_00_11>(vb));
+                let m = _mm_or_si128(_mm_or_si128(m0, m1), _mm_or_si128(m2, m3));
+                count += _mm_movemask_ps(_mm_castsi128_ps(m)).count_ones() as u64;
+                // Advance the block with the smaller maximum (both on a tie);
+                // everything skipped has been compared against all candidates.
+                let a_max = *a.get_unchecked(i + W - 1);
+                let b_max = *b.get_unchecked(j + W - 1);
+                i += W * usize::from(a_max <= b_max);
+                j += W * usize::from(b_max <= a_max);
+                if i >= a_blocks || j >= b_blocks {
+                    break;
+                }
+            }
+        }
+        count + branchless_count(&a[i..], &b[j..])
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::branchless_count;
+    use rmatc_graph::types::VertexId;
+    use std::arch::x86_64::*;
+
+    /// 8-wide all-pairs block intersection (rotations via cross-lane permutes).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn count(a: &[VertexId], b: &[VertexId]) -> u64 {
+        const W: usize = 8;
+        let a_blocks = a.len() & !(W - 1);
+        let b_blocks = b.len() & !(W - 1);
+        let mut i = 0usize;
+        let mut j = 0usize;
+        let mut count = 0u64;
+        if a_blocks > 0 && b_blocks > 0 {
+            let rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+            loop {
+                let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+                let mut vb = _mm256_loadu_si256(b.as_ptr().add(j).cast());
+                let mut m = _mm256_cmpeq_epi32(va, vb);
+                // Seven single-lane rotations cover all remaining pairs.
+                for _ in 0..W - 1 {
+                    vb = _mm256_permutevar8x32_epi32(vb, rot1);
+                    m = _mm256_or_si256(m, _mm256_cmpeq_epi32(va, vb));
+                }
+                count += _mm256_movemask_ps(_mm256_castsi256_ps(m)).count_ones() as u64;
+                let a_max = *a.get_unchecked(i + W - 1);
+                let b_max = *b.get_unchecked(j + W - 1);
+                i += W * usize::from(a_max <= b_max);
+                j += W * usize::from(b_max <= a_max);
+                if i >= a_blocks || j >= b_blocks {
+                    break;
+                }
+            }
+        }
+        count + branchless_count(&a[i..], &b[j..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersect::ssi::ssi_count;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn random_sorted(rng: &mut impl Rng, len: usize, universe: u32) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..len).map(|_| rng.gen_range(0..universe)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn matches_ssi_on_random_lists() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..200 {
+            let la = rng.gen_range(0..400);
+            let lb = rng.gen_range(0..400);
+            let a = random_sorted(&mut rng, la, 600);
+            let b = random_sorted(&mut rng, lb, 600);
+            assert_eq!(simd_count(&a, &b), ssi_count(&a, &b), "a={a:?} b={b:?}");
+            assert_eq!(branchless_count(&a, &b), ssi_count(&a, &b));
+        }
+    }
+
+    #[test]
+    fn handles_blocks_and_tails() {
+        // Lengths straddling every block-width boundary for both SSE and AVX2.
+        for la in [0usize, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33] {
+            for lb in [0usize, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33] {
+                let a: Vec<u32> = (0..la as u32).map(|x| x * 2).collect();
+                let b: Vec<u32> = (0..lb as u32).map(|x| x * 3).collect();
+                assert_eq!(simd_count(&a, &b), ssi_count(&a, &b), "la={la} lb={lb}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_disjoint_and_all_equal() {
+        let a: Vec<u32> = (0..1000).collect();
+        assert_eq!(simd_count(&a, &a), 1000);
+        let evens: Vec<u32> = (0..1000).map(|x| x * 2).collect();
+        let odds: Vec<u32> = (0..1000).map(|x| x * 2 + 1).collect();
+        assert_eq!(simd_count(&evens, &odds), 0);
+        assert_eq!(simd_count(&[], &a), 0);
+        assert_eq!(simd_count(&a, &[]), 0);
+        assert_eq!(simd_count(&[], &[]), 0);
+    }
+
+    /// The dispatcher only exercises one x86 path per machine; test both
+    /// explicitly so the SSE2 kernel is covered on AVX2 hosts too.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse2_and_avx2_paths_agree_with_scalar() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        for _ in 0..100 {
+            let la = rng.gen_range(0..300);
+            let lb = rng.gen_range(0..300);
+            let a = random_sorted(&mut rng, la, 500);
+            let b = random_sorted(&mut rng, lb, 500);
+            let expected = ssi_count(&a, &b);
+            // SAFETY: SSE2 is part of the x86_64 baseline.
+            assert_eq!(unsafe { super::sse2::count(&a, &b) }, expected);
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 support was just verified.
+                assert_eq!(unsafe { super::avx2::count(&a, &b) }, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_values_are_not_special() {
+        let a = vec![0u32, 1, u32::MAX - 1, u32::MAX];
+        let b = vec![0u32, 2, u32::MAX];
+        assert_eq!(simd_count(&a, &b), 2);
+    }
+
+    #[test]
+    fn chunked_sum_matches_full_count() {
+        let short: Vec<u32> = (0..300).map(|x| x * 3).collect();
+        let long: Vec<u32> = (0..1500).collect();
+        let full = simd_count(&short, &long);
+        let mut split = 0;
+        for start in (0..1500).step_by(131) {
+            let end = (start + 131).min(1500);
+            split += simd_count_chunk(&short, &long, start..end);
+        }
+        assert_eq!(full, split);
+        assert_eq!(simd_count_chunk(&[], &long, 0..10), 0);
+        assert_eq!(simd_count_chunk(&short, &long, 5..5), 0);
+    }
+}

@@ -71,8 +71,12 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         for _ in 0..50 {
-            let mut a: Vec<u32> = (0..rng.gen_range(0..300)).map(|_| rng.gen_range(0..400)).collect();
-            let mut b: Vec<u32> = (0..rng.gen_range(0..300)).map(|_| rng.gen_range(0..400)).collect();
+            let mut a: Vec<u32> = (0..rng.gen_range(0..300))
+                .map(|_| rng.gen_range(0..400))
+                .collect();
+            let mut b: Vec<u32> = (0..rng.gen_range(0..300))
+                .map(|_| rng.gen_range(0..400))
+                .collect();
             a.sort_unstable();
             a.dedup();
             b.sort_unstable();

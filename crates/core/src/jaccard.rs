@@ -57,7 +57,11 @@ impl JaccardResult {
     /// The `k` most similar edges, sorted by descending Jaccard score.
     pub fn top_k(&self, k: usize) -> Vec<EdgeSimilarity> {
         let mut sorted = self.edges.clone();
-        sorted.sort_by(|a, b| b.jaccard.partial_cmp(&a.jaccard).expect("scores are not NaN"));
+        sorted.sort_by(|a, b| {
+            b.jaccard
+                .partial_cmp(&a.jaccard)
+                .expect("scores are not NaN")
+        });
         sorted.truncate(k);
         sorted
     }
@@ -69,7 +73,10 @@ impl JaccardResult {
 
     /// Maximum modeled communication time over ranks, in nanoseconds.
     pub fn max_comm_time_ns(&self) -> f64 {
-        self.rank_stats.iter().map(|s| s.comm_time_ns).fold(0.0, f64::max)
+        self.rank_stats
+            .iter()
+            .map(|s| s.comm_time_ns)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -98,14 +105,13 @@ impl DistJaccard {
         let windows = GraphWindows::build(pg);
         let cfg = &self.config;
         let caches = match &cfg.cache {
-            Some(spec) => {
-                spec.resolve(pg.global_vertex_count(), windows.adjacency_bytes() as u64)
-            }
-            None => ResolvedCaches { offsets: None, adjacencies: None },
+            Some(spec) => spec.resolve(pg.global_vertex_count(), windows.adjacency_bytes() as u64),
+            None => ResolvedCaches {
+                offsets: None,
+                adjacencies: None,
+            },
         };
-        let outputs = run_ranks(cfg.ranks, |rank| {
-            run_rank(rank, pg, &windows, cfg, &caches)
-        });
+        let outputs = run_ranks(cfg.ranks, |rank| run_rank(rank, pg, &windows, cfg, &caches));
         let mut edges = Vec::new();
         let mut rank_stats = Vec::with_capacity(cfg.ranks);
         let mut compute_ns = Vec::with_capacity(cfg.ranks);
@@ -115,7 +121,11 @@ impl DistJaccard {
             compute_ns.push(out.compute_ns);
         }
         edges.sort_by_key(|e| (e.source, e.destination));
-        JaccardResult { edges, rank_stats, compute_ns }
+        JaccardResult {
+            edges,
+            rank_stats,
+            compute_ns,
+        }
     }
 }
 
@@ -153,13 +163,26 @@ fn run_rank(
                 (intersector.count(adj_u, &adj_v), adj_v.len())
             };
             let union = adj_u.len() as u64 + degree_v as u64 - common;
-            let jaccard = if union == 0 { 0.0 } else { common as f64 / union as f64 };
-            edges.push(EdgeSimilarity { source, destination: v, common_neighbours: common, jaccard });
+            let jaccard = if union == 0 {
+                0.0
+            } else {
+                common as f64 / union as f64
+            };
+            edges.push(EdgeSimilarity {
+                source,
+                destination: v,
+                common_neighbours: common,
+                jaccard,
+            });
         }
     }
     let compute_ns = timer.elapsed_ns();
     ep.unlock_all();
-    RankJaccard { edges, stats: ep.into_stats(), compute_ns }
+    RankJaccard {
+        edges,
+        stats: ep.into_stats(),
+        compute_ns,
+    }
 }
 
 #[cfg(test)]

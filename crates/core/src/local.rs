@@ -3,45 +3,108 @@
 //! This is the per-node computation kernel of the paper: for every vertex and every
 //! incident edge, intersect the two adjacency lists (Section II-C), offsetting the
 //! intersection on undirected graphs so each triangle is counted once per corner.
-//! Shared-memory parallelism follows Section III-C: the *intersection* is what runs
-//! in parallel, not the edge loop, which keeps thread imbalance low at the price of
-//! frequent parallel-region entry — the effect measured in Figure 6 and Table III.
+//!
+//! Three parallelization strategies are available (see [`LocalParallelism`]):
+//!
+//! * [`IntersectionParallel`](LocalParallelism::IntersectionParallel) — the
+//!   paper's Section III-C scheme: the *intersection* is what runs in parallel,
+//!   not the edge loop, which keeps thread imbalance low at the price of frequent
+//!   parallel-region entry — the effect measured in Figure 6 and Table III.
+//! * [`VertexParallel`](LocalParallelism::VertexParallel) — a vertex-parallel
+//!   outer loop: contiguous vertex ranges are mapped across threads, each range
+//!   accumulating into its own partial `per_vertex_triangles` buffer, so the
+//!   fork/join cost is paid once per run instead of once per edge.
+//! * [`EdgeParallel`](LocalParallelism::EdgeParallel) — an edge-parallel outer
+//!   loop: the directed-edge array is split into equal ranges regardless of row
+//!   boundaries, the load-balance counterpart for skewed graphs where one hub
+//!   row can be as large as another thread's whole range.
 
 use crate::intersect::{IntersectMethod, ParallelIntersector};
 use crate::lcc;
+use rayon::prelude::*;
 use rmatc_graph::types::{Direction, VertexId};
 use rmatc_graph::CsrGraph;
 use std::time::Instant;
+
+/// How the shared-memory computation is spread across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LocalParallelism {
+    /// Parallelize each intersection (the paper's Section III-C approach); the
+    /// outer vertex/edge loop stays sequential.
+    IntersectionParallel,
+    /// Parallelize the outer loop over contiguous vertex ranges; every
+    /// intersection runs sequentially on its owning thread.
+    VertexParallel,
+    /// Parallelize the outer loop over equal ranges of the directed-edge
+    /// array; rows spanning a range boundary are split between threads.
+    EdgeParallel,
+}
 
 /// Configuration for the shared-memory computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct LocalConfig {
     /// Intersection kernel selection.
     pub method: IntersectMethod,
-    /// Number of threads used to parallelize each intersection (1 = sequential).
+    /// Number of threads (1 = fully sequential regardless of `parallelism`).
     pub threads: usize,
-    /// Intersections whose longer list is below this length run sequentially.
+    /// With [`LocalParallelism::IntersectionParallel`], intersections whose
+    /// longer list is below this length run sequentially.
     pub parallel_cutoff: usize,
+    /// Which loop is parallelized.
+    pub parallelism: LocalParallelism,
 }
 
 impl LocalConfig {
     /// Sequential hybrid configuration.
     pub fn sequential() -> Self {
-        Self { method: IntersectMethod::Hybrid, threads: 1, parallel_cutoff: usize::MAX }
+        Self {
+            method: IntersectMethod::Hybrid,
+            threads: 1,
+            parallel_cutoff: usize::MAX,
+            parallelism: LocalParallelism::IntersectionParallel,
+        }
     }
 
-    /// Parallel hybrid configuration with the default cut-off.
+    /// Intersection-parallel hybrid configuration with the default cut-off
+    /// (the paper's scheme).
     pub fn parallel(threads: usize) -> Self {
         Self {
             method: IntersectMethod::Hybrid,
             threads,
             parallel_cutoff: crate::intersect::parallel::DEFAULT_PARALLEL_CUTOFF,
+            parallelism: LocalParallelism::IntersectionParallel,
+        }
+    }
+
+    /// Vertex-parallel hybrid configuration.
+    pub fn vertex_parallel(threads: usize) -> Self {
+        Self {
+            method: IntersectMethod::Hybrid,
+            threads,
+            parallel_cutoff: usize::MAX,
+            parallelism: LocalParallelism::VertexParallel,
+        }
+    }
+
+    /// Edge-parallel hybrid configuration.
+    pub fn edge_parallel(threads: usize) -> Self {
+        Self {
+            method: IntersectMethod::Hybrid,
+            threads,
+            parallel_cutoff: usize::MAX,
+            parallelism: LocalParallelism::EdgeParallel,
         }
     }
 
     /// Same configuration with a different intersection method.
     pub fn with_method(mut self, method: IntersectMethod) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Same configuration with a different parallelism strategy.
+    pub fn with_parallelism(mut self, parallelism: LocalParallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -102,33 +165,154 @@ impl LocalLcc {
 
     /// Runs triangle counting and LCC over `g`.
     pub fn run(&self, g: &CsrGraph) -> LocalResult {
+        let n = g.vertex_count();
+        let start = Instant::now();
+        let (per_vertex, edges) = match self.config.parallelism {
+            _ if self.config.threads <= 1 || n == 0 => self.run_intersection_parallel(g),
+            LocalParallelism::IntersectionParallel => self.run_intersection_parallel(g),
+            LocalParallelism::VertexParallel => self.run_vertex_parallel(g),
+            LocalParallelism::EdgeParallel => self.run_edge_parallel(g),
+        };
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        finish(g, per_vertex, edges, elapsed_ns)
+    }
+
+    /// Sequential outer loop; each intersection may itself run in parallel.
+    fn run_intersection_parallel(&self, g: &CsrGraph) -> (Vec<u64>, u64) {
         let intersector = ParallelIntersector::new(
             self.config.method,
             self.config.threads,
             self.config.parallel_cutoff,
         );
         let n = g.vertex_count();
-        let start = Instant::now();
         let mut per_vertex = vec![0u64; n];
         let mut edges = 0u64;
         for u in 0..n as VertexId {
-            let adj_u = g.neighbours(u);
-            let mut t = 0u64;
-            for &v in adj_u {
-                edges += 1;
-                let adj_v = g.neighbours(v);
-                t += count_closing(g.direction(), adj_u, adj_v, v, &intersector);
-            }
+            let (t, e) = count_vertex(g, u, &intersector);
             per_vertex[u as usize] = t;
+            edges += e;
         }
-        let elapsed_ns = start.elapsed().as_nanos() as u64;
-        finish(g, per_vertex, edges, elapsed_ns)
+        (per_vertex, edges)
     }
+
+    /// Vertex-parallel outer loop: contiguous vertex ranges mapped across
+    /// threads, each with a private partial buffer stitched together at the
+    /// end. Ranges are oversplit 8x relative to the thread count so one dense
+    /// range does not serialize the whole run.
+    fn run_vertex_parallel(&self, g: &CsrGraph) -> (Vec<u64>, u64) {
+        let intersector = self.sequential_intersector();
+        let n = g.vertex_count();
+        let ranges = (self.config.threads * 8).clamp(1, n);
+        let chunk = n.div_ceil(ranges);
+        let partials: Vec<(usize, Vec<u64>, u64)> = (0..ranges)
+            .into_par_iter()
+            .map(|r| {
+                let lo = (r * chunk).min(n);
+                let hi = ((r + 1) * chunk).min(n);
+                let mut counts = vec![0u64; hi - lo];
+                let mut edges = 0u64;
+                for u in lo..hi {
+                    let (t, e) = count_vertex(g, u as VertexId, &intersector);
+                    counts[u - lo] = t;
+                    edges += e;
+                }
+                (lo, counts, edges)
+            })
+            .collect();
+        let mut per_vertex = vec![0u64; n];
+        let mut edges = 0u64;
+        for (lo, counts, e) in partials {
+            per_vertex[lo..lo + counts.len()].copy_from_slice(&counts);
+            edges += e;
+        }
+        (per_vertex, edges)
+    }
+
+    /// Edge-parallel outer loop: the directed-edge array is cut into equal
+    /// ranges; a range's partial buffer spans only the vertices whose rows it
+    /// touches, and boundary rows (split between two ranges) sum correctly
+    /// because addition is associative.
+    fn run_edge_parallel(&self, g: &CsrGraph) -> (Vec<u64>, u64) {
+        let intersector = self.sequential_intersector();
+        let n = g.vertex_count();
+        let m = g.edge_count() as usize;
+        if m == 0 {
+            return (vec![0u64; n], 0);
+        }
+        let offsets = g.offsets();
+        let adjacencies = g.adjacencies();
+        let direction = g.direction();
+        let ranges = (self.config.threads * 8).clamp(1, m);
+        let chunk = m.div_ceil(ranges);
+        let partials: Vec<(usize, Vec<u64>)> = (0..ranges)
+            .into_par_iter()
+            .map(|r| {
+                let e_lo = (r * chunk).min(m) as u64;
+                let e_hi = ((r + 1) * chunk).min(m) as u64;
+                if e_lo >= e_hi {
+                    return (0, Vec::new());
+                }
+                // Owner of edge e is the vertex u with offsets[u] <= e < offsets[u+1].
+                let u_first = offsets.partition_point(|&o| o <= e_lo) - 1;
+                let mut counts: Vec<u64> = Vec::new();
+                let mut u = u_first;
+                while u < n && offsets[u] < e_hi {
+                    let adj_u = g.neighbours(u as VertexId);
+                    let row_lo = offsets[u].max(e_lo);
+                    let row_hi = offsets[u + 1].min(e_hi);
+                    let mut t = 0u64;
+                    for e in row_lo..row_hi {
+                        let v = adjacencies[e as usize];
+                        let k = (e - offsets[u]) as usize;
+                        let adj_v = g.neighbours(v);
+                        t += count_closing_at(direction, adj_u, adj_v, v, k, &intersector);
+                    }
+                    counts.push(t);
+                    u += 1;
+                }
+                (u_first, counts)
+            })
+            .collect();
+        let mut per_vertex = vec![0u64; n];
+        for (u_first, counts) in partials {
+            for (i, t) in counts.into_iter().enumerate() {
+                per_vertex[u_first + i] += t;
+            }
+        }
+        (per_vertex, m as u64)
+    }
+
+    fn sequential_intersector(&self) -> ParallelIntersector {
+        ParallelIntersector::new(self.config.method, 1, usize::MAX)
+    }
+}
+
+/// Counts the closed triplets anchored at `u`, using the O(1) incremental
+/// upper-triangle offset: because `v` iterates `adj_u` in sorted order, the
+/// suffix of `adj_u` past `v` starts right after the running neighbour index —
+/// no `partition_point` over `adj_u` needed.
+fn count_vertex(g: &CsrGraph, u: VertexId, intersector: &ParallelIntersector) -> (u64, u64) {
+    let adj_u = g.neighbours(u);
+    let direction = g.direction();
+    let mut t = 0u64;
+    for (k, &v) in adj_u.iter().enumerate() {
+        let adj_v = g.neighbours(v);
+        t += count_closing_at(direction, adj_u, adj_v, v, k, intersector);
+    }
+    (t, adj_u.len() as u64)
 }
 
 /// Counts the closing vertices for the edge `(u, v)` given both adjacency lists:
 /// undirected graphs count only `w > v` (upper-triangle offsetting), directed graphs
 /// count the full intersection (ordered pairs, Eq. 1).
+///
+/// This is the general entry point for callers that cannot supply `v`'s index
+/// within `adj_u` (out-of-order or index-free iteration); every in-tree
+/// caller — the local loops and the distributed worker — iterates in order
+/// and uses [`count_closing_at`], which replaces one of the two
+/// `partition_point` calls with the already-known neighbour index. The
+/// general form is kept public as the reference implementation and is tested
+/// for equivalence against the fast path.
 pub fn count_closing(
     direction: Direction,
     adj_u: &[VertexId],
@@ -139,6 +323,32 @@ pub fn count_closing(
     match direction {
         Direction::Undirected => {
             let a = &adj_u[adj_u.partition_point(|&x| x <= v)..];
+            let b = &adj_v[adj_v.partition_point(|&x| x <= v)..];
+            intersector.count(a, b)
+        }
+        Direction::Directed => intersector.count(adj_u, adj_v),
+    }
+}
+
+/// Fast path of [`count_closing`] for callers iterating `adj_u` in order:
+/// `neighbour_idx` is the index of `v` within `adj_u`, so the upper-triangle
+/// suffix of `adj_u` is `adj_u[neighbour_idx + 1..]` — O(1) instead of a
+/// binary search. Only the `adj_v` side still needs its `partition_point`.
+pub fn count_closing_at(
+    direction: Direction,
+    adj_u: &[VertexId],
+    adj_v: &[VertexId],
+    v: VertexId,
+    neighbour_idx: usize,
+    intersector: &ParallelIntersector,
+) -> u64 {
+    match direction {
+        Direction::Undirected => {
+            debug_assert_eq!(
+                adj_u[neighbour_idx], v,
+                "neighbour_idx must locate v in adj_u"
+            );
+            let a = &adj_u[neighbour_idx + 1..];
             let b = &adj_v[adj_v.partition_point(|&x| x <= v)..];
             intersector.count(a, b)
         }
@@ -160,7 +370,13 @@ pub fn finish(
         Direction::Undirected => total / 3,
         Direction::Directed => total,
     };
-    LocalResult { per_vertex_triangles, lcc, triangle_count, edges_processed, elapsed_ns }
+    LocalResult {
+        per_vertex_triangles,
+        lcc,
+        triangle_count,
+        edges_processed,
+        elapsed_ns,
+    }
 }
 
 #[cfg(test)]
@@ -177,7 +393,10 @@ mod tests {
     fn matches_reference_on_rmat() {
         let g = rmat();
         let result = LocalLcc::new(LocalConfig::sequential()).run(&g);
-        assert_eq!(result.per_vertex_triangles, reference::per_vertex_triangles(&g));
+        assert_eq!(
+            result.per_vertex_triangles,
+            reference::per_vertex_triangles(&g)
+        );
         assert_eq!(result.triangle_count, reference::count_triangles(&g));
         let expected_lcc = reference::lcc_scores(&g);
         for (a, b) in result.lcc.iter().zip(expected_lcc.iter()) {
@@ -188,10 +407,16 @@ mod tests {
     #[test]
     fn all_methods_give_identical_counts() {
         let g = rmat();
-        let baseline = LocalLcc::new(LocalConfig::sequential()).run(&g).triangle_count;
+        let baseline = LocalLcc::new(LocalConfig::sequential())
+            .run(&g)
+            .triangle_count;
         for method in IntersectMethod::all() {
             let cfg = LocalConfig::sequential().with_method(method);
-            assert_eq!(LocalLcc::new(cfg).run(&g).triangle_count, baseline, "{method:?}");
+            assert_eq!(
+                LocalLcc::new(cfg).run(&g).triangle_count,
+                baseline,
+                "{method:?}"
+            );
         }
     }
 
@@ -203,6 +428,50 @@ mod tests {
         par_cfg.parallel_cutoff = 16; // force the parallel path even on small lists
         let par = LocalLcc::new(par_cfg).run(&g);
         assert_eq!(seq.per_vertex_triangles, par.per_vertex_triangles);
+    }
+
+    #[test]
+    fn vertex_and_edge_parallel_match_sequential() {
+        for g in [
+            rmat(),
+            WattsStrogatz::new(400, 8, 0.1)
+                .generate_cleaned(7)
+                .into_csr(),
+        ] {
+            let seq = LocalLcc::new(LocalConfig::sequential()).run(&g);
+            for threads in [2, 4, 8] {
+                let vp = LocalLcc::new(LocalConfig::vertex_parallel(threads)).run(&g);
+                assert_eq!(
+                    seq.per_vertex_triangles, vp.per_vertex_triangles,
+                    "vertex {threads}"
+                );
+                assert_eq!(seq.edges_processed, vp.edges_processed);
+                let ep = LocalLcc::new(LocalConfig::edge_parallel(threads)).run(&g);
+                assert_eq!(
+                    seq.per_vertex_triangles, ep.per_vertex_triangles,
+                    "edge {threads}"
+                );
+                assert_eq!(seq.edges_processed, ep.edges_processed);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_modes_match_on_directed_graphs() {
+        let mut edges = Vec::new();
+        for u in 0..40u32 {
+            for v in 0..40u32 {
+                if u != v && (u + v) % 3 != 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = CsrGraph::from_edges(40, &edges, Direction::Directed);
+        let seq = LocalLcc::new(LocalConfig::sequential()).run(&g);
+        let vp = LocalLcc::new(LocalConfig::vertex_parallel(4)).run(&g);
+        let ep = LocalLcc::new(LocalConfig::edge_parallel(4)).run(&g);
+        assert_eq!(seq.per_vertex_triangles, vp.per_vertex_triangles);
+        assert_eq!(seq.per_vertex_triangles, ep.per_vertex_triangles);
     }
 
     #[test]
@@ -230,7 +499,9 @@ mod tests {
 
     #[test]
     fn watts_strogatz_average_is_analytic() {
-        let g = WattsStrogatz::new(300, 6, 0.0).generate_cleaned(2).into_csr();
+        let g = WattsStrogatz::new(300, 6, 0.0)
+            .generate_cleaned(2)
+            .into_csr();
         let result = LocalLcc::new(LocalConfig::parallel(4)).run(&g);
         assert!((result.average_lcc() - WattsStrogatz::lattice_lcc(6)).abs() < 1e-9);
     }
@@ -238,9 +509,32 @@ mod tests {
     #[test]
     fn empty_graph_is_handled() {
         let g = CsrGraph::from_edges(0, &[], Direction::Undirected);
-        let result = LocalLcc::new(LocalConfig::sequential()).run(&g);
-        assert_eq!(result.triangle_count, 0);
-        assert!(result.lcc.is_empty());
-        assert_eq!(result.edges_processed, 0);
+        for cfg in [
+            LocalConfig::sequential(),
+            LocalConfig::vertex_parallel(4),
+            LocalConfig::edge_parallel(4),
+        ] {
+            let result = LocalLcc::new(cfg).run(&g);
+            assert_eq!(result.triangle_count, 0);
+            assert!(result.lcc.is_empty());
+            assert_eq!(result.edges_processed, 0);
+        }
+    }
+
+    #[test]
+    fn count_closing_general_and_fast_path_agree() {
+        let g = rmat();
+        let ix = ParallelIntersector::new(IntersectMethod::Hybrid, 1, usize::MAX);
+        for u in 0..g.vertex_count() as VertexId {
+            let adj_u = g.neighbours(u);
+            for (k, &v) in adj_u.iter().enumerate() {
+                let adj_v = g.neighbours(v);
+                assert_eq!(
+                    count_closing(g.direction(), adj_u, adj_v, v, &ix),
+                    count_closing_at(g.direction(), adj_u, adj_v, v, k, &ix),
+                    "u={u} v={v}"
+                );
+            }
+        }
     }
 }

@@ -61,7 +61,9 @@ pub fn repetition_histogram(counts: &[u64]) -> Vec<RepetitionBucket> {
             *map.entry(c).or_insert(0u64) += 1;
         }
     }
-    map.into_iter().map(|(repetitions, reads)| RepetitionBucket { repetitions, reads }).collect()
+    map.into_iter()
+        .map(|(repetitions, reads)| RepetitionBucket { repetitions, reads })
+        .collect()
 }
 
 /// Fraction of remote reads that are *repeated* (would hit an infinite cache):
@@ -121,7 +123,7 @@ pub fn vertex_reuse(pg: &PartitionedGraph) -> Vec<VertexReuse> {
             entry_bytes: degree as u64 * std::mem::size_of::<VertexId>() as u64,
         });
     }
-    out.sort_by(|a, b| b.remote_reads.cmp(&a.remote_reads));
+    out.sort_by_key(|r| std::cmp::Reverse(r.remote_reads));
     out
 }
 
@@ -175,7 +177,12 @@ mod tests {
         let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 4).unwrap();
         let counts = remote_read_counts(&pg);
         // Cross-check one vertex by brute force.
-        let v = counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i).unwrap() as u32;
+        let v = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap() as u32;
         let mut expected = 0u64;
         for (u, w) in g.edges() {
             if w == v && pg.partitioner.owner(u) != pg.partitioner.owner(v) {
@@ -205,9 +212,18 @@ mod tests {
         assert_eq!(
             hist,
             vec![
-                RepetitionBucket { repetitions: 1, reads: 2 },
-                RepetitionBucket { repetitions: 3, reads: 3 },
-                RepetitionBucket { repetitions: 7, reads: 1 },
+                RepetitionBucket {
+                    repetitions: 1,
+                    reads: 2
+                },
+                RepetitionBucket {
+                    repetitions: 3,
+                    reads: 3
+                },
+                RepetitionBucket {
+                    repetitions: 7,
+                    reads: 1
+                },
             ]
         );
         let total_reads: u64 = hist.iter().map(|b| b.repetitions * b.reads).sum();
@@ -222,7 +238,9 @@ mod tests {
         let counts = remote_read_counts_from_rank(&pg, 0);
         let frac = reuse_fraction(&counts);
         assert!(frac > 0.3, "expected significant data reuse, got {frac}");
-        assert!(repetition_histogram(&counts).iter().any(|b| b.repetitions >= 4));
+        assert!(repetition_histogram(&counts)
+            .iter()
+            .any(|b| b.repetitions >= 4));
     }
 
     #[test]
@@ -241,7 +259,10 @@ mod tests {
             share_skewed > share_uniform + 0.1,
             "skewed {share_skewed} must exceed uniform {share_uniform}"
         );
-        assert!(share_uniform < 0.4, "uniform graphs have little concentration");
+        assert!(
+            share_uniform < 0.4,
+            "uniform graphs have little concentration"
+        );
     }
 
     #[test]
@@ -249,7 +270,9 @@ mod tests {
         let pg = partitioned(Dataset::LiveJournal, 4);
         let curve = contribution_curve(&pg);
         assert!(!curve.is_empty());
-        assert!(curve.windows(2).all(|w| w[0].read_fraction <= w[1].read_fraction + 1e-12));
+        assert!(curve
+            .windows(2)
+            .all(|w| w[0].read_fraction <= w[1].read_fraction + 1e-12));
         assert!((curve.last().unwrap().read_fraction - 1.0).abs() < 1e-9);
     }
 
@@ -263,7 +286,10 @@ mod tests {
             assert_eq!(r.entry_bytes, r.degree as u64 * 4);
         }
         let corr = degree_read_correlation(&records);
-        assert!(corr > 0.5, "degree and remote reads must correlate strongly, got {corr}");
+        assert!(
+            corr > 0.5,
+            "degree and remote reads must correlate strongly, got {corr}"
+        );
     }
 
     #[test]
@@ -275,7 +301,12 @@ mod tests {
     #[test]
     fn degenerate_correlation_inputs() {
         assert_eq!(degree_read_correlation(&[]), 0.0);
-        let one = vec![VertexReuse { vertex: 0, degree: 5, remote_reads: 2, entry_bytes: 20 }];
+        let one = vec![VertexReuse {
+            vertex: 0,
+            degree: 5,
+            remote_reads: 2,
+            entry_bytes: 20,
+        }];
         assert_eq!(degree_read_correlation(&one), 0.0);
     }
 }

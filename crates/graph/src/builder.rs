@@ -35,7 +35,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts from an existing edge list.
     pub fn from_edge_list(edge_list: EdgeList) -> Self {
-        Self { edge_list, relabel: RelabelStrategy::None, clean: true }
+        Self {
+            edge_list,
+            relabel: RelabelStrategy::None,
+            clean: true,
+        }
     }
 
     /// Starts from a generator.
@@ -44,12 +48,10 @@ impl GraphBuilder {
     }
 
     /// Starts from raw edges.
-    pub fn from_edges(
-        n: usize,
-        edges: Vec<(u32, u32)>,
-        direction: Direction,
-    ) -> Result<Self> {
-        Ok(Self::from_edge_list(EdgeList::from_edges(n, edges, direction)?))
+    pub fn from_edges(n: usize, edges: Vec<(u32, u32)>, direction: Direction) -> Result<Self> {
+        Ok(Self::from_edge_list(EdgeList::from_edges(
+            n, edges, direction,
+        )?))
     }
 
     /// Chooses the relabeling strategy (default: none).

@@ -20,7 +20,10 @@ impl CsrGraph {
     /// Builds a CSR graph from a *sorted, deduplicated* list of directed edges.
     /// Edges must be sorted lexicographically by `(source, destination)`.
     pub fn from_sorted_edges(n: usize, edges: &[Edge], direction: Direction) -> Self {
-        debug_assert!(edges.windows(2).all(|w| w[0] <= w[1]), "edges must be sorted");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] <= w[1]),
+            "edges must be sorted"
+        );
         let mut offsets = vec![0u64; n + 1];
         for &(u, _) in edges {
             offsets[u as usize + 1] += 1;
@@ -29,7 +32,11 @@ impl CsrGraph {
             offsets[i + 1] += offsets[i];
         }
         let adjacencies = edges.iter().map(|&(_, v)| v).collect();
-        Self { offsets, adjacencies, direction }
+        Self {
+            offsets,
+            adjacencies,
+            direction,
+        }
     }
 
     /// Builds a CSR graph from an unsorted edge list (sorts and deduplicates a copy).
@@ -56,7 +63,11 @@ impl CsrGraph {
             "offsets must end at the adjacency length"
         );
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
-        let g = Self { offsets, adjacencies, direction };
+        let g = Self {
+            offsets,
+            adjacencies,
+            direction,
+        };
         debug_assert!(g.adjacency_lists_sorted());
         g
     }
@@ -109,7 +120,9 @@ impl CsrGraph {
 
     /// Out-degrees of all vertices.
     pub fn degrees(&self) -> Vec<u32> {
-        (0..self.vertex_count() as VertexId).map(|v| self.degree(v)).collect()
+        (0..self.vertex_count() as VertexId)
+            .map(|v| self.degree(v))
+            .collect()
     }
 
     /// In-degrees of all vertices (one pass over the adjacency array).
@@ -123,7 +136,10 @@ impl CsrGraph {
 
     /// Maximum out-degree.
     pub fn max_degree(&self) -> u32 {
-        (0..self.vertex_count() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.vertex_count() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether the edge `(u, v)` exists (binary search on the sorted adjacency list).
@@ -246,11 +262,7 @@ mod tests {
 
     #[test]
     fn symmetric_detection() {
-        let sym = CsrGraph::from_edges(
-            3,
-            &[(0, 1), (1, 0), (1, 2), (2, 1)],
-            Direction::Undirected,
-        );
+        let sym = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)], Direction::Undirected);
         assert!(sym.is_symmetric());
         assert_eq!(sym.logical_edge_count(), 2);
         let asym = CsrGraph::from_edges(3, &[(0, 1), (1, 2)], Direction::Directed);

@@ -215,11 +215,15 @@ impl Dataset {
             Dataset::Orkut => {
                 // Orkut is the densest social graph (mean degree ~78): high attachment
                 // plus closure edges.
-                BarabasiAlbert::with_closure(budget, 24, 8).generate_cleaned(seed).into_csr()
+                BarabasiAlbert::with_closure(budget, 24, 8)
+                    .generate_cleaned(seed)
+                    .into_csr()
             }
             Dataset::LiveJournal => {
                 // LiveJournal is sparser (mean degree ~17).
-                BarabasiAlbert::with_closure(budget, 9, 3).generate_cleaned(seed).into_csr()
+                BarabasiAlbert::with_closure(budget, 9, 3)
+                    .generate_cleaned(seed)
+                    .into_csr()
             }
             Dataset::LiveJournal1 => {
                 let scale_log = log2_budget(budget);
@@ -227,9 +231,9 @@ impl Dataset {
                     .generate_cleaned(seed)
                     .into_csr()
             }
-            Dataset::Skitter => {
-                BarabasiAlbert::with_closure(budget, 6, 2).generate_cleaned(seed).into_csr()
-            }
+            Dataset::Skitter => BarabasiAlbert::with_closure(budget, 6, 2)
+                .generate_cleaned(seed)
+                .into_csr(),
             Dataset::Uk2005 => {
                 let scale_log = log2_budget(budget);
                 let mut gen = RmatGenerator::paper_directed(scale_log, 24);
@@ -242,11 +246,15 @@ impl Dataset {
             }
             Dataset::WikiEn => {
                 let scale_log = log2_budget(budget);
-                RmatGenerator::paper_directed(scale_log, 32).generate_cleaned(seed).into_csr()
+                RmatGenerator::paper_directed(scale_log, 32)
+                    .generate_cleaned(seed)
+                    .into_csr()
             }
             Dataset::FacebookCircles => {
                 // Always generated at its true scale — the original is tiny.
-                EgoCircles::facebook_like().generate_cleaned(seed).into_csr()
+                EgoCircles::facebook_like()
+                    .generate_cleaned(seed)
+                    .into_csr()
             }
             Dataset::RmatS21Ef16 | Dataset::RmatS23Ef16 | Dataset::RmatS30Ef16 => {
                 let base = log2_budget(budget);
@@ -256,11 +264,13 @@ impl Dataset {
                     Dataset::RmatS23Ef16 => base + 1,
                     _ => base + 2,
                 };
-                RmatGenerator::paper(scale_log, 16).generate_cleaned(seed).into_csr()
+                RmatGenerator::paper(scale_log, 16)
+                    .generate_cleaned(seed)
+                    .into_csr()
             }
-            Dataset::Uniform => {
-                UniformRandom::undirected(budget, budget * 16).generate_cleaned(seed).into_csr()
-            }
+            Dataset::Uniform => UniformRandom::undirected(budget, budget * 16)
+                .generate_cleaned(seed)
+                .into_csr(),
         }
     }
 

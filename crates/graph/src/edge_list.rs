@@ -21,20 +21,34 @@ pub struct EdgeList {
 impl EdgeList {
     /// Creates an empty edge list over `n` vertices.
     pub fn new(n: usize, direction: Direction) -> Self {
-        Self { n, edges: Vec::new(), direction }
+        Self {
+            n,
+            edges: Vec::new(),
+            direction,
+        }
     }
 
     /// Creates an edge list from existing edges, validating vertex ranges.
     pub fn from_edges(n: usize, edges: Vec<Edge>, direction: Direction) -> Result<Self> {
         for &(u, v) in &edges {
             if u as usize >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: u as u64, n: n as u64 });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u as u64,
+                    n: n as u64,
+                });
             }
             if v as usize >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: v as u64, n: n as u64 });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v as u64,
+                    n: n as u64,
+                });
             }
         }
-        Ok(Self { n, edges, direction })
+        Ok(Self {
+            n,
+            edges,
+            direction,
+        })
     }
 
     /// Number of vertices (including isolated ones).
@@ -156,7 +170,8 @@ impl EdgeList {
                 next += 1;
             }
         }
-        self.edges.retain(|&(u, v)| keep[u as usize] && keep[v as usize]);
+        self.edges
+            .retain(|&(u, v)| keep[u as usize] && keep[v as usize]);
         for e in &mut self.edges {
             *e = (remap[e.0 as usize], remap[e.1 as usize]);
         }
@@ -167,7 +182,11 @@ impl EdgeList {
     /// Applies a vertex permutation: vertex `v` becomes `perm[v]`.
     /// `perm` must be a permutation of `0..n`.
     pub fn relabel(&mut self, perm: &[VertexId]) {
-        assert_eq!(perm.len(), self.n, "permutation length must equal vertex count");
+        assert_eq!(
+            perm.len(),
+            self.n,
+            "permutation length must equal vertex count"
+        );
         debug_assert!(crate::relabel::is_permutation(perm));
         for e in &mut self.edges {
             *e = (perm[e.0 as usize], perm[e.1 as usize]);
@@ -228,8 +247,7 @@ mod tests {
 
     #[test]
     fn symmetrize_adds_reverse_edges_and_marks_undirected() {
-        let mut el =
-            EdgeList::from_edges(3, vec![(0, 1), (1, 2)], Direction::Directed).unwrap();
+        let mut el = EdgeList::from_edges(3, vec![(0, 1), (1, 2)], Direction::Directed).unwrap();
         el.symmetrize();
         assert_eq!(el.direction(), Direction::Undirected);
         let mut edges = el.edges().to_vec();
@@ -239,8 +257,7 @@ mod tests {
 
     #[test]
     fn symmetrize_is_idempotent() {
-        let mut el =
-            EdgeList::from_edges(3, vec![(0, 1), (1, 2)], Direction::Directed).unwrap();
+        let mut el = EdgeList::from_edges(3, vec![(0, 1), (1, 2)], Direction::Directed).unwrap();
         el.symmetrize();
         let once = el.clone();
         el.symmetrize();
@@ -260,7 +277,16 @@ mod tests {
         // Triangle 0-1-2 plus a pendant vertex 3 attached to 0 and an isolated vertex 4.
         let mut el = EdgeList::from_edges(
             5,
-            vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (0, 3), (3, 0)],
+            vec![
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (0, 2),
+                (2, 0),
+                (0, 3),
+                (3, 0),
+            ],
             Direction::Undirected,
         )
         .unwrap();
@@ -287,8 +313,7 @@ mod tests {
 
     #[test]
     fn relabel_applies_permutation() {
-        let mut el =
-            EdgeList::from_edges(3, vec![(0, 1), (1, 2)], Direction::Directed).unwrap();
+        let mut el = EdgeList::from_edges(3, vec![(0, 1), (1, 2)], Direction::Directed).unwrap();
         el.relabel(&[2, 0, 1]);
         assert_eq!(el.edges(), &[(2, 0), (0, 1)]);
     }
@@ -309,12 +334,8 @@ mod tests {
 
     #[test]
     fn into_csr_round_trips_edges() {
-        let el = EdgeList::from_edges(
-            3,
-            vec![(0, 1), (0, 2), (1, 2)],
-            Direction::Directed,
-        )
-        .unwrap();
+        let el =
+            EdgeList::from_edges(3, vec![(0, 1), (0, 2), (1, 2)], Direction::Directed).unwrap();
         let csr = el.into_csr();
         assert_eq!(csr.vertex_count(), 3);
         assert_eq!(csr.edge_count(), 3);

@@ -28,13 +28,21 @@ pub struct BarabasiAlbert {
 impl BarabasiAlbert {
     /// A plain preferential-attachment graph.
     pub fn new(vertices: usize, attach: usize) -> Self {
-        Self { vertices, attach, closure_edges: 0 }
+        Self {
+            vertices,
+            attach,
+            closure_edges: 0,
+        }
     }
 
     /// A preferential-attachment graph with extra triangle-closing edges, giving both
     /// a power-law degree distribution and a high clustering coefficient.
     pub fn with_closure(vertices: usize, attach: usize, closure_edges: usize) -> Self {
-        Self { vertices, attach, closure_edges }
+        Self {
+            vertices,
+            attach,
+            closure_edges,
+        }
     }
 }
 
@@ -100,13 +108,18 @@ mod tests {
         let g = BarabasiAlbert::new(4000, 8);
         let csr = g.generate_cleaned(1).into_csr();
         let skew = stats::degree_skewness(&csr.degrees());
-        assert!(skew > 1.5, "BA graphs should be heavy tailed (skewness {skew})");
+        assert!(
+            skew > 1.5,
+            "BA graphs should be heavy tailed (skewness {skew})"
+        );
     }
 
     #[test]
     fn closure_edges_increase_clustering() {
         let plain = BarabasiAlbert::new(2000, 5).generate_cleaned(2).into_csr();
-        let closed = BarabasiAlbert::with_closure(2000, 5, 3).generate_cleaned(2).into_csr();
+        let closed = BarabasiAlbert::with_closure(2000, 5, 3)
+            .generate_cleaned(2)
+            .into_csr();
         let cc_plain = crate::reference::average_lcc(&plain);
         let cc_closed = crate::reference::average_lcc(&closed);
         assert!(

@@ -113,7 +113,10 @@ mod tests {
     fn has_social_network_clustering() {
         let csr = EgoCircles::facebook_like().generate_cleaned(2).into_csr();
         let avg = reference::average_lcc(&csr);
-        assert!(avg > 0.2, "ego-circle graphs must be clustered (average LCC {avg})");
+        assert!(
+            avg > 0.2,
+            "ego-circle graphs must be clustered (average LCC {avg})"
+        );
     }
 
     #[test]
@@ -121,7 +124,10 @@ mod tests {
         let csr = EgoCircles::facebook_like().generate_cleaned(3).into_csr();
         let degrees = csr.degrees();
         let skew = stats::degree_skewness(&degrees);
-        assert!(skew > 1.0, "hub vertices should create a heavy tail (skewness {skew})");
+        assert!(
+            skew > 1.0,
+            "hub vertices should create a heavy tail (skewness {skew})"
+        );
         let max = *degrees.iter().max().unwrap();
         let mean = degrees.iter().map(|&d| d as f64).sum::<f64>() / degrees.len() as f64;
         assert!(max as f64 > 5.0 * mean);
@@ -129,15 +135,25 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let g = EgoCircles { vertices: 500, communities: 30, max_community_size: 50,
-                             intra_probability: 0.4, hubs: 2 };
+        let g = EgoCircles {
+            vertices: 500,
+            communities: 30,
+            max_community_size: 50,
+            intra_probability: 0.4,
+            hubs: 2,
+        };
         assert_eq!(g.generate(7).edges(), g.generate(7).edges());
     }
 
     #[test]
     fn degenerate_sizes_do_not_panic() {
-        let g = EgoCircles { vertices: 1, communities: 3, max_community_size: 5,
-                             intra_probability: 0.5, hubs: 1 };
+        let g = EgoCircles {
+            vertices: 1,
+            communities: 3,
+            max_community_size: 5,
+            intra_probability: 0.5,
+            hubs: 1,
+        };
         assert_eq!(g.generate(1).edge_count(), 0);
     }
 }

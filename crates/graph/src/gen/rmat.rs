@@ -55,7 +55,10 @@ impl RmatGenerator {
 
     /// A directed variant with the paper's parameters.
     pub fn paper_directed(scale: u32, edge_factor: u32) -> Self {
-        Self { direction: Direction::Directed, ..Self::paper(scale, edge_factor) }
+        Self {
+            direction: Direction::Directed,
+            ..Self::paper(scale, edge_factor)
+        }
     }
 
     /// Number of vertices this configuration generates.

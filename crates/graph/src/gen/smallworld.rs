@@ -28,7 +28,11 @@ pub struct WattsStrogatz {
 impl WattsStrogatz {
     /// Creates a Watts–Strogatz generator. `k` is rounded down to an even number.
     pub fn new(vertices: usize, k: usize, beta: f64) -> Self {
-        Self { vertices, k: k & !1, beta }
+        Self {
+            vertices,
+            k: k & !1,
+            beta,
+        }
     }
 
     /// Analytic LCC of every vertex in the unrewired (`beta = 0`) lattice.
@@ -99,8 +103,12 @@ mod tests {
 
     #[test]
     fn rewiring_lowers_clustering() {
-        let ordered = WattsStrogatz::new(500, 8, 0.0).generate_cleaned(2).into_csr();
-        let rewired = WattsStrogatz::new(500, 8, 0.8).generate_cleaned(2).into_csr();
+        let ordered = WattsStrogatz::new(500, 8, 0.0)
+            .generate_cleaned(2)
+            .into_csr();
+        let rewired = WattsStrogatz::new(500, 8, 0.8)
+            .generate_cleaned(2)
+            .into_csr();
         assert!(reference::average_lcc(&rewired) < reference::average_lcc(&ordered));
     }
 

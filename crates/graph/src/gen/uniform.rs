@@ -24,12 +24,20 @@ pub struct UniformRandom {
 impl UniformRandom {
     /// Convenience constructor for an undirected uniform graph.
     pub fn undirected(vertices: usize, edges: usize) -> Self {
-        Self { vertices, edges, direction: Direction::Undirected }
+        Self {
+            vertices,
+            edges,
+            direction: Direction::Undirected,
+        }
     }
 
     /// Convenience constructor for a directed uniform graph.
     pub fn directed(vertices: usize, edges: usize) -> Self {
-        Self { vertices, edges, direction: Direction::Directed }
+        Self {
+            vertices,
+            edges,
+            direction: Direction::Directed,
+        }
     }
 }
 
@@ -72,8 +80,12 @@ mod tests {
 
     #[test]
     fn degree_distribution_is_flat_compared_to_rmat() {
-        let uni = UniformRandom::undirected(4096, 4096 * 16).generate_cleaned(2).into_csr();
-        let rmat = super::super::RmatGenerator::paper(12, 16).generate_cleaned(2).into_csr();
+        let uni = UniformRandom::undirected(4096, 4096 * 16)
+            .generate_cleaned(2)
+            .into_csr();
+        let rmat = super::super::RmatGenerator::paper(12, 16)
+            .generate_cleaned(2)
+            .into_csr();
         let uni_skew = stats::degree_skewness(&uni.degrees());
         let rmat_skew = stats::degree_skewness(&rmat.degrees());
         assert!(

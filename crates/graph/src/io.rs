@@ -121,12 +121,8 @@ mod tests {
         let dir = std::env::temp_dir().join("rmatc-io-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("roundtrip.txt");
-        let el = EdgeList::from_edges(
-            4,
-            vec![(0, 1), (1, 2), (2, 3), (3, 0)],
-            Direction::Directed,
-        )
-        .unwrap();
+        let el = EdgeList::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)], Direction::Directed)
+            .unwrap();
         write_edge_list(&path, &el).unwrap();
         let back = read_edge_list(&path, Direction::Directed).unwrap();
         assert_eq!(back.edge_count(), el.edge_count());
@@ -136,8 +132,7 @@ mod tests {
 
     #[test]
     fn missing_file_is_an_io_error() {
-        let err = read_edge_list("/nonexistent/rmatc/file.txt", Direction::Directed)
-            .unwrap_err();
+        let err = read_edge_list("/nonexistent/rmatc/file.txt", Direction::Directed).unwrap_err();
         assert!(matches!(err, GraphError::Io(_)));
     }
 }

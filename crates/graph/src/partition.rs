@@ -36,7 +36,12 @@ impl Partitioner {
             return Err(GraphError::InvalidPartitionCount { parts: ranks, n });
         }
         let block = n.div_ceil(ranks.max(1)).max(1);
-        Ok(Self { scheme, n, ranks, block })
+        Ok(Self {
+            scheme,
+            n,
+            ranks,
+            block,
+        })
     }
 
     /// The partitioning scheme in use.
@@ -72,9 +77,9 @@ impl Partitioner {
                 let hi = ((rank + 1) * self.block).min(self.n);
                 (lo as VertexId..hi as VertexId).collect()
             }
-            PartitionScheme::Cyclic => {
-                (0..self.n as VertexId).filter(|&v| self.owner(v) == rank).collect()
-            }
+            PartitionScheme::Cyclic => (0..self.n as VertexId)
+                .filter(|&v| self.owner(v) == rank)
+                .collect(),
         }
     }
 
@@ -174,9 +179,17 @@ impl PartitionedGraph {
             // increase monotonically; from_edges re-sorts defensively anyway.
             let local_n = global_ids.len();
             let csr = build_local_csr(local_n, &edges, g.direction());
-            partitions.push(RankPartition { rank, csr, global_ids });
+            partitions.push(RankPartition {
+                rank,
+                csr,
+                global_ids,
+            });
         }
-        Ok(Self { partitioner, partitions, direction: g.direction() })
+        Ok(Self {
+            partitioner,
+            partitions,
+            direction: g.direction(),
+        })
     }
 
     /// Number of ranks.
@@ -218,7 +231,11 @@ impl PartitionedGraph {
 
     /// Load imbalance: max over ranks of stored edges divided by the mean.
     pub fn edge_imbalance(&self) -> f64 {
-        let counts: Vec<u64> = self.partitions.iter().map(|p| p.local_edge_count()).collect();
+        let counts: Vec<u64> = self
+            .partitions
+            .iter()
+            .map(|p| p.local_edge_count())
+            .collect();
         let max = *counts.iter().max().unwrap_or(&0) as f64;
         let mean = counts.iter().sum::<u64>() as f64 / counts.len().max(1) as f64;
         if mean == 0.0 {
@@ -246,11 +263,7 @@ impl PartitionedGraph {
 
 /// Builds a local CSR allowing adjacency entries (global ids) to exceed the local
 /// vertex count, which `CsrGraph::from_edges` would otherwise be free to assume.
-fn build_local_csr(
-    local_n: usize,
-    edges: &[Edge],
-    direction: crate::types::Direction,
-) -> CsrGraph {
+fn build_local_csr(local_n: usize, edges: &[Edge], direction: crate::types::Direction) -> CsrGraph {
     let mut sorted = edges.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
@@ -278,7 +291,7 @@ mod tests {
     #[test]
     fn block_partitioner_covers_all_vertices_exactly_once() {
         let p = Partitioner::new(PartitionScheme::Block1D, 103, 8).unwrap();
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for rank in 0..8 {
             for v in p.owned_vertices(rank) {
                 assert_eq!(p.owner(v), rank);
@@ -292,7 +305,7 @@ mod tests {
     #[test]
     fn cyclic_partitioner_covers_all_vertices_exactly_once() {
         let p = Partitioner::new(PartitionScheme::Cyclic, 103, 8).unwrap();
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for rank in 0..8 {
             for v in p.owned_vertices(rank) {
                 assert_eq!(p.owner(v), rank);
@@ -311,7 +324,11 @@ mod tests {
             for v in 0..64u32 {
                 let rank = p.owner(v);
                 let local = p.local_index(v);
-                assert_eq!(p.global_index(rank, local), v, "scheme {scheme:?} vertex {v}");
+                assert_eq!(
+                    p.global_index(rank, local),
+                    v,
+                    "scheme {scheme:?} vertex {v}"
+                );
             }
         }
     }
@@ -356,7 +373,10 @@ mod tests {
         let f8 = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 8)
             .unwrap()
             .remote_edge_fraction();
-        assert!(f2 < f8, "remote fraction must grow with more ranks ({f2} vs {f8})");
+        assert!(
+            f2 < f8,
+            "remote fraction must grow with more ranks ({f2} vs {f8})"
+        );
         assert!(f8 <= 1.0 && f2 >= 0.0);
     }
 

@@ -137,7 +137,16 @@ mod tests {
     /// The toy graph of Figure 1 (left) of the paper, symmetrized:
     /// vertices 0..6, edges 0-1, 0-2, 1-2, 1-3, 1-4, 2-4, 3-4, 4-5.
     pub fn figure1_graph() -> CsrGraph {
-        let base = [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (3, 4), (4, 5)];
+        let base = [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 4),
+            (3, 4),
+            (4, 5),
+        ];
         let mut edges = Vec::new();
         for &(u, v) in &base {
             edges.push((u, v));
@@ -205,7 +214,9 @@ mod tests {
 
     #[test]
     fn watts_strogatz_average_matches_analytic() {
-        let csr = WattsStrogatz::new(100, 4, 0.0).generate_cleaned(1).into_csr();
+        let csr = WattsStrogatz::new(100, 4, 0.0)
+            .generate_cleaned(1)
+            .into_csr();
         let expected = WattsStrogatz::lattice_lcc(4);
         assert!((average_lcc(&csr) - expected).abs() < 1e-9);
     }
@@ -224,7 +235,10 @@ mod tests {
         }
         let g = CsrGraph::from_edges(3, &edges, Direction::Directed);
         let scores = lcc_scores(&g);
-        assert!(scores.iter().all(|&c| (c - 1.0).abs() < 1e-12), "{scores:?}");
+        assert!(
+            scores.iter().all(|&c| (c - 1.0).abs() < 1e-12),
+            "{scores:?}"
+        );
         assert_eq!(count_triangles(&g), 6);
     }
 

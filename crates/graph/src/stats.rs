@@ -58,8 +58,16 @@ pub fn degree_skewness(degrees: &[u32]) -> f64 {
     }
     let nf = n as f64;
     let mean = degrees.iter().map(|&d| d as f64).sum::<f64>() / nf;
-    let m2 = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / nf;
-    let m3 = degrees.iter().map(|&d| (d as f64 - mean).powi(3)).sum::<f64>() / nf;
+    let m2 = degrees
+        .iter()
+        .map(|&d| (d as f64 - mean).powi(2))
+        .sum::<f64>()
+        / nf;
+    let m3 = degrees
+        .iter()
+        .map(|&d| (d as f64 - mean).powi(3))
+        .sum::<f64>()
+        / nf;
     if m2 <= f64::EPSILON {
         return 0.0;
     }
@@ -219,7 +227,9 @@ mod tests {
     fn top_degree_contribution_is_monotone_and_ends_at_one() {
         let counts = vec![100, 1, 1, 1, 1, 0, 0, 0, 0, 0];
         let curve = top_degree_contribution(&counts);
-        assert!(curve.windows(2).all(|w| w[0].read_fraction <= w[1].read_fraction));
+        assert!(curve
+            .windows(2)
+            .all(|w| w[0].read_fraction <= w[1].read_fraction));
         assert!((curve.last().unwrap().read_fraction - 1.0).abs() < 1e-12);
         // The single hot vertex (10% of vertices) accounts for ~96% of reads.
         let top10 = fraction_of_reads_to_top(&counts, 0.1);

@@ -4,11 +4,14 @@
 use proptest::prelude::*;
 use rmatc_graph::partition::{PartitionScheme, Partitioner};
 use rmatc_graph::types::Direction;
-use rmatc_graph::{relabel, reference, CsrGraph, EdgeList};
+use rmatc_graph::{reference, relabel, CsrGraph, EdgeList};
 
 fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (2usize..50).prop_flat_map(|n| {
-        (Just(n), prop::collection::vec((0..n as u32, 0..n as u32), 0..300))
+        (
+            Just(n),
+            prop::collection::vec((0..n as u32, 0..n as u32), 0..300),
+        )
     })
 }
 

@@ -24,7 +24,11 @@ impl ThreadTimer {
             Some(ns) => (ns, true),
             None => (0, false),
         };
-        Self { start_ns, wall_start: std::time::Instant::now(), cpu_clock_ok }
+        Self {
+            start_ns,
+            wall_start: std::time::Instant::now(),
+            cpu_clock_ok,
+        }
     }
 
     /// Nanoseconds of CPU time the calling thread has consumed since
@@ -44,7 +48,10 @@ impl ThreadTimer {
 /// exposes it.
 #[cfg(unix)]
 pub fn thread_cpu_time_ns() -> Option<u64> {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
     // SAFETY: `ts` is a valid, writable timespec and the clock id is a constant the
     // platform defines; the call writes the timestamp and returns 0 on success.
     let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
@@ -87,7 +94,11 @@ mod tests {
         let timer = ThreadTimer::start();
         std::thread::sleep(std::time::Duration::from_millis(50));
         // CPU time during sleep must be far below the 50 ms wall time.
-        assert!(timer.elapsed_ns() < 40_000_000, "got {} ns", timer.elapsed_ns());
+        assert!(
+            timer.elapsed_ns() < 40_000_000,
+            "got {} ns",
+            timer.elapsed_ns()
+        );
     }
 
     #[test]
@@ -104,6 +115,10 @@ mod tests {
         std::hint::black_box(busy);
         // The spawned thread's work must not appear in this thread's CPU time; allow
         // a generous margin for the join bookkeeping itself.
-        assert!(timer.elapsed_ns() < 20_000_000, "got {} ns", timer.elapsed_ns());
+        assert!(
+            timer.elapsed_ns() < 20_000_000,
+            "got {} ns",
+            timer.elapsed_ns()
+        );
     }
 }

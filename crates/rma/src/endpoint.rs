@@ -144,7 +144,11 @@ impl Endpoint {
             self.network.remote_cost_ns(bytes)
         };
         self.outstanding_ns += cost_ns;
-        PendingGet { data, cost_ns, epoch: self.epoch_counter }
+        PendingGet {
+            data,
+            cost_ns,
+            epoch: self.epoch_counter,
+        }
     }
 
     /// Reads the caller's own exposed region directly (no get, no charge beyond the

@@ -48,7 +48,12 @@ impl NetworkModel {
 
     /// A zero-cost model; useful in unit tests that only check data movement.
     pub fn zero() -> Self {
-        Self { alpha_ns: 0.0, beta_ns_per_byte: 0.0, local_read_ns: 0.0, injection_scale: 0.0 }
+        Self {
+            alpha_ns: 0.0,
+            beta_ns_per_byte: 0.0,
+            local_read_ns: 0.0,
+            injection_scale: 0.0,
+        }
     }
 
     /// Enables latency injection (real spinning) scaled by `scale`.
@@ -108,7 +113,7 @@ mod tests {
         let m = NetworkModel::aries();
         // An 8-byte offsets read costs roughly the setup latency.
         let small = m.remote_cost_ns(8);
-        assert!(small >= 2_500.0 && small < 3_000.0);
+        assert!((2_500.0..3_000.0).contains(&small));
         // A 4 KiB adjacency read costs noticeably more than the setup alone.
         assert!(m.remote_cost_ns(4096) > small);
     }

@@ -51,7 +51,11 @@ pub struct SimBarrier {
 impl SimBarrier {
     /// Creates a barrier for `ranks` ranks with the given network model.
     pub fn new(ranks: usize, network: NetworkModel) -> Self {
-        Self { inner: Arc::new(Barrier::new(ranks)), ranks, network }
+        Self {
+            inner: Arc::new(Barrier::new(ranks)),
+            ranks,
+            network,
+        }
     }
 
     /// Waits for all ranks; returns the modeled cost of the barrier in nanoseconds.

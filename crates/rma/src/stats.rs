@@ -71,7 +71,8 @@ impl RankStats {
         self.local_time_ns += other.local_time_ns;
         if self.gets_per_target.len() < other.gets_per_target.len() {
             self.gets_per_target.resize(other.gets_per_target.len(), 0);
-            self.bytes_per_target.resize(other.bytes_per_target.len(), 0);
+            self.bytes_per_target
+                .resize(other.bytes_per_target.len(), 0);
         }
         for (i, &g) in other.gets_per_target.iter().enumerate() {
             self.gets_per_target[i] += g;
@@ -117,7 +118,10 @@ impl CommStats {
     /// Maximum modeled communication time over ranks, in nanoseconds — the quantity
     /// that bounds the running time of a communication-dominated run.
     pub fn max_comm_time_ns(&self) -> f64 {
-        self.per_rank.iter().map(|r| r.comm_time_ns).fold(0.0, f64::max)
+        self.per_rank
+            .iter()
+            .map(|r| r.comm_time_ns)
+            .fold(0.0, f64::max)
     }
 
     /// Sum of modeled communication time over ranks, in nanoseconds.

@@ -10,7 +10,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Globally unique identifier of a window; CLaMPI keys cache entries by window id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct WindowId(pub u64);
 
 static NEXT_WINDOW_ID: AtomicU64 = AtomicU64::new(0);
@@ -30,7 +32,10 @@ impl<T: Copy + Send + Sync> Window<T> {
     /// collective `MPI_Win_create` performed during the (untimed) setup phase.
     pub fn from_parts(parts: Vec<Vec<T>>) -> Self {
         let id = WindowId(NEXT_WINDOW_ID.fetch_add(1, Ordering::Relaxed));
-        Self { id, parts: Arc::new(parts.into_iter().map(Arc::new).collect()) }
+        Self {
+            id,
+            parts: Arc::new(parts.into_iter().map(Arc::new).collect()),
+        }
     }
 
     /// The window's unique id.
@@ -63,7 +68,10 @@ impl<T: Copy + Send + Sync> Window<T> {
 
     /// Total exposed bytes across all ranks.
     pub fn total_bytes(&self) -> usize {
-        self.parts.iter().map(|p| p.len() * std::mem::size_of::<T>()).sum()
+        self.parts
+            .iter()
+            .map(|p| p.len() * std::mem::size_of::<T>())
+            .sum()
     }
 
     /// Copies `len` elements starting at `offset` from the region exposed by

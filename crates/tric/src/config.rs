@@ -34,12 +34,18 @@ impl TricConfig {
     /// TriC Buffered with the paper's 16 MiB per-destination cap. A query is a
     /// `(j, k, origin)` triple of 12 bytes, so 16 MiB holds ~1.4 M queries.
     pub fn buffered(ranks: usize) -> Self {
-        Self { buffer_entries: Some((16 << 20) / 12), ..Self::plain(ranks) }
+        Self {
+            buffer_entries: Some((16 << 20) / 12),
+            ..Self::plain(ranks)
+        }
     }
 
     /// Buffered with an explicit per-destination entry cap (used by tests).
     pub fn buffered_with(ranks: usize, buffer_entries: usize) -> Self {
-        Self { buffer_entries: Some(buffer_entries.max(1)), ..Self::plain(ranks) }
+        Self {
+            buffer_entries: Some(buffer_entries.max(1)),
+            ..Self::plain(ranks)
+        }
     }
 }
 

@@ -24,7 +24,11 @@ impl<T: Send> Mailboxes<T> {
         let boxes = (0..ranks)
             .map(|_| (0..ranks).map(|_| Mutex::new(Vec::new())).collect())
             .collect();
-        Self { boxes, barrier: SimBarrier::new(ranks, network), network }
+        Self {
+            boxes,
+            barrier: SimBarrier::new(ranks, network),
+            network,
+        }
     }
 
     /// Number of ranks.
@@ -38,7 +42,11 @@ impl<T: Send> Mailboxes<T> {
     /// addressed to `src` are returned together with the modeled communication cost
     /// in nanoseconds (message costs + barrier cost).
     pub fn alltoall(&self, src: usize, outgoing: Vec<Vec<T>>) -> (Vec<Vec<T>>, f64) {
-        assert_eq!(outgoing.len(), self.ranks(), "one outgoing vector per destination");
+        assert_eq!(
+            outgoing.len(),
+            self.ranks(),
+            "one outgoing vector per destination"
+        );
         let mut cost = 0.0;
         for (dest, payload) in outgoing.into_iter().enumerate() {
             if payload.is_empty() {
@@ -76,14 +84,17 @@ mod tests {
         let mail: Mailboxes<u64> = Mailboxes::new(ranks, NetworkModel::zero());
         let results = run_ranks(ranks, |r| {
             // Rank r sends the value 100*r + dest to every destination.
-            let outgoing: Vec<Vec<u64>> =
-                (0..ranks).map(|d| vec![(100 * r + d) as u64]).collect();
+            let outgoing: Vec<Vec<u64>> = (0..ranks).map(|d| vec![(100 * r + d) as u64]).collect();
             let (incoming, _) = mail.alltoall(r, outgoing);
             incoming
         });
         for (dest, inbox) in results.iter().enumerate() {
             for (src, msgs) in inbox.iter().enumerate() {
-                assert_eq!(msgs, &vec![(100 * src + dest) as u64], "src {src} -> dest {dest}");
+                assert_eq!(
+                    msgs,
+                    &vec![(100 * src + dest) as u64],
+                    "src {src} -> dest {dest}"
+                );
             }
         }
     }
@@ -112,7 +123,13 @@ mod tests {
             let mut seen = Vec::new();
             for round in 0..3u32 {
                 let outgoing: Vec<Vec<u32>> = (0..ranks)
-                    .map(|d| if d != r { vec![round * 10 + r as u32] } else { Vec::new() })
+                    .map(|d| {
+                        if d != r {
+                            vec![round * 10 + r as u32]
+                        } else {
+                            Vec::new()
+                        }
+                    })
                     .collect();
                 let (incoming, _) = mail.alltoall(r, outgoing);
                 seen.push(incoming.into_iter().flatten().collect::<Vec<_>>());
@@ -140,8 +157,9 @@ mod tests {
         let net = NetworkModel::aries();
         let mail: Mailboxes<u64> = Mailboxes::new(ranks, net);
         let costs = run_ranks(ranks, |r| {
-            let outgoing: Vec<Vec<u64>> =
-                (0..ranks).map(|d| if d != r { vec![0u64; 100] } else { Vec::new() }).collect();
+            let outgoing: Vec<Vec<u64>> = (0..ranks)
+                .map(|d| if d != r { vec![0u64; 100] } else { Vec::new() })
+                .collect();
             let (_, cost) = mail.alltoall(r, outgoing);
             cost
         });

@@ -81,7 +81,11 @@ impl TricResult {
     /// Largest per-rank buffered-query peak — the memory pressure the buffered
     /// variant exists to bound.
     pub fn max_peak_buffered_queries(&self) -> u64 {
-        self.ranks.iter().map(|r| r.peak_buffered_queries).max().unwrap_or(0)
+        self.ranks
+            .iter()
+            .map(|r| r.peak_buffered_queries)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum number of exchange rounds over ranks.

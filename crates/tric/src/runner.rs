@@ -86,7 +86,7 @@ fn run_rank(
     // clock would measure scheduling rather than work.
     let timer = ThreadTimer::start();
     let mut pending: Vec<Vec<Query>> = vec![Vec::new(); ranks];
-    for local_idx in 0..part.local_vertex_count() {
+    for (local_idx, triangles_slot) in local_triangles.iter_mut().enumerate() {
         let adj = part.neighbours_of_local(local_idx);
         for (a_pos, &j) in adj.iter().enumerate() {
             let partners: &[VertexId] = match direction {
@@ -104,10 +104,14 @@ fn run_rank(
                     // The edge (j, k) can be checked locally.
                     let j_local = pg.partitioner.local_index(j);
                     if part.neighbours_of_local(j_local).binary_search(&k).is_ok() {
-                        local_triangles[local_idx] += 1;
+                        *triangles_slot += 1;
                     }
                 } else {
-                    pending[owner_j].push(Query { j, k, origin_local: local_idx as u32 });
+                    pending[owner_j].push(Query {
+                        j,
+                        k,
+                        origin_local: local_idx as u32,
+                    });
                 }
             }
         }
@@ -148,8 +152,10 @@ fn run_rank(
                 None => queue.len(),
             };
             cursors[dest] = end;
-            let msgs: Vec<[u32; 3]> =
-                queue[start..end].iter().map(|q| [q.j, q.k, q.origin_local]).collect();
+            let msgs: Vec<[u32; 3]> = queue[start..end]
+                .iter()
+                .map(|q| [q.j, q.k, q.origin_local])
+                .collect();
             bytes_sent += (msgs.len() * 12) as u64;
             outgoing.push(msgs);
         }
@@ -219,8 +225,10 @@ fn assemble(pg: &PartitionedGraph, outputs: Vec<RankOutput>) -> TricResult {
     let mut per_vertex_triangles = vec![0u64; n];
     let mut degrees = vec![0u32; n];
     let mut ranks = Vec::with_capacity(outputs.len());
-    let max_compute =
-        outputs.iter().map(|o| o.report.compute_ns).fold(0.0, f64::max);
+    let max_compute = outputs
+        .iter()
+        .map(|o| o.report.compute_ns)
+        .fold(0.0, f64::max);
     for out in outputs {
         let part: &RankPartition = &pg.partitions[out.rank];
         for (local_idx, &gv) in part.global_ids.iter().enumerate() {
@@ -241,7 +249,13 @@ fn assemble(pg: &PartitionedGraph, outputs: Vec<RankOutput>) -> TricResult {
         Direction::Undirected => total / 3,
         Direction::Directed => total,
     };
-    TricResult { lcc, per_vertex_triangles, triangle_count, rank_count: pg.ranks(), ranks }
+    TricResult {
+        lcc,
+        per_vertex_triangles,
+        triangle_count,
+        rank_count: pg.ranks(),
+        ranks,
+    }
 }
 
 #[cfg(test)]
@@ -262,7 +276,11 @@ mod tests {
         let expected = reference::lcc_scores(&g);
         for ranks in [1, 2, 4] {
             let result = Tric::new(TricConfig::plain(ranks)).run(&g);
-            assert_eq!(result.triangle_count, reference::count_triangles(&g), "p = {ranks}");
+            assert_eq!(
+                result.triangle_count,
+                reference::count_triangles(&g),
+                "p = {ranks}"
+            );
             for (v, (a, b)) in result.lcc.iter().zip(expected.iter()).enumerate() {
                 assert!((a - b).abs() < 1e-12, "vertex {v} at p = {ranks}");
             }
@@ -311,7 +329,11 @@ mod tests {
         assert!(result.total_bytes() > 0);
         assert!(result.max_rank_time_ns() > 0.0);
         let answered: u64 = result.ranks.iter().map(|r| r.queries_answered).sum();
-        assert_eq!(answered, result.total_queries(), "every query must be answered");
+        assert_eq!(
+            answered,
+            result.total_queries(),
+            "every query must be answered"
+        );
     }
 
     #[test]
@@ -329,8 +351,7 @@ mod tests {
         // each remote adjacency list linearly.
         let g = Dataset::Orkut.generate(DatasetScale::Tiny, 2);
         let tric = Tric::new(TricConfig::plain(4)).run(&g);
-        let asynchronous =
-            rmatc_core::DistLcc::new(rmatc_core::DistConfig::non_cached(4)).run(&g);
+        let asynchronous = rmatc_core::DistLcc::new(rmatc_core::DistConfig::non_cached(4)).run(&g);
         assert!(
             tric.total_queries() > asynchronous.total_gets(),
             "TriC queries ({}) should exceed async gets ({})",

@@ -24,10 +24,16 @@ fn main() {
         baseline.max_comm_time_ns() / 1e6
     );
 
-    println!("\n{:<22} {:>10} {:>12} {:>12} {:>10}", "configuration", "hit rate", "comm (ms)", "saved", "evictions");
+    println!(
+        "\n{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "configuration", "hit rate", "comm (ms)", "saved", "evictions"
+    );
     let csr = graph.csr_size_bytes() as f64;
     for fraction in [0.05, 0.1, 0.25, 0.5, 1.0] {
-        for (label, mode) in [("LRU", ScoreMode::Lru), ("degree", ScoreMode::DegreeCentrality)] {
+        for (label, mode) in [
+            ("LRU", ScoreMode::Lru),
+            ("degree", ScoreMode::DegreeCentrality),
+        ] {
             let budget = (csr * fraction) as usize;
             let mut config = DistConfig::cached(ranks, budget);
             config.score_mode = mode;

@@ -53,7 +53,7 @@ fn main() {
         }
     }
     cores.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(b.1.cmp(&a.1)));
-    bridges.sort_by(|a, b| b.1.cmp(&a.1));
+    bridges.sort_by_key(|b| std::cmp::Reverse(b.1));
 
     println!(
         "Community cores (LCC ≥ 0.5): {}   members: {}   bridges/hubs (LCC ≤ 0.1, degree ≥ 30): {}",
@@ -73,7 +73,10 @@ fn main() {
     // The structural signature the paper's introduction describes: bridges have much
     // higher degree than cores, cores have much higher LCC than bridges.
     if let (Some(core), Some(bridge)) = (cores.first(), bridges.first()) {
-        assert!(core.2 > bridge.2, "cores must be more clustered than bridges");
+        assert!(
+            core.2 > bridge.2,
+            "cores must be more clustered than bridges"
+        );
         println!(
             "\nThe most central bridge has {}x the degree but only {:.0}% of the LCC of the \
              densest community core.",

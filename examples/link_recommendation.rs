@@ -14,7 +14,9 @@ use rmatc::prelude::*;
 use rmatc_core::Intersector;
 
 fn main() {
-    let graph = BarabasiAlbert::with_closure(3_000, 8, 4).generate_cleaned(11).into_csr();
+    let graph = BarabasiAlbert::with_closure(3_000, 8, 4)
+        .generate_cleaned(11)
+        .into_csr();
     println!(
         "Friendship graph: {} vertices, {} edges",
         graph.vertex_count(),
@@ -59,7 +61,10 @@ fn main() {
         }
         if let Some((best, _)) = ranked.first() {
             let common = intersector.count(friends, graph.neighbours(*best));
-            assert!(common > 0, "a recommended link must close at least one triangle");
+            assert!(
+                common > 0,
+                "a recommended link must close at least one triangle"
+            );
         }
     }
     println!(

@@ -40,9 +40,10 @@ fn main() {
     // 4. The same computation with CLaMPI caching of both windows and
     //    degree-centrality eviction scores.
     let cache_budget = graph.csr_size_bytes() as usize / 2;
-    let cached =
-        DistLcc::new(DistConfig::cached(8, cache_budget).with_degree_scores()).run(&graph);
-    let adj_stats = cached.adjacency_cache_totals().expect("adjacency cache enabled");
+    let cached = DistLcc::new(DistConfig::cached(8, cache_budget).with_degree_scores()).run(&graph);
+    let adj_stats = cached
+        .adjacency_cache_totals()
+        .expect("adjacency cache enabled");
     println!(
         "Distributed (8 ranks, cached):   {} triangles, {} RMA gets, hit rate {:.1}%, \
          modeled running time {:.1} ms",

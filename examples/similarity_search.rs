@@ -37,7 +37,10 @@ fn main() {
         DistConfig::cached(ranks, graph.csr_size_bytes() as usize / 2).with_degree_scores(),
     )
     .run(&graph);
-    assert_eq!(plain.edges, cached.edges, "caching must not change the scores");
+    assert_eq!(
+        plain.edges, cached.edges,
+        "caching must not change the scores"
+    );
 
     println!(
         "Scored {} edges on {ranks} ranks; mean Jaccard similarity {:.3}.",
@@ -57,7 +60,10 @@ fn main() {
         .filter(|e| e.common_neighbours == 0)
         .take(3)
         .collect::<Vec<_>>();
-    println!("\nIncidental co-occurrences (no shared neighbourhood): {} edges", weakest.len());
+    println!(
+        "\nIncidental co-occurrences (no shared neighbourhood): {} edges",
+        weakest.len()
+    );
 
     println!(
         "\nRMA traffic: {} gets without caching vs {} with CLaMPI ({}% saved) — the same \

@@ -8,8 +8,10 @@
 //! * [`rma`] — the simulated MPI-3 RMA substrate (windows, one-sided gets, network
 //!   cost model).
 //! * [`clampi`] — the CLaMPI RMA caching layer with application-defined scores.
-//! * [`core`] — intersection kernels, shared-memory LCC, and the fully asynchronous
-//!   distributed LCC/TC algorithm.
+//! * [`core`] — intersection kernels (scalar, SIMD/branchless, binary-search and
+//!   galloping, with the per-edge hybrid cost model), shared-memory LCC with
+//!   intersection-, vertex- or edge-parallel outer loops, and the fully
+//!   asynchronous distributed LCC/TC algorithm.
 //! * [`tric`] — the TriC bulk-synchronous baseline.
 //!
 //! # Quickstart
@@ -38,7 +40,7 @@ pub mod prelude {
     pub use rmatc_clampi::{ClampiConfig, ConsistencyMode, ScorePolicy};
     pub use rmatc_core::{
         CacheSpec, DistConfig, DistJaccard, DistLcc, DistResult, IntersectMethod, JaccardResult,
-        LocalConfig, LocalLcc, ScoreMode,
+        LocalConfig, LocalLcc, LocalParallelism, ScoreMode,
     };
     pub use rmatc_graph::datasets::{Dataset, DatasetScale};
     pub use rmatc_graph::gen::{

@@ -27,7 +27,9 @@ fn miss_rate_decreases_monotonically_with_cache_size() {
     let mut previous_miss_rate = 1.0f64;
     for fraction in [0.05, 0.25, 1.0] {
         let mut cfg = DistConfig::non_cached(2);
-        cfg.cache = Some(CacheSpec::adjacencies_only((adj_bytes as f64 * fraction) as usize));
+        cfg.cache = Some(CacheSpec::adjacencies_only(
+            (adj_bytes as f64 * fraction) as usize,
+        ));
         let result = DistLcc::new(cfg).run(&g);
         let miss = result.adjacency_cache_totals().unwrap().miss_rate();
         assert!(
@@ -60,7 +62,10 @@ fn degree_scores_do_not_hit_less_than_lru_under_pressure() {
     let degree = run(ScoreMode::DegreeCentrality);
     let lru_stats = lru.adjacency_cache_totals().unwrap();
     let degree_stats = degree.adjacency_cache_totals().unwrap();
-    assert!(lru_stats.evictions() > 0, "the configuration must create cache pressure");
+    assert!(
+        lru_stats.evictions() > 0,
+        "the configuration must create cache pressure"
+    );
     assert!(
         degree_stats.hit_rate() >= lru_stats.hit_rate() - 0.01,
         "degree scores should not lose to LRU on a skewed graph ({} vs {})",
@@ -75,7 +80,10 @@ fn compulsory_miss_floor_grows_with_rank_count() {
     let budget = g.csr_size_bytes() as usize;
     let rate = |ranks| {
         let result = DistLcc::new(DistConfig::cached(ranks, budget)).run(&g);
-        result.adjacency_cache_totals().unwrap().compulsory_miss_rate()
+        result
+            .adjacency_cache_totals()
+            .unwrap()
+            .compulsory_miss_rate()
     };
     let at_2 = rate(2);
     let at_16 = rate(16);
@@ -119,11 +127,15 @@ fn cache_statistics_are_internally_consistent() {
     let g = skewed_graph();
     let result = DistLcc::new(DistConfig::cached(4, g.csr_size_bytes() as usize / 4)).run(&g);
     for report in &result.ranks {
-        for stats in [&report.offsets_cache, &report.adjacency_cache].into_iter().flatten() {
+        for stats in [&report.offsets_cache, &report.adjacency_cache]
+            .into_iter()
+            .flatten()
+        {
             assert_eq!(stats.lookups(), stats.hits + stats.misses);
             assert!(stats.compulsory_misses <= stats.misses);
-            assert!((stats.hit_rate() + stats.miss_rate() - 1.0).abs() < 1e-9
-                || stats.lookups() == 0);
+            assert!(
+                (stats.hit_rate() + stats.miss_rate() - 1.0).abs() < 1e-9 || stats.lookups() == 0
+            );
         }
     }
 }

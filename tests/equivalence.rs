@@ -9,7 +9,10 @@ use rmatc_graph::reference;
 fn assert_scores_equal(a: &[f64], b: &[f64], context: &str) {
     assert_eq!(a.len(), b.len(), "{context}: length mismatch");
     for (v, (x, y)) in a.iter().zip(b.iter()).enumerate() {
-        assert!((x - y).abs() < 1e-12, "{context}: vertex {v} differs ({x} vs {y})");
+        assert!(
+            (x - y).abs() < 1e-12,
+            "{context}: vertex {v} differs ({x} vs {y})"
+        );
     }
 }
 
@@ -19,13 +22,22 @@ fn graphs_under_test() -> Vec<(String, CsrGraph)> {
             "rmat".to_string(),
             RmatGenerator::paper(9, 8).generate_cleaned(1).into_csr(),
         ),
-        ("orkut-standin".to_string(), Dataset::Orkut.generate(DatasetScale::Tiny, 2)),
+        (
+            "orkut-standin".to_string(),
+            Dataset::Orkut.generate(DatasetScale::Tiny, 2),
+        ),
         (
             "facebook-circles".to_string(),
             Dataset::FacebookCircles.generate(DatasetScale::Tiny, 3),
         ),
-        ("directed-lj1".to_string(), Dataset::LiveJournal1.generate(DatasetScale::Tiny, 4)),
-        ("uniform".to_string(), Dataset::Uniform.generate(DatasetScale::Tiny, 5)),
+        (
+            "directed-lj1".to_string(),
+            Dataset::LiveJournal1.generate(DatasetScale::Tiny, 4),
+        ),
+        (
+            "uniform".to_string(),
+            Dataset::Uniform.generate(DatasetScale::Tiny, 5),
+        ),
     ]
 }
 
@@ -90,8 +102,16 @@ fn tric_and_async_agree_on_every_graph() {
         let buffered = Tric::new(TricConfig::buffered_with(4, 128)).run(&g);
         assert_eq!(asynchronous.triangle_count, tric.triangle_count, "{name}");
         assert_eq!(tric.triangle_count, buffered.triangle_count, "{name}");
-        assert_scores_equal(&asynchronous.lcc, &tric.lcc, &format!("{name} async vs tric"));
-        assert_scores_equal(&tric.lcc, &buffered.lcc, &format!("{name} plain vs buffered"));
+        assert_scores_equal(
+            &asynchronous.lcc,
+            &tric.lcc,
+            &format!("{name} async vs tric"),
+        );
+        assert_scores_equal(
+            &tric.lcc,
+            &buffered.lcc,
+            &format!("{name} plain vs buffered"),
+        );
     }
 }
 

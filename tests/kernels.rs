@@ -1,0 +1,149 @@
+//! Differential tests of the intersection kernel suite and the shared-memory
+//! parallelization strategies: every kernel must return identical counts on
+//! adversarial list shapes, and every outer-loop strategy must reproduce the
+//! sequential result exactly on generated graphs.
+
+use proptest::prelude::*;
+use rmatc::prelude::*;
+use rmatc_core::intersect::{
+    binary_search_count, galloping_count, simd_count, ssi_count, ParallelIntersector,
+};
+use rmatc_core::{Intersector, LocalParallelism};
+use rmatc_graph::reference;
+
+/// Every sequential kernel, by label, for differential comparison.
+fn kernel_counts(a: &[u32], b: &[u32]) -> Vec<(&'static str, u64)> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    vec![
+        ("ssi", ssi_count(a, b)),
+        ("simd", simd_count(a, b)),
+        ("binary", binary_search_count(short, long)),
+        ("galloping", galloping_count(short, long)),
+    ]
+}
+
+fn assert_all_kernels_agree(a: &[u32], b: &[u32]) {
+    let expected = reference::sorted_intersection_count(a, b);
+    for (name, got) in kernel_counts(a, b) {
+        assert_eq!(got, expected, "{name} on |a|={} |b|={}", a.len(), b.len());
+    }
+    for method in IntersectMethod::all() {
+        assert_eq!(Intersector::new(method).count(a, b), expected, "{method:?}");
+        assert_eq!(
+            Intersector::new(method).count(b, a),
+            expected,
+            "{method:?} swapped"
+        );
+        for chunks in [2, 5] {
+            let par = ParallelIntersector::new(method, chunks, 8);
+            assert_eq!(
+                par.count(a, b),
+                expected,
+                "{method:?} parallel chunks={chunks}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_on_handpicked_adversarial_shapes() {
+    let empty: Vec<u32> = vec![];
+    let one = vec![7u32];
+    let all_equal_a: Vec<u32> = (0..500).collect();
+    let evens: Vec<u32> = (0..2_000).map(|x| x * 2).collect();
+    let odds: Vec<u32> = (0..2_000).map(|x| x * 2 + 1).collect();
+    // Hub-leaf skew >= 1000x.
+    let leaf = vec![5u32, 40_000, 99_999, 163_841];
+    let hub: Vec<u32> = (0..163_842).collect();
+    let cases: Vec<(&[u32], &[u32])> = vec![
+        (&empty, &empty),
+        (&empty, &all_equal_a),
+        (&one, &empty),
+        (&one, &one),
+        (&one, &all_equal_a),
+        (&all_equal_a, &all_equal_a),
+        (&evens, &odds),
+        (&evens, &evens),
+        (&leaf, &hub),
+    ];
+    for (a, b) in cases {
+        assert_all_kernels_agree(a, b);
+    }
+}
+
+fn sorted_dedup(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kernels_agree_on_random_lists(a in prop::collection::vec(0u32..2_000, 0..400),
+                                     b in prop::collection::vec(0u32..2_000, 0..400)) {
+        let a = sorted_dedup(a);
+        let b = sorted_dedup(b);
+        let expected = reference::sorted_intersection_count(&a, &b);
+        for (name, got) in kernel_counts(&a, &b) {
+            prop_assert_eq!(got, expected, "{} diverged", name);
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_hub_leaf_skew(keys in prop::collection::vec(0u32..4_000_000, 1..40),
+                                      hub_len in 40_000usize..80_000,
+                                      stride in 1u32..60) {
+        // >= 1000x skew by construction: <= 40 keys vs >= 40k hub entries.
+        let keys = sorted_dedup(keys);
+        let hub: Vec<u32> = (0..hub_len as u32).map(|x| x * stride).collect();
+        let expected = reference::sorted_intersection_count(&keys, &hub);
+        for (name, got) in kernel_counts(&keys, &hub) {
+            prop_assert_eq!(got, expected, "{} diverged at skew {}", name,
+                            hub.len() / keys.len().max(1));
+        }
+    }
+
+    #[test]
+    fn parallel_strategies_match_sequential_on_rmat(seed in 0u64..12, threads in 2usize..6) {
+        let g = RmatGenerator::paper(8, 8).generate_cleaned(seed).into_csr();
+        let seq = LocalLcc::new(LocalConfig::sequential()).run(&g);
+        prop_assert_eq!(seq.triangle_count, reference::count_triangles(&g));
+        for mode in [
+            LocalParallelism::IntersectionParallel,
+            LocalParallelism::VertexParallel,
+            LocalParallelism::EdgeParallel,
+        ] {
+            let mut cfg = LocalConfig::parallel(threads).with_parallelism(mode);
+            cfg.parallel_cutoff = 16;
+            let par = LocalLcc::new(cfg).run(&g);
+            prop_assert_eq!(&par.per_vertex_triangles, &seq.per_vertex_triangles,
+                            "{:?} threads={}", mode, threads);
+            prop_assert_eq!(par.edges_processed, seq.edges_processed);
+        }
+    }
+
+    #[test]
+    fn parallel_strategies_match_sequential_on_watts_strogatz(seed in 0u64..12,
+                                                              beta_pct in 0u32..100) {
+        let g = WattsStrogatz::new(300, 6, beta_pct as f64 / 100.0)
+            .generate_cleaned(seed)
+            .into_csr();
+        let seq = LocalLcc::new(LocalConfig::sequential()).run(&g);
+        for mode in [LocalParallelism::VertexParallel, LocalParallelism::EdgeParallel] {
+            let par = LocalLcc::new(LocalConfig::parallel(4).with_parallelism(mode)).run(&g);
+            prop_assert_eq!(&par.per_vertex_triangles, &seq.per_vertex_triangles, "{:?}", mode);
+        }
+    }
+
+    #[test]
+    fn methods_agree_through_the_full_local_run(seed in 0u64..8) {
+        let g = RmatGenerator::paper(7, 8).generate_cleaned(seed).into_csr();
+        let expected = reference::count_triangles(&g);
+        for method in IntersectMethod::all() {
+            let r = LocalLcc::new(LocalConfig::sequential().with_method(method)).run(&g);
+            prop_assert_eq!(r.triangle_count, expected, "{:?}", method);
+        }
+    }
+}

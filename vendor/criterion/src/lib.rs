@@ -1,0 +1,490 @@
+//! Offline stub of the `criterion` API subset this workspace uses.
+//!
+//! `criterion_group!` / `criterion_main!`, benchmark groups, `Bencher::iter`
+//! and `iter_batched`, `Throughput::Elements`, and `BenchmarkId` are all
+//! supported. Measurement is a warmup phase followed by `sample_size` samples
+//! of an adaptively chosen iteration count; the median per-iteration time is
+//! reported.
+//!
+//! In addition to the human-readable table on stdout, passing `--json <path>`
+//! after `--` (`cargo bench --bench intersect -- --json out.json`) writes
+//! every record as machine-readable JSON so perf trajectories can be compared
+//! across commits.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How input values are amortized in `iter_batched`; the stub times every
+/// routine call individually, so the variants only exist for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation attached to subsequent benchmarks in a group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { id: name }
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Record {
+    pub group: String,
+    pub bench: String,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+    pub throughput_elems: Option<u64>,
+}
+
+impl Record {
+    /// Elements processed per microsecond, when a throughput was declared.
+    pub fn elems_per_us(&self) -> Option<f64> {
+        self.throughput_elems.map(|e| {
+            if self.median_ns == 0.0 {
+                0.0
+            } else {
+                e as f64 / (self.median_ns / 1_000.0)
+            }
+        })
+    }
+}
+
+/// Top-level driver; collects every measurement for the final report.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    measurement_time: Duration,
+    records: Vec<Record>,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 30,
+            warmup: Duration::from_millis(60),
+            measurement_time: Duration::from_millis(240),
+            records: Vec::new(),
+            filter: parse_filter(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut group = self.benchmark_group("");
+        group.bench_function(id.id.as_str(), f);
+        group.finish();
+        self
+    }
+
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+
+    fn measure(
+        &mut self,
+        group: &str,
+        bench: &str,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let full = if group.is_empty() {
+            bench.to_string()
+        } else {
+            format!("{group}/{bench}")
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: Mode::Warmup {
+                budget: self.warmup,
+            },
+            per_iter_estimate_ns: 0.0,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let per_sample_budget =
+            (self.measurement_time.as_nanos() as f64 / sample_size as f64).max(50_000.0);
+        let iters =
+            (per_sample_budget / bencher.per_iter_estimate_ns.max(0.5)).clamp(1.0, 1e9) as u64;
+        bencher.mode = Mode::Measure {
+            samples: sample_size,
+            iters,
+        };
+        bencher.samples_ns.clear();
+        f(&mut bencher);
+        let mut samples = bencher.samples_ns;
+        if samples.is_empty() {
+            return;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median_ns = samples[samples.len() / 2];
+        let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        let throughput_elems = match throughput {
+            Some(Throughput::Elements(e)) => Some(e),
+            _ => None,
+        };
+        let record = Record {
+            group: group.to_string(),
+            bench: bench.to_string(),
+            median_ns,
+            mean_ns,
+            samples: samples.len(),
+            iters_per_sample: iters,
+            throughput_elems,
+        };
+        match record.elems_per_us() {
+            Some(rate) => println!(
+                "{full:<56} median {:>12} /iter  ({rate:.1} elems/us)",
+                fmt_ns(record.median_ns)
+            ),
+            None => println!("{full:<56} median {:>12} /iter", fmt_ns(record.median_ns)),
+        }
+        self.records.push(record);
+    }
+}
+
+/// The `--json` operand, if present and plausible. Cargo appends its own
+/// flags (e.g. `--bench`) after user args, so a flag-like token following
+/// `--json` means the path was omitted.
+fn parse_json_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            return match args.next() {
+                Some(path) if !path.starts_with('-') => Some(path),
+                _ => {
+                    eprintln!("--json requires a path operand; ignoring");
+                    None
+                }
+            };
+        }
+    }
+    None
+}
+
+/// First positional CLI argument = substring filter on benchmark names
+/// (mirrors criterion/libtest). `--json <path>` and other flags are skipped.
+fn parse_filter() -> Option<String> {
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            if args.peek().is_some_and(|next| !next.starts_with('-')) {
+                args.next();
+            }
+        } else if !arg.starts_with('-') {
+            return Some(arg);
+        }
+    }
+    None
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let (name, throughput) = (self.name.clone(), self.throughput);
+        self.criterion
+            .measure(&name, &id.id, throughput, sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    Warmup { budget: Duration },
+    Measure { samples: usize, iters: u64 },
+}
+
+/// Passed to every benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    mode: Mode,
+    per_iter_estimate_ns: f64,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Warmup { budget } => {
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < budget || iters == 0 {
+                    black_box(routine());
+                    iters += 1;
+                    if iters >= 1_000_000 {
+                        break;
+                    }
+                }
+                self.per_iter_estimate_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            }
+            Mode::Measure { samples, iters } => {
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    self.samples_ns
+                        .push(start.elapsed().as_nanos() as f64 / iters as f64);
+                }
+            }
+        }
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            Mode::Warmup { budget } => {
+                let mut spent = Duration::ZERO;
+                let mut iters = 0u64;
+                while spent < budget || iters == 0 {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    spent += start.elapsed();
+                    iters += 1;
+                    if iters >= 1_000_000 {
+                        break;
+                    }
+                }
+                self.per_iter_estimate_ns = spent.as_nanos() as f64 / iters as f64;
+            }
+            Mode::Measure { samples, iters } => {
+                for _ in 0..samples {
+                    let mut spent = Duration::ZERO;
+                    for _ in 0..iters {
+                        let input = setup();
+                        let start = Instant::now();
+                        black_box(routine(input));
+                        spent += start.elapsed();
+                    }
+                    self.samples_ns.push(spent.as_nanos() as f64 / iters as f64);
+                }
+            }
+        }
+    }
+}
+
+/// Final reporting: prints the table footer and, when `--json <path>` was
+/// passed on the command line, writes all records as a JSON object with host
+/// metadata (core count matters: parallel sections measured on a single-core
+/// host show flat curves that say nothing about the parallel code).
+pub fn finalize(records: Vec<Record>) {
+    println!("\n{} benchmarks measured", records.len());
+    if let Some(path) = parse_json_path() {
+        let cpus = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(0);
+        let mut out = format!(
+            "{{\"host\": {{\"cpus\": {cpus}, \"arch\": {:?}, \"os\": {:?}}},\n\"records\": [\n",
+            std::env::consts::ARCH,
+            std::env::consts::OS,
+        );
+        for (i, r) in records.iter().enumerate() {
+            let sep = if i + 1 == records.len() { "" } else { "," };
+            let throughput = match r.throughput_elems {
+                Some(e) => e.to_string(),
+                None => "null".to_string(),
+            };
+            let elems_per_us = match r.elems_per_us() {
+                Some(v) => format!("{v:.3}"),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "  {{\"group\": {:?}, \"bench\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+                 \"samples\": {}, \"iters_per_sample\": {}, \"throughput_elems\": {}, \
+                 \"elems_per_us\": {}}}{sep}\n",
+                r.group,
+                r.bench,
+                r.median_ns,
+                r.mean_ns,
+                r.samples,
+                r.iters_per_sample,
+                throughput,
+                elems_per_us,
+            ));
+        }
+        out.push_str("]}\n");
+        match std::fs::write(&path, out) {
+            Ok(()) => println!("wrote {} records to {path}", records.len()),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() -> $crate::Criterion {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut records = Vec::new();
+            $( records.extend($group().into_records()); )+
+            $crate::finalize(records);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(10));
+        c.benchmark_group("g")
+            .bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let records = c.into_records();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_parameter() {
+        let id = BenchmarkId::new("hybrid", 8);
+        assert_eq!(id.id, "hybrid/8");
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline stub of `libc`: declarations for the few symbols this workspace
+//! calls. The symbols themselves come from the platform C library, which Rust
+//! links on all supported Unix targets anyway — only the declarations are
+//! vendored.
+
+#![allow(non_camel_case_types)]
+
+#[cfg(unix)]
+pub type c_int = i32;
+#[cfg(unix)]
+pub type c_long = i64;
+#[cfg(unix)]
+pub type time_t = i64;
+#[cfg(unix)]
+pub type clockid_t = c_int;
+
+#[cfg(unix)]
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+/// Linux value; the only platform the simulator's CPU-time clock targets.
+#[cfg(all(unix, target_os = "linux"))]
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+#[cfg(all(unix, not(target_os = "linux")))]
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 16;
+
+#[cfg(unix)]
+extern "C" {
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}

@@ -1,0 +1,26 @@
+//! Offline stub of `parking_lot`: a `Mutex` over `std::sync::Mutex` exposing
+//! the guard-returning `lock()` signature (poisoning is translated into a
+//! panic, matching parking_lot's behaviour of not having poisoning at all).
+
+use std::sync::MutexGuard;
+
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}

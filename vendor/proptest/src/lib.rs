@@ -1,0 +1,234 @@
+//! Offline stub of the `proptest` API subset this workspace uses.
+//!
+//! Implements the `proptest!` macro, composable strategies (integer ranges,
+//! tuples, `Just`, `prop::collection::vec`, `any::<T>()`, `prop_map`,
+//! `prop_flat_map`) and the `prop_assert*` macros. Cases are generated from a
+//! deterministic per-test seed so failures reproduce; there is no shrinking —
+//! a failing case reports its case index and message instead.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Error carried out of a failing test case by the `prop_assert*` macros.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn new(msg: String) -> Self {
+        Self(msg)
+    }
+
+    /// Mirror of proptest's `TestCaseError::fail` constructor.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only `cases` is interpreted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from the test name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    hash
+}
+
+/// Executes `case` for every generated input; panics (failing the enclosing
+/// `#[test]`) on the first case whose result is `Err`.
+pub fn run_proptest(
+    config: ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut StdRng) -> TestCaseResult,
+) {
+    let base = fnv1a(name.as_bytes());
+    for i in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest '{name}' failed at case {i}/{}: {e}", config.cases);
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(...)` resolves.
+pub mod prop {
+    pub use crate::strategy::collection;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::new(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::new(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::new(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::new(format!(
+                        "{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return Err($crate::TestCaseError::new(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Skips the rest of the case when the assumption does not hold (the case
+/// counts as passed, matching proptest's rejection semantics closely enough
+/// for these tests' loose assumptions).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __strategies = ( $($strat,)+ );
+                $crate::run_proptest(__config, stringify!($name), |__rng| {
+                    $crate::__proptest_bind!(__strategies, __rng, $($pat),+);
+                    let __result: $crate::TestCaseResult = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    __result
+                });
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($strats:ident, $rng:ident, $p0:pat) => {
+        let $p0 = $crate::Strategy::generate(&$strats.0, $rng);
+    };
+    ($strats:ident, $rng:ident, $p0:pat, $p1:pat) => {
+        let $p0 = $crate::Strategy::generate(&$strats.0, $rng);
+        let $p1 = $crate::Strategy::generate(&$strats.1, $rng);
+    };
+    ($strats:ident, $rng:ident, $p0:pat, $p1:pat, $p2:pat) => {
+        let $p0 = $crate::Strategy::generate(&$strats.0, $rng);
+        let $p1 = $crate::Strategy::generate(&$strats.1, $rng);
+        let $p2 = $crate::Strategy::generate(&$strats.2, $rng);
+    };
+    ($strats:ident, $rng:ident, $p0:pat, $p1:pat, $p2:pat, $p3:pat) => {
+        let $p0 = $crate::Strategy::generate(&$strats.0, $rng);
+        let $p1 = $crate::Strategy::generate(&$strats.1, $rng);
+        let $p2 = $crate::Strategy::generate(&$strats.2, $rng);
+        let $p3 = $crate::Strategy::generate(&$strats.3, $rng);
+    };
+    ($strats:ident, $rng:ident, $p0:pat, $p1:pat, $p2:pat, $p3:pat, $p4:pat) => {
+        let $p0 = $crate::Strategy::generate(&$strats.0, $rng);
+        let $p1 = $crate::Strategy::generate(&$strats.1, $rng);
+        let $p2 = $crate::Strategy::generate(&$strats.2, $rng);
+        let $p3 = $crate::Strategy::generate(&$strats.3, $rng);
+        let $p4 = $crate::Strategy::generate(&$strats.4, $rng);
+    };
+}

@@ -1,0 +1,88 @@
+//! Offline stub of `rand_distr`: the `Distribution` trait and the `Zipf`
+//! distribution (the only one this workspace samples).
+
+use rand::Rng;
+
+/// Types that produce values of `T` when driven by an RNG.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error type for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZipfError;
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid Zipf parameters")
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over `1..=n` with exponent `s`: `P(k) ∝ 1 / k^s`.
+///
+/// Sampled by inverse-CDF binary search over a precomputed table — `n` is a
+/// few hundred everywhere in this workspace, so the table is tiny and the
+/// sampling exact.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return Err(ZipfError);
+        }
+        let n = usize::try_from(n).map_err(|_| ZipfError)?;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Self { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        (idx + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn samples_stay_in_support_and_skew_low() {
+        let z = Zipf::new(100, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ones = 0usize;
+        for _ in 0..5_000 {
+            let x = z.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&x));
+            if x == 1.0 {
+                ones += 1;
+            }
+        }
+        // P(1) ≈ 0.26 for s = 1.2, n = 100: the mode must dominate.
+        assert!(ones > 800, "only {ones} samples of rank 1");
+    }
+}

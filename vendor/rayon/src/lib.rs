@@ -1,0 +1,167 @@
+//! Offline stub of the `rayon` API subset this workspace uses: parallel
+//! iteration over `Range<usize>` with `map`/`sum`/`collect`/`for_each`.
+//!
+//! Parallelism is real — chunks of the range are executed on scoped OS threads
+//! — but there is no persistent work-stealing pool: each `sum`/`collect` call
+//! forks and joins. Callers (the intersection kernels, the vertex-parallel
+//! LCC loop) already gate parallel entry behind a size cut-off, which keeps
+//! the fork cost amortized exactly where rayon's pool entry cost would be.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads: `RAYON_NUM_THREADS` if set, else the number of
+/// available cores.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Conversion into a parallel iterator (only `Range<usize>` is implemented).
+pub trait IntoParallelIterator {
+    type Iter;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+#[derive(Debug, Clone, Copy)]
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParRange {
+    pub fn map<T, F>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        ParMap {
+            start: self.start,
+            end: self.end,
+            f,
+        }
+    }
+}
+
+/// The mapped parallel iterator; terminal operations fork scoped threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ParMap<F> {
+    start: usize,
+    end: usize,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    /// Runs `per_chunk` on each worker's sub-range and returns the per-chunk
+    /// results in range order.
+    fn run_chunks<T, G>(start: usize, end: usize, per_chunk: G) -> Vec<T>
+    where
+        T: Send,
+        G: Fn(std::ops::Range<usize>) -> T + Sync,
+    {
+        let len = end - start;
+        if len == 0 {
+            return Vec::new();
+        }
+        let workers = current_num_threads().min(len);
+        if workers <= 1 {
+            return vec![per_chunk(start..end)];
+        }
+        let chunk = len.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = start + (w * chunk).min(len);
+                    let hi = start + ((w + 1) * chunk).min(len);
+                    let per_chunk = &per_chunk;
+                    scope.spawn(move || per_chunk(lo..hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stub worker panicked"))
+                .collect()
+        })
+    }
+}
+
+impl<F, T> ParMap<F>
+where
+    F: Fn(usize) -> T + Sync,
+    T: Send,
+{
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<T> + std::iter::Sum<S>,
+    {
+        let f = &self.f;
+        Self::run_chunks(self.start, self.end, |r| r.map(f).sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        let f = &self.f;
+        Self::run_chunks(self.start, self.end, |r| r.map(f).collect::<Vec<T>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    pub fn for_each(self, consumer: impl Fn(T) + Sync) {
+        let f = &self.f;
+        Self::run_chunks(self.start, self.end, |r| r.map(f).for_each(&consumer));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sum_matches_sequential() {
+        let par: u64 = (0..10_000usize).into_par_iter().map(|x| x as u64 * 3).sum();
+        let seq: u64 = (0..10_000u64).map(|x| x * 3).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..1_000usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(v, (0..1_000usize).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let total: u64 = (5..5usize).into_par_iter().map(|x| x as u64).sum();
+        assert_eq!(total, 0);
+        let v: Vec<usize> = (3..3usize).into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stub of the `serde` facade.
+//!
+//! Re-exports the no-op derive macros so `#[derive(serde::Serialize,
+//! serde::Deserialize)]` compiles unchanged. The real traits are declared too,
+//! in case future code wants `T: serde::Serialize` bounds, but the derives
+//! intentionally generate no impls while the workspace does not serialize.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace only ever uses serde through `#[derive(serde::Serialize,
+//! serde::Deserialize)]` attributes — no trait bounds, no (de)serializers — so
+//! in this offline build the derives can expand to nothing at all.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
