@@ -1,0 +1,99 @@
+//! Bench-history regression gate.
+//!
+//! Usage: `bench-diff [--threshold <pct>] <history.ndjson>...`
+//!
+//! For every history file (written by `cargo bench ... -- --history <path>`),
+//! compares the newest run's medians against the previous run's and prints a
+//! per-benchmark delta table. Exits non-zero when any benchmark's median
+//! regressed by more than the threshold (default 15%) between two runs on the
+//! same host; runs recorded on different hosts are reported but never gated,
+//! because their timings are not comparable.
+
+use rmatc_bench::history::{compare_latest, parse_history};
+use std::process::ExitCode;
+
+const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
+
+fn main() -> ExitCode {
+    let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct > 0.0 => threshold_pct = pct,
+                _ => {
+                    eprintln!("--threshold requires a positive percentage");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: bench-diff [--threshold <pct>] <history.ndjson>...");
+                return ExitCode::SUCCESS;
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: bench-diff [--threshold <pct>] <history.ndjson>...");
+        return ExitCode::from(2);
+    }
+
+    let threshold = threshold_pct / 100.0;
+    let mut failed = false;
+    for path in &paths {
+        let content = match std::fs::read_to_string(path) {
+            Ok(content) => content,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let runs = parse_history(&content);
+        println!("== {path} ({} runs recorded)", runs.len());
+        let Some(comparison) = compare_latest(&runs) else {
+            println!("   no previous run to compare against — gate skipped");
+            continue;
+        };
+        println!(
+            "   {} -> {}{}",
+            short(&comparison.old_commit),
+            short(&comparison.new_commit),
+            if comparison.host_mismatch {
+                "  [different hosts: reporting only, gate disarmed]"
+            } else {
+                ""
+            }
+        );
+        for delta in &comparison.deltas {
+            let change = delta.relative_change() * 100.0;
+            let marker = if !comparison.host_mismatch && change > threshold_pct {
+                "  << REGRESSION"
+            } else {
+                ""
+            };
+            println!(
+                "   {:<56} {:>12.0} ns -> {:>12.0} ns  {:>+7.1}%{marker}",
+                delta.key, delta.old_median_ns, delta.new_median_ns, change
+            );
+        }
+        let regressions = comparison.regressions(threshold);
+        if !regressions.is_empty() {
+            eprintln!(
+                "{path}: {} benchmark(s) regressed more than {threshold_pct}%",
+                regressions.len()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn short(commit: &str) -> &str {
+    commit.get(..12).unwrap_or(commit)
+}

@@ -1,0 +1,469 @@
+//! Bench-history parsing and regression comparison.
+//!
+//! The vendored criterion harness appends one JSON line per run to a history
+//! file (`cargo bench ... -- --history bench-history/<bench>.ndjson`): commit
+//! hash, timestamp, host metadata, and every benchmark record. This module
+//! reads that format back — with a small self-contained JSON parser, since the
+//! workspace's `serde` is a no-op offline stub — and compares the newest run
+//! against the previous one so CI can fail on kernel regressions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Host metadata stamped on every history line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Host {
+    pub cpus: u64,
+    pub arch: String,
+    pub os: String,
+}
+
+impl fmt::Display for Host {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} / {} cpus", self.os, self.arch, self.cpus)
+    }
+}
+
+/// One benchmark's measurement within a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    pub group: String,
+    pub bench: String,
+    pub median_ns: f64,
+}
+
+impl BenchRecord {
+    /// The stable identity a record is matched on across runs.
+    pub fn key(&self) -> String {
+        if self.group.is_empty() {
+            self.bench.clone()
+        } else {
+            format!("{}/{}", self.group, self.bench)
+        }
+    }
+}
+
+/// One appended history line: a full benchmark run at one commit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRun {
+    pub commit: String,
+    pub timestamp: u64,
+    pub host: Host,
+    pub records: Vec<BenchRecord>,
+}
+
+/// Outcome of comparing one benchmark across two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    pub key: String,
+    pub old_median_ns: f64,
+    pub new_median_ns: f64,
+}
+
+impl Delta {
+    /// Relative median change: positive = slower (regression).
+    pub fn relative_change(&self) -> f64 {
+        if self.old_median_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.new_median_ns - self.old_median_ns) / self.old_median_ns
+    }
+}
+
+/// Comparison of the two newest runs of one history file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    pub old_commit: String,
+    pub new_commit: String,
+    /// Hosts differ: timings are not comparable, the gate must not fire.
+    pub host_mismatch: bool,
+    pub deltas: Vec<Delta>,
+}
+
+impl Comparison {
+    /// Benchmarks whose median regressed by more than `threshold`
+    /// (e.g. `0.15` = 15%). Empty on host mismatch.
+    pub fn regressions(&self, threshold: f64) -> Vec<&Delta> {
+        if self.host_mismatch {
+            return Vec::new();
+        }
+        self.deltas
+            .iter()
+            .filter(|d| d.relative_change() > threshold)
+            .collect()
+    }
+}
+
+/// Parses a history file's content (one JSON object per line; blank lines and
+/// unparsable lines are skipped with a message to stderr).
+pub fn parse_history(content: &str) -> Vec<HistoryRun> {
+    content
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .filter_map(|(i, line)| match parse_run(line) {
+            Some(run) => Some(run),
+            None => {
+                eprintln!("skipping malformed history line {}", i + 1);
+                None
+            }
+        })
+        .collect()
+}
+
+/// Compares the newest run against the one before it. `None` when the history
+/// holds fewer than two runs (nothing to gate against yet).
+pub fn compare_latest(runs: &[HistoryRun]) -> Option<Comparison> {
+    let [.., old, new] = runs else {
+        return None;
+    };
+    let old_by_key: BTreeMap<String, &BenchRecord> =
+        old.records.iter().map(|r| (r.key(), r)).collect();
+    let deltas = new
+        .records
+        .iter()
+        .filter_map(|record| {
+            let old_record = old_by_key.get(&record.key())?;
+            Some(Delta {
+                key: record.key(),
+                old_median_ns: old_record.median_ns,
+                new_median_ns: record.median_ns,
+            })
+        })
+        .collect();
+    Some(Comparison {
+        old_commit: old.commit.clone(),
+        new_commit: new.commit.clone(),
+        host_mismatch: old.host != new.host,
+        deltas,
+    })
+}
+
+fn parse_run(line: &str) -> Option<HistoryRun> {
+    let value = json::parse(line)?;
+    let host = value.get("host")?;
+    let records = value
+        .get("records")?
+        .as_array()?
+        .iter()
+        .map(|r| {
+            Some(BenchRecord {
+                group: r.get("group")?.as_str()?.to_string(),
+                bench: r.get("bench")?.as_str()?.to_string(),
+                median_ns: r.get("median_ns")?.as_f64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(HistoryRun {
+        commit: value.get("commit")?.as_str()?.to_string(),
+        timestamp: value.get("timestamp")?.as_f64()? as u64,
+        host: Host {
+            cpus: host.get("cpus")?.as_f64()? as u64,
+            arch: host.get("arch")?.as_str()?.to_string(),
+            os: host.get("os")?.as_str()?.to_string(),
+        },
+        records,
+    })
+}
+
+/// Minimal recursive-descent JSON parser — just enough for the history format
+/// this workspace writes itself (objects, arrays, strings with `\"`/`\\`
+/// escapes, numbers, booleans, null).
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(map) => map.get(key),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(input: &str) -> Option<Value> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        (pos == bytes.len()).then_some(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Option<()> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&byte) {
+            *pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b'{' => parse_object(bytes, pos),
+            b'[' => parse_array(bytes, pos),
+            b'"' => parse_string(bytes, pos).map(Value::String),
+            b't' => parse_literal(bytes, pos, "true", Value::Bool(true)),
+            b'f' => parse_literal(bytes, pos, "false", Value::Bool(false)),
+            b'n' => parse_literal(bytes, pos, "null", Value::Null),
+            _ => parse_number(bytes, pos),
+        }
+    }
+
+    fn parse_literal(bytes: &[u8], pos: &mut usize, text: &str, value: Value) -> Option<Value> {
+        if bytes[*pos..].starts_with(text.as_bytes()) {
+            *pos += text.len();
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()?
+            .parse::<f64>()
+            .ok()
+            .map(Value::Number)
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos)? {
+                b'"' => {
+                    *pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    let escaped = bytes.get(*pos)?;
+                    out.push(match escaped {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        _ => return None, // \uXXXX etc.: not produced by our writer
+                    });
+                    *pos += 1;
+                }
+                &byte => {
+                    // Multi-byte UTF-8 sequences pass through byte by byte.
+                    let len = utf8_len(byte);
+                    let chunk = bytes.get(*pos..*pos + len)?;
+                    out.push_str(std::str::from_utf8(chunk).ok()?);
+                    *pos += len;
+                }
+            }
+        }
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Some(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos)? {
+                b',' => *pos += 1,
+                b']' => {
+                    *pos += 1;
+                    return Some(Value::Array(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+        expect(bytes, pos, b'{')?;
+        let mut map = BTreeMap::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Some(Value::Object(map));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            map.insert(key, parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos)? {
+                b',' => *pos += 1,
+                b'}' => {
+                    *pos += 1;
+                    return Some(Value::Object(map));
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(commit: &str, cpus: u64, medians: &[(&str, f64)]) -> String {
+        let records: Vec<String> = medians
+            .iter()
+            .map(|(bench, median)| {
+                format!(
+                    "{{\"group\": \"g\", \"bench\": {bench:?}, \"median_ns\": {median}, \
+                     \"mean_ns\": {median}, \"samples\": 10, \"iters_per_sample\": 1, \
+                     \"throughput_elems\": null, \"elems_per_us\": null}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"commit\": {commit:?}, \"timestamp\": 1700000000, \
+             \"host\": {{\"cpus\": {cpus}, \"arch\": \"x86_64\", \"os\": \"linux\"}}, \
+             \"records\": [{}]}}",
+            records.join(", ")
+        )
+    }
+
+    #[test]
+    fn round_trips_the_writer_format() {
+        let content = format!(
+            "{}\n{}\n",
+            line("aaa", 4, &[("k1", 100.0), ("k2", 50.0)]),
+            line("bbb", 4, &[("k1", 130.0), ("k2", 40.0)])
+        );
+        let runs = parse_history(&content);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].commit, "aaa");
+        assert_eq!(runs[1].records.len(), 2);
+        assert_eq!(runs[1].records[0].key(), "g/k1");
+    }
+
+    #[test]
+    fn flags_regressions_beyond_threshold() {
+        let content = format!(
+            "{}\n{}\n",
+            line("old", 4, &[("fast", 100.0), ("slow", 100.0)]),
+            line("new", 4, &[("fast", 105.0), ("slow", 130.0)])
+        );
+        let comparison = compare_latest(&parse_history(&content)).unwrap();
+        assert!(!comparison.host_mismatch);
+        let regressed = comparison.regressions(0.15);
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].key, "g/slow");
+        assert!((regressed[0].relative_change() - 0.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_mismatch_disarms_the_gate() {
+        let content = format!(
+            "{}\n{}\n",
+            line("old", 4, &[("k", 100.0)]),
+            line("new", 16, &[("k", 400.0)])
+        );
+        let comparison = compare_latest(&parse_history(&content)).unwrap();
+        assert!(comparison.host_mismatch);
+        assert!(comparison.regressions(0.15).is_empty());
+    }
+
+    #[test]
+    fn single_run_has_nothing_to_compare() {
+        let runs = parse_history(&line("only", 4, &[("k", 1.0)]));
+        assert_eq!(runs.len(), 1);
+        assert!(compare_latest(&runs).is_none());
+    }
+
+    #[test]
+    fn compares_the_two_newest_of_many() {
+        let content = format!(
+            "{}\n{}\n{}\n",
+            line("a", 4, &[("k", 500.0)]),
+            line("b", 4, &[("k", 100.0)]),
+            line("c", 4, &[("k", 101.0)])
+        );
+        let comparison = compare_latest(&parse_history(&content)).unwrap();
+        assert_eq!(comparison.old_commit, "b");
+        assert_eq!(comparison.new_commit, "c");
+        assert!(comparison.regressions(0.15).is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let content = format!("not json\n{}\n{{\"half\":\n", line("ok", 4, &[("k", 1.0)]));
+        let runs = parse_history(&content);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].commit, "ok");
+    }
+
+    #[test]
+    fn new_benchmarks_without_baseline_are_ignored() {
+        let content = format!(
+            "{}\n{}\n",
+            line("old", 4, &[("k", 100.0)]),
+            line("new", 4, &[("k", 100.0), ("fresh", 1.0)])
+        );
+        let comparison = compare_latest(&parse_history(&content)).unwrap();
+        assert_eq!(comparison.deltas.len(), 1);
+    }
+}

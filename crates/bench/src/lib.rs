@@ -15,10 +15,12 @@
 //! (`tiny`, `small`, `medium`; default `tiny`) so the full suite runs in minutes on
 //! a laptop while still exposing every code path the paper exercises.
 
+pub mod history;
 pub mod measure;
 pub mod runs;
 pub mod table;
 
+pub use history::{compare_latest, parse_history, Comparison, HistoryRun};
 pub use measure::{measure_until, Measurement};
 pub use runs::{experiment_scale, fmt_ms, fmt_ns, ranks_small_scale, seed};
 pub use table::Table;

@@ -146,6 +146,29 @@ mod tests {
     }
 
     #[test]
+    fn balanced_block_partitioning_is_correct_and_balances_compute() {
+        // The degree-weighted boundaries of `BalancedBlock1D` must preserve
+        // results and distribute per-rank edge work more evenly than the
+        // equal-count blocks on a hub-heavy graph.
+        let g = small_graph();
+        let mut cfg = base_config(4);
+        cfg.scheme = PartitionScheme::BalancedBlock1D;
+        let balanced = DistLcc::new(cfg).run(&g);
+        assert_eq!(balanced.triangle_count, reference::count_triangles(&g));
+        let block = DistLcc::new(base_config(4)).run(&g);
+        let spread = |r: &DistResult| {
+            let edges: Vec<u64> = r.ranks.iter().map(|rank| rank.edges_processed).collect();
+            *edges.iter().max().unwrap() as f64 / *edges.iter().min().unwrap().max(&1) as f64
+        };
+        assert!(
+            spread(&balanced) <= spread(&block),
+            "balanced per-rank edge spread {} must not exceed block {}",
+            spread(&balanced),
+            spread(&block)
+        );
+    }
+
+    #[test]
     fn directed_graphs_are_supported() {
         let g = Dataset::LiveJournal1.generate(DatasetScale::Tiny, 3);
         let expected = reference::lcc_scores(&g);

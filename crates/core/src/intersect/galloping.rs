@@ -22,7 +22,14 @@
 //! optimum for intersecting sorted lists of very different lengths. This is
 //! the search-class kernel the three-way hybrid rule picks for skewed edges
 //! with enough keys to amortize (see [`super::hybrid`]).
+//!
+//! Below one lockstep batch the gallop/batch machinery costs more than it
+//! saves (there are no independent loads to overlap), so key sets under
+//! [`BATCH`] short-circuit to plain restart binary search — which makes
+//! `IntersectMethod::Galloping` safe to use standalone, not only behind the
+//! hybrid rule's routing.
 
+use super::binary::binary_search_count;
 use rmatc_graph::types::VertexId;
 
 /// Number of key windows resolved in lockstep; 64 states fit comfortably in
@@ -36,6 +43,9 @@ pub fn galloping_count(keys: &[VertexId], haystack: &[VertexId]) -> u64 {
     let len = haystack.len();
     if len == 0 || keys.is_empty() {
         return 0;
+    }
+    if keys.len() < BATCH {
+        return binary_search_count(keys, haystack);
     }
     let mut count = 0u64;
     // Cursor invariant: every element before `cursor` is < the next key.
@@ -213,6 +223,21 @@ mod tests {
         let edge = vec![0u32, u32::MAX];
         let hay = vec![0u32, 1, u32::MAX - 1, u32::MAX];
         assert_eq!(galloping_count(&edge, &hay), 2);
+    }
+
+    #[test]
+    fn small_key_sets_short_circuit_correctly() {
+        // Under one lockstep batch the kernel must defer to binary search and
+        // stay exact on both sides of the boundary.
+        let hay: Vec<u32> = (0..50_000).map(|x| x * 3).collect();
+        for nkeys in [1usize, 2, 31, 63, 64, 65] {
+            let keys: Vec<u32> = (0..nkeys as u32).map(|x| x * 11).collect();
+            assert_eq!(
+                galloping_count(&keys, &hay),
+                binary_search_count(&keys, &hay),
+                "nkeys={nkeys}"
+            );
+        }
     }
 
     #[test]

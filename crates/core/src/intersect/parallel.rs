@@ -7,8 +7,9 @@
 //! intersects its chunk with the relevant window of the shorter list. A cut-off
 //! avoids paying the fork/join overhead on small intersections, and the paper
 //! further reduces the cost of entering parallel regions with
-//! `OMP_WAIT_POLICY=active`; rayon's persistent work-stealing pool plays that role
-//! here.
+//! `OMP_WAIT_POLICY=active`; the persistent work-stealing pool behind the
+//! vendored `rayon` facade plays that role here — entering a parallel region
+//! costs an injector push onto already-running workers, not a thread spawn.
 
 use super::binary::binary_search_count;
 use super::galloping::{galloping_count, galloping_count_range};
@@ -65,6 +66,7 @@ impl ParallelIntersector {
                 IntersectMethod::Hybrid => unreachable!("resolve() returns a concrete method"),
             };
         }
+        rayon::ensure_pool(self.chunks);
         match method {
             IntersectMethod::SortedSetIntersection => {
                 self.parallel_merge(short, long, ssi_count_chunk)

@@ -41,4 +41,4 @@ pub use distributed::{
 };
 pub use intersect::{IntersectMethod, Intersector};
 pub use jaccard::{DistJaccard, JaccardResult};
-pub use local::{LocalConfig, LocalLcc, LocalParallelism, LocalResult};
+pub use local::{LocalConfig, LocalLcc, LocalParallelism, LocalResult, RangeSchedule};

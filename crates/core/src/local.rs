@@ -18,10 +18,21 @@
 //!   loop: the directed-edge array is split into equal ranges regardless of row
 //!   boundaries, the load-balance counterpart for skewed graphs where one hub
 //!   row can be as large as another thread's whole range.
+//!
+//! The outer-loop strategies additionally take a [`RangeSchedule`]: with
+//! [`DegreeWeighted`](RangeSchedule::DegreeWeighted) (the default), chunk
+//! boundaries come from a prefix sum over `CsrGraph::offsets` so every chunk
+//! carries the same *work* instead of the same *count* — the fix for hub-heavy
+//! R-MAT degree skew, where one equal-count range can hold most of the edges.
+//! All parallel loops run on the persistent work-stealing pool behind the
+//! `rayon` facade; the pool is built once (sized by `RMATC_THREADS` or the
+//! first configuration's thread count) and reused across calls, so repeated
+//! small invocations pay a queue push instead of a `thread::spawn` per call.
 
 use crate::intersect::{IntersectMethod, ParallelIntersector};
 use crate::lcc;
 use rayon::prelude::*;
+use rmatc_graph::split::balanced_vertex_bounds;
 use rmatc_graph::types::{Direction, VertexId};
 use rmatc_graph::CsrGraph;
 use std::time::Instant;
@@ -40,6 +51,18 @@ pub enum LocalParallelism {
     EdgeParallel,
 }
 
+/// How the outer-loop strategies cut their iteration space into chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RangeSchedule {
+    /// Equal-count chunks: `n / chunks` vertices (or edges) each, degree skew
+    /// ignored. Kept as the baseline the differential tests compare against.
+    Static,
+    /// Equal-work chunks via prefix sums: vertex chunks carry equal edge
+    /// counts (a binary search per boundary over `CsrGraph::offsets`), edge
+    /// chunks carry equal intersection mass (`deg(u) + deg(v)` per edge).
+    DegreeWeighted,
+}
+
 /// Configuration for the shared-memory computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct LocalConfig {
@@ -52,6 +75,8 @@ pub struct LocalConfig {
     pub parallel_cutoff: usize,
     /// Which loop is parallelized.
     pub parallelism: LocalParallelism,
+    /// How the parallelized loop's range is cut into chunks.
+    pub schedule: RangeSchedule,
 }
 
 impl LocalConfig {
@@ -62,6 +87,7 @@ impl LocalConfig {
             threads: 1,
             parallel_cutoff: usize::MAX,
             parallelism: LocalParallelism::IntersectionParallel,
+            schedule: RangeSchedule::DegreeWeighted,
         }
     }
 
@@ -73,26 +99,25 @@ impl LocalConfig {
             threads,
             parallel_cutoff: crate::intersect::parallel::DEFAULT_PARALLEL_CUTOFF,
             parallelism: LocalParallelism::IntersectionParallel,
+            schedule: RangeSchedule::DegreeWeighted,
         }
     }
 
     /// Vertex-parallel hybrid configuration.
     pub fn vertex_parallel(threads: usize) -> Self {
         Self {
-            method: IntersectMethod::Hybrid,
-            threads,
-            parallel_cutoff: usize::MAX,
             parallelism: LocalParallelism::VertexParallel,
+            parallel_cutoff: usize::MAX,
+            ..Self::parallel(threads)
         }
     }
 
     /// Edge-parallel hybrid configuration.
     pub fn edge_parallel(threads: usize) -> Self {
         Self {
-            method: IntersectMethod::Hybrid,
-            threads,
-            parallel_cutoff: usize::MAX,
             parallelism: LocalParallelism::EdgeParallel,
+            parallel_cutoff: usize::MAX,
+            ..Self::parallel(threads)
         }
     }
 
@@ -105,6 +130,12 @@ impl LocalConfig {
     /// Same configuration with a different parallelism strategy.
     pub fn with_parallelism(mut self, parallelism: LocalParallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Same configuration with a different range schedule.
+    pub fn with_schedule(mut self, schedule: RangeSchedule) -> Self {
+        self.schedule = schedule;
         self
     }
 }
@@ -166,6 +197,12 @@ impl LocalLcc {
     /// Runs triangle counting and LCC over `g`.
     pub fn run(&self, g: &CsrGraph) -> LocalResult {
         let n = g.vertex_count();
+        if self.config.threads > 1 {
+            // Build the persistent pool before the timed section so the first
+            // measured run does not pay one-time worker spawn cost. The first
+            // call sizes it (environment overrides win); later calls no-op.
+            rayon::ensure_pool(self.config.threads);
+        }
         let start = Instant::now();
         let (per_vertex, edges) = match self.config.parallelism {
             _ if self.config.threads <= 1 || n == 0 => self.run_intersection_parallel(g),
@@ -197,18 +234,21 @@ impl LocalLcc {
 
     /// Vertex-parallel outer loop: contiguous vertex ranges mapped across
     /// threads, each with a private partial buffer stitched together at the
-    /// end. Ranges are oversplit 8x relative to the thread count so one dense
-    /// range does not serialize the whole run.
+    /// end. Ranges are oversplit 8x relative to the thread count so the pool's
+    /// stealing can balance residual unevenness, and the range boundaries
+    /// follow the configured [`RangeSchedule`].
     fn run_vertex_parallel(&self, g: &CsrGraph) -> (Vec<u64>, u64) {
         let intersector = self.sequential_intersector();
         let n = g.vertex_count();
         let ranges = (self.config.threads * 8).clamp(1, n);
-        let chunk = n.div_ceil(ranges);
+        let bounds = match self.effective_schedule() {
+            RangeSchedule::Static => static_bounds(n, ranges),
+            RangeSchedule::DegreeWeighted => balanced_vertex_bounds(g.offsets(), ranges),
+        };
         let partials: Vec<(usize, Vec<u64>, u64)> = (0..ranges)
             .into_par_iter()
             .map(|r| {
-                let lo = (r * chunk).min(n);
-                let hi = ((r + 1) * chunk).min(n);
+                let (lo, hi) = (bounds[r], bounds[r + 1]);
                 let mut counts = vec![0u64; hi - lo];
                 let mut edges = 0u64;
                 for u in lo..hi {
@@ -228,10 +268,12 @@ impl LocalLcc {
         (per_vertex, edges)
     }
 
-    /// Edge-parallel outer loop: the directed-edge array is cut into equal
-    /// ranges; a range's partial buffer spans only the vertices whose rows it
-    /// touches, and boundary rows (split between two ranges) sum correctly
-    /// because addition is associative.
+    /// Edge-parallel outer loop: the directed-edge array is cut into ranges —
+    /// equal edge counts under [`RangeSchedule::Static`], equal intersection
+    /// mass (per-edge `deg(u) + deg(v)` prefix sum) under
+    /// [`RangeSchedule::DegreeWeighted`]. A range's partial buffer spans only
+    /// the vertices whose rows it touches, and boundary rows (split between
+    /// two ranges) sum correctly because addition is associative.
     fn run_edge_parallel(&self, g: &CsrGraph) -> (Vec<u64>, u64) {
         let intersector = self.sequential_intersector();
         let n = g.vertex_count();
@@ -243,12 +285,15 @@ impl LocalLcc {
         let adjacencies = g.adjacencies();
         let direction = g.direction();
         let ranges = (self.config.threads * 8).clamp(1, m);
-        let chunk = m.div_ceil(ranges);
+        let bounds = match self.effective_schedule() {
+            RangeSchedule::Static => static_bounds(m, ranges),
+            RangeSchedule::DegreeWeighted => balanced_edge_bounds(g, ranges),
+        };
         let partials: Vec<(usize, Vec<u64>)> = (0..ranges)
             .into_par_iter()
             .map(|r| {
-                let e_lo = (r * chunk).min(m) as u64;
-                let e_hi = ((r + 1) * chunk).min(m) as u64;
+                let e_lo = bounds[r] as u64;
+                let e_hi = bounds[r + 1] as u64;
                 if e_lo >= e_hi {
                     return (0, Vec::new());
                 }
@@ -285,6 +330,67 @@ impl LocalLcc {
     fn sequential_intersector(&self) -> ParallelIntersector {
         ParallelIntersector::new(self.config.method, 1, usize::MAX)
     }
+
+    /// Equal-work boundaries only pay off when chunks actually run
+    /// concurrently; when the facade will run the loop inline (single-core
+    /// host without an env override), skip the prefix-sum cost — the results
+    /// are identical either way.
+    fn effective_schedule(&self) -> RangeSchedule {
+        if rayon::effective_parallelism() <= 1 {
+            RangeSchedule::Static
+        } else {
+            self.config.schedule
+        }
+    }
+}
+
+/// Equal-count chunk boundaries: `parts + 1` entries cutting `0..len` into
+/// ceil-sized chunks (the pre-[`RangeSchedule`] behaviour, kept as baseline).
+fn static_bounds(len: usize, parts: usize) -> Vec<usize> {
+    let chunk = len.div_ceil(parts.max(1));
+    (0..=parts).map(|j| (j * chunk).min(len)).collect()
+}
+
+/// Equal-work chunk boundaries over the directed-edge array: edge `(u, v)` is
+/// weighted `deg(u) + deg(v)`, the size of the two rows its intersection
+/// reads, so a hub's huge rows no longer land in one chunk just because equal
+/// edge *counts* said so.
+///
+/// Streams the weight prefix in two passes instead of materializing an
+/// `O(m)` array — only the `parts + 1` boundaries are kept, so the scheduler
+/// adds no transient memory proportional to the graph. Produces exactly the
+/// bounds [`balanced_prefix_bounds`] would on the materialized prefix (each
+/// boundary is the first edge whose prefix weight reaches its target).
+fn balanced_edge_bounds(g: &CsrGraph, parts: usize) -> Vec<usize> {
+    let offsets = g.offsets();
+    let adjacencies = g.adjacencies();
+    let m = adjacencies.len();
+    let parts = parts.max(1);
+    let row_weights = |u: usize| {
+        let deg_u = offsets[u + 1] - offsets[u];
+        (offsets[u]..offsets[u + 1]).map(move |e| {
+            let v = adjacencies[e as usize] as usize;
+            deg_u + (offsets[v + 1] - offsets[v])
+        })
+    };
+    let total: u64 = (0..g.vertex_count()).flat_map(row_weights).sum();
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0);
+    let mut next = 1usize;
+    let mut acc = 0u64; // weight of all edges before the current one
+    for (e, weight) in (0..g.vertex_count()).flat_map(row_weights).enumerate() {
+        while next < parts && acc >= ((total as u128 * next as u128) / parts as u128) as u64 {
+            bounds.push(e);
+            next += 1;
+        }
+        acc += weight;
+    }
+    while next < parts {
+        bounds.push(m);
+        next += 1;
+    }
+    bounds.push(m);
+    bounds
 }
 
 /// Counts the closed triplets anchored at `u`, using the O(1) incremental
@@ -454,6 +560,96 @@ mod tests {
                 assert_eq!(seq.edges_processed, ep.edges_processed);
             }
         }
+    }
+
+    #[test]
+    fn schedules_give_identical_results() {
+        // Degree-weighted and static chunking must be observationally
+        // identical; only the chunk boundaries differ.
+        for g in [
+            rmat(),
+            WattsStrogatz::new(400, 8, 0.1)
+                .generate_cleaned(7)
+                .into_csr(),
+        ] {
+            let seq = LocalLcc::new(LocalConfig::sequential()).run(&g);
+            for mode in [
+                LocalParallelism::VertexParallel,
+                LocalParallelism::EdgeParallel,
+            ] {
+                for schedule in [RangeSchedule::Static, RangeSchedule::DegreeWeighted] {
+                    let cfg = LocalConfig::vertex_parallel(4)
+                        .with_parallelism(mode)
+                        .with_schedule(schedule);
+                    let result = LocalLcc::new(cfg).run(&g);
+                    assert_eq!(
+                        seq.per_vertex_triangles, result.per_vertex_triangles,
+                        "{mode:?} {schedule:?}"
+                    );
+                    assert_eq!(seq.edges_processed, result.edges_processed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_edge_bounds_match_the_materialized_prefix() {
+        // The O(parts)-memory two-pass walk must reproduce exactly what
+        // `balanced_prefix_bounds` computes on the materialized weight prefix.
+        // (Direct unit test: on single-core hosts `effective_schedule`
+        // bypasses this code in the end-to-end paths.)
+        let mut directed_edges = Vec::new();
+        for u in 0..40u32 {
+            for v in 0..40u32 {
+                if u != v && (u * 7 + v) % 3 != 0 {
+                    directed_edges.push((u, v));
+                }
+            }
+        }
+        for g in [
+            rmat(),
+            CsrGraph::from_edges(40, &directed_edges, Direction::Directed),
+        ] {
+            let offsets = g.offsets();
+            let adjacencies = g.adjacencies();
+            let mut prefix = vec![0u64];
+            let mut acc = 0u64;
+            for u in 0..g.vertex_count() {
+                let deg_u = offsets[u + 1] - offsets[u];
+                for e in offsets[u]..offsets[u + 1] {
+                    let v = adjacencies[e as usize] as usize;
+                    acc += deg_u + (offsets[v + 1] - offsets[v]);
+                    prefix.push(acc);
+                }
+            }
+            for parts in [1, 2, 3, 8, 32] {
+                assert_eq!(
+                    balanced_edge_bounds(&g, parts),
+                    rmatc_graph::split::balanced_prefix_bounds(&prefix, parts),
+                    "parts={parts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_weighted_chunks_balance_edge_mass_on_skewed_graphs() {
+        let g = RmatGenerator::paper(11, 16).generate_cleaned(3).into_csr();
+        let parts = 16;
+        let offsets = g.offsets();
+        let max_weight = |bounds: &[usize]| {
+            bounds
+                .windows(2)
+                .map(|w| offsets[w[1]] - offsets[w[0]])
+                .max()
+                .unwrap()
+        };
+        let weighted = max_weight(&balanced_vertex_bounds(offsets, parts));
+        let statics = max_weight(&static_bounds(g.vertex_count(), parts));
+        assert!(
+            weighted < statics,
+            "degree-weighted max chunk {weighted} must beat static {statics} on R-MAT skew"
+        );
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //! * [`datasets`] — a registry of named stand-ins for the real-world datasets the
 //!   paper evaluates on (Orkut, LiveJournal, Skitter, uk-2005, wiki-en, Facebook
 //!   circles), generated synthetically at laptop scale with matching degree shapes.
-//! * [`partition`] — 1D block and cyclic vertex partitioning plus the per-rank CSR
-//!   construction used by the distributed algorithm.
+//! * [`partition`] — 1D block (equal-count and degree-balanced) and cyclic vertex
+//!   partitioning plus the per-rank CSR construction used by the distributed
+//!   algorithm.
+//! * [`split`] — degree-weighted (equal-work) range splitting over CSR offsets,
+//!   shared by the shared-memory schedulers and the balanced partitioner.
 //! * [`reference`] — simple sequential triangle counting and LCC used as ground truth.
 //! * [`stats`] — degree distributions, CSR sizes, cut fractions and skew metrics.
 //! * [`io`] — plain-text edge list reading/writing (SNAP format).
@@ -27,6 +30,7 @@ pub mod io;
 pub mod partition;
 pub mod reference;
 pub mod relabel;
+pub mod split;
 pub mod stats;
 pub mod types;
 

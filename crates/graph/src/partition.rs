@@ -4,9 +4,13 @@
 //! rank `k` owns the contiguous vertex range `((k-1)·n/p, k·n/p]` (0-based here:
 //! `[k·n/p, (k+1)·n/p)`), and stores the CSR rows of exactly those vertices. The
 //! cyclic distribution of Lumsdaine et al. is provided as the alternative the paper
-//! discusses for balancing skewed degrees.
+//! discusses for balancing skewed degrees, and [`BalancedBlock1D`]
+//! (`PartitionScheme::BalancedBlock1D`) keeps the contiguous-block shape but draws
+//! the rank boundaries by prefix-summing degrees ([`crate::split`]), so every rank
+//! stores roughly the same number of edges even on hub-heavy graphs.
 
 use crate::csr::CsrGraph;
+use crate::split::balanced_vertex_bounds;
 use crate::types::{Edge, VertexId};
 use crate::{GraphError, Result};
 
@@ -17,20 +21,30 @@ pub enum PartitionScheme {
     Block1D,
     /// Vertex `v` is owned by rank `v mod p` (Lumsdaine et al. cyclic distribution).
     Cyclic,
+    /// Contiguous blocks with degree-weighted boundaries: rank `k` owns the
+    /// vertex range holding the `k`-th equal share of edge mass. Needs the
+    /// degree sequence ([`Partitioner::with_offsets`]); without it, boundaries
+    /// degrade to the equal-count blocks of [`PartitionScheme::Block1D`].
+    BalancedBlock1D,
 }
 
 /// Maps vertices to owning ranks under a chosen scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Partitioner {
     scheme: PartitionScheme,
     n: usize,
     ranks: usize,
     /// Ceiling of n / ranks; used by the block scheme.
     block: usize,
+    /// Explicit vertex boundaries (`ranks + 1` entries), used by the
+    /// degree-balanced block scheme; `None` for the closed-form schemes.
+    bounds: Option<Vec<usize>>,
 }
 
 impl Partitioner {
-    /// Creates a partitioner for `n` vertices over `ranks` ranks.
+    /// Creates a partitioner for `n` vertices over `ranks` ranks. For
+    /// [`PartitionScheme::BalancedBlock1D`] this falls back to equal-count
+    /// boundaries; use [`Partitioner::with_offsets`] to balance by degree.
     pub fn new(scheme: PartitionScheme, n: usize, ranks: usize) -> Result<Self> {
         if ranks == 0 || (n > 0 && ranks > n) {
             return Err(GraphError::InvalidPartitionCount { parts: ranks, n });
@@ -41,7 +55,19 @@ impl Partitioner {
             n,
             ranks,
             block,
+            bounds: None,
         })
+    }
+
+    /// Creates a partitioner with access to the graph's CSR offsets, enabling
+    /// degree-weighted boundaries for [`PartitionScheme::BalancedBlock1D`].
+    /// Other schemes ignore the offsets.
+    pub fn with_offsets(scheme: PartitionScheme, offsets: &[u64], ranks: usize) -> Result<Self> {
+        let mut partitioner = Self::new(scheme, offsets.len() - 1, ranks)?;
+        if scheme == PartitionScheme::BalancedBlock1D {
+            partitioner.bounds = Some(balanced_vertex_bounds(offsets, ranks));
+        }
+        Ok(partitioner)
     }
 
     /// The partitioning scheme in use.
@@ -59,12 +85,23 @@ impl Partitioner {
         self.n
     }
 
+    /// The contiguous vertex range owned by `rank` under the block schemes.
+    fn block_range(&self, rank: usize) -> std::ops::Range<usize> {
+        match &self.bounds {
+            Some(bounds) => bounds[rank]..bounds[rank + 1],
+            None => (rank * self.block).min(self.n)..((rank + 1) * self.block).min(self.n),
+        }
+    }
+
     /// The rank that owns global vertex `v`.
     pub fn owner(&self, v: VertexId) -> usize {
         debug_assert!((v as usize) < self.n);
-        match self.scheme {
-            PartitionScheme::Block1D => (v as usize / self.block).min(self.ranks - 1),
-            PartitionScheme::Cyclic => v as usize % self.ranks,
+        match (self.scheme, &self.bounds) {
+            (PartitionScheme::Cyclic, _) => v as usize % self.ranks,
+            // `bounds` has ranks + 1 entries starting at 0, so the partition
+            // point over the interior boundaries is in `[1, ranks]`.
+            (_, Some(bounds)) => bounds.partition_point(|&b| b <= v as usize) - 1,
+            (_, None) => (v as usize / self.block).min(self.ranks - 1),
         }
     }
 
@@ -72,25 +109,19 @@ impl Partitioner {
     pub fn owned_vertices(&self, rank: usize) -> Vec<VertexId> {
         assert!(rank < self.ranks);
         match self.scheme {
-            PartitionScheme::Block1D => {
-                let lo = (rank * self.block).min(self.n);
-                let hi = ((rank + 1) * self.block).min(self.n);
-                (lo as VertexId..hi as VertexId).collect()
-            }
             PartitionScheme::Cyclic => (0..self.n as VertexId)
                 .filter(|&v| self.owner(v) == rank)
                 .collect(),
+            _ => {
+                let range = self.block_range(rank);
+                (range.start as VertexId..range.end as VertexId).collect()
+            }
         }
     }
 
     /// Number of vertices owned by `rank`.
     pub fn owned_count(&self, rank: usize) -> usize {
         match self.scheme {
-            PartitionScheme::Block1D => {
-                let lo = (rank * self.block).min(self.n);
-                let hi = ((rank + 1) * self.block).min(self.n);
-                hi - lo
-            }
             PartitionScheme::Cyclic => {
                 if rank < self.n % self.ranks || self.n % self.ranks == 0 {
                     self.n.div_ceil(self.ranks)
@@ -98,22 +129,23 @@ impl Partitioner {
                     self.n / self.ranks
                 }
             }
+            _ => self.block_range(rank).len(),
         }
     }
 
     /// Converts a global vertex id to the local index within its owner's partition.
     pub fn local_index(&self, v: VertexId) -> usize {
         match self.scheme {
-            PartitionScheme::Block1D => v as usize - self.owner(v) * self.block,
             PartitionScheme::Cyclic => v as usize / self.ranks,
+            _ => v as usize - self.block_range(self.owner(v)).start,
         }
     }
 
     /// Converts a (rank, local index) pair back to the global vertex id.
     pub fn global_index(&self, rank: usize, local: usize) -> VertexId {
         match self.scheme {
-            PartitionScheme::Block1D => (rank * self.block + local) as VertexId,
             PartitionScheme::Cyclic => (local * self.ranks + rank) as VertexId,
+            _ => (self.block_range(rank).start + local) as VertexId,
         }
     }
 }
@@ -163,7 +195,7 @@ pub struct PartitionedGraph {
 impl PartitionedGraph {
     /// Splits a global CSR graph into per-rank partitions.
     pub fn from_global(g: &CsrGraph, scheme: PartitionScheme, ranks: usize) -> Result<Self> {
-        let partitioner = Partitioner::new(scheme, g.vertex_count(), ranks)?;
+        let partitioner = Partitioner::with_offsets(scheme, g.offsets(), ranks)?;
         let mut partitions = Vec::with_capacity(ranks);
         for rank in 0..ranks {
             let global_ids = partitioner.owned_vertices(rank);
@@ -395,6 +427,51 @@ mod tests {
         let g = RmatGenerator::paper(12, 16).generate_cleaned(5).into_csr();
         let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 8).unwrap();
         assert!(pg.remote_edge_fraction() > 0.8);
+    }
+
+    #[test]
+    fn balanced_partitioner_covers_all_vertices_exactly_once() {
+        let g = RmatGenerator::paper(10, 8).generate_cleaned(2).into_csr();
+        let p =
+            Partitioner::with_offsets(PartitionScheme::BalancedBlock1D, g.offsets(), 8).unwrap();
+        let mut seen = vec![false; g.vertex_count()];
+        for rank in 0..8 {
+            for v in p.owned_vertices(rank) {
+                assert_eq!(p.owner(v), rank);
+                assert_eq!(p.global_index(rank, p.local_index(v)), v);
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+            assert_eq!(p.owned_vertices(rank).len(), p.owned_count(rank));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn balanced_blocks_beat_equal_count_blocks_on_skewed_graphs() {
+        // R-MAT is hub-heavy: equal-count contiguous blocks concentrate edge
+        // mass in the low-id ranks, degree-weighted boundaries spread it out.
+        let g = RmatGenerator::paper(11, 16).generate_cleaned(5).into_csr();
+        let block = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 8).unwrap();
+        let balanced =
+            PartitionedGraph::from_global(&g, PartitionScheme::BalancedBlock1D, 8).unwrap();
+        assert!(
+            balanced.edge_imbalance() < block.edge_imbalance(),
+            "balanced {} vs block {}",
+            balanced.edge_imbalance(),
+            block.edge_imbalance()
+        );
+        assert_eq!(balanced.reassemble(), g);
+    }
+
+    #[test]
+    fn balanced_scheme_without_offsets_degrades_to_equal_count_blocks() {
+        let with = Partitioner::new(PartitionScheme::BalancedBlock1D, 64, 4).unwrap();
+        let block = Partitioner::new(PartitionScheme::Block1D, 64, 4).unwrap();
+        for v in 0..64u32 {
+            assert_eq!(with.owner(v), block.owner(v));
+            assert_eq!(with.local_index(v), block.local_index(v));
+        }
     }
 
     #[test]

@@ -1,0 +1,32 @@
+# Local developer commands mirroring the CI pipeline (.github/workflows/ci.yml).
+# `cargo test` at the workspace root only runs the umbrella crate's suites;
+# CI also runs `--workspace`, clippy with denied warnings, and rustfmt —
+# `just verify` runs the exact same set so green-local means green-CI.
+
+# Everything CI's tier1 + lint jobs run.
+verify: tier1 workspace-tests lint fmt-check
+
+# The tier-1 contract from ROADMAP.md.
+tier1:
+    cargo build --release
+    cargo test -q
+
+# The member-crate and vendored-stub suites CI runs on top of tier-1.
+workspace-tests:
+    cargo test --workspace -q
+
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+fmt-check:
+    cargo fmt --check
+
+fmt:
+    cargo fmt
+
+# The bench-smoke job: JSON snapshots plus an appended bench-history record,
+# then the regression gate (>15% median regression fails).
+bench-smoke:
+    cargo bench -p rmatc-bench --bench intersect -- --json BENCH_intersect.json --history bench-history/intersect.ndjson
+    cargo bench -p rmatc-bench --bench local_lcc -- --json BENCH_local_lcc.json --history bench-history/local_lcc.ndjson
+    cargo run -p rmatc-bench --bin bench-diff -- bench-history/intersect.ndjson bench-history/local_lcc.ndjson

@@ -40,7 +40,7 @@ pub mod prelude {
     pub use rmatc_clampi::{ClampiConfig, ConsistencyMode, ScorePolicy};
     pub use rmatc_core::{
         CacheSpec, DistConfig, DistJaccard, DistLcc, DistResult, IntersectMethod, JaccardResult,
-        LocalConfig, LocalLcc, LocalParallelism, ScoreMode,
+        LocalConfig, LocalLcc, LocalParallelism, RangeSchedule, ScoreMode,
     };
     pub use rmatc_graph::datasets::{Dataset, DatasetScale};
     pub use rmatc_graph::gen::{

@@ -146,4 +146,53 @@ proptest! {
             prop_assert_eq!(r.triangle_count, expected, "{:?}", method);
         }
     }
+
+    #[test]
+    fn schedules_agree_on_rmat(seed in 0u64..12, threads in 2usize..6) {
+        // Degree-weighted and static chunk boundaries must be invisible in
+        // the results on hub-heavy R-MAT graphs, for both outer loops.
+        let g = RmatGenerator::paper(8, 8).generate_cleaned(seed).into_csr();
+        let seq = LocalLcc::new(LocalConfig::sequential()).run(&g);
+        for mode in [LocalParallelism::VertexParallel, LocalParallelism::EdgeParallel] {
+            let static_run = LocalLcc::new(
+                LocalConfig::parallel(threads)
+                    .with_parallelism(mode)
+                    .with_schedule(RangeSchedule::Static),
+            )
+            .run(&g);
+            let weighted_run = LocalLcc::new(
+                LocalConfig::parallel(threads)
+                    .with_parallelism(mode)
+                    .with_schedule(RangeSchedule::DegreeWeighted),
+            )
+            .run(&g);
+            prop_assert_eq!(&static_run.per_vertex_triangles, &seq.per_vertex_triangles,
+                            "static {:?} threads={}", mode, threads);
+            prop_assert_eq!(&weighted_run.per_vertex_triangles, &seq.per_vertex_triangles,
+                            "weighted {:?} threads={}", mode, threads);
+            prop_assert_eq!(weighted_run.edges_processed, static_run.edges_processed);
+        }
+    }
+
+    #[test]
+    fn schedules_agree_on_watts_strogatz(seed in 0u64..12, beta_pct in 0u32..100) {
+        // Watts-Strogatz is the near-regular counterpoint: degree weighting
+        // must also change nothing when there is hardly any skew to balance.
+        let g = WattsStrogatz::new(300, 6, beta_pct as f64 / 100.0)
+            .generate_cleaned(seed)
+            .into_csr();
+        let seq = LocalLcc::new(LocalConfig::sequential()).run(&g);
+        for mode in [LocalParallelism::VertexParallel, LocalParallelism::EdgeParallel] {
+            for schedule in [RangeSchedule::Static, RangeSchedule::DegreeWeighted] {
+                let par = LocalLcc::new(
+                    LocalConfig::parallel(4)
+                        .with_parallelism(mode)
+                        .with_schedule(schedule),
+                )
+                .run(&g);
+                prop_assert_eq!(&par.per_vertex_triangles, &seq.per_vertex_triangles,
+                                "{:?} {:?}", mode, schedule);
+            }
+        }
+    }
 }

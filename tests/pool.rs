@@ -1,0 +1,99 @@
+//! Stress tests of the persistent work-stealing pool behind the `rayon`
+//! facade: many repeated small parallel invocations must reuse the same
+//! worker threads (no spawn per call), return deterministic counts, and
+//! survive concurrent submitters.
+
+use rmatc::prelude::*;
+use rmatc_graph::gen::{GraphGenerator, RmatGenerator, WattsStrogatz};
+
+/// Current OS-thread count of this process, from /proc (Linux-only; the
+/// portable `rayon::threads_spawned` counter is the primary assertion).
+#[cfg(target_os = "linux")]
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+#[test]
+fn repeated_small_parallel_runs_reuse_the_pool_and_stay_deterministic() {
+    let graphs: Vec<CsrGraph> = vec![
+        RmatGenerator::paper(8, 8).generate_cleaned(1).into_csr(),
+        WattsStrogatz::new(256, 6, 0.1)
+            .generate_cleaned(2)
+            .into_csr(),
+    ];
+    let configs = [
+        LocalConfig::parallel(4),
+        LocalConfig::vertex_parallel(4),
+        LocalConfig::edge_parallel(4),
+        LocalConfig::vertex_parallel(4).with_schedule(RangeSchedule::Static),
+    ];
+
+    // Warm the pool, then snapshot both thread counters.
+    let baseline: Vec<u64> = graphs
+        .iter()
+        .map(|g| LocalLcc::new(configs[0]).run(g).triangle_count)
+        .collect();
+    let spawned_before = rayon::threads_spawned();
+    assert!(
+        spawned_before > 0 && spawned_before <= rayon::current_num_threads(),
+        "pool must exist after the first parallel run"
+    );
+    #[cfg(target_os = "linux")]
+    let os_threads_before = os_thread_count();
+
+    // Hammer the pool with many small invocations across all strategies.
+    for round in 0..50 {
+        let config = configs[round % configs.len()];
+        for (g, &expected) in graphs.iter().zip(&baseline) {
+            let result = LocalLcc::new(config).run(g);
+            assert_eq!(
+                result.triangle_count, expected,
+                "round {round} {:?} diverged",
+                config.parallelism
+            );
+        }
+    }
+
+    assert_eq!(
+        rayon::threads_spawned(),
+        spawned_before,
+        "parallel calls must not spawn OS threads once the pool exists"
+    );
+    #[cfg(target_os = "linux")]
+    if let (Some(before), Some(after)) = (os_threads_before, os_thread_count()) {
+        // Slack of 4: the sibling test in this binary may be running its
+        // scoped rank threads concurrently. The hard no-spawn guarantee is
+        // the `threads_spawned` assertion above.
+        assert!(
+            after <= before + 4,
+            "process thread count grew from {before} to {after} — the pool leaked threads"
+        );
+    }
+}
+
+#[test]
+fn concurrent_submitters_get_independent_correct_results() {
+    let g = RmatGenerator::paper(8, 8).generate_cleaned(3).into_csr();
+    let expected = LocalLcc::new(LocalConfig::sequential())
+        .run(&g)
+        .triangle_count;
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let g = &g;
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    let config = if worker % 2 == 0 {
+                        LocalConfig::vertex_parallel(4)
+                    } else {
+                        LocalConfig::edge_parallel(4)
+                    };
+                    assert_eq!(LocalLcc::new(config).run(g).triangle_count, expected);
+                }
+            });
+        }
+    });
+}

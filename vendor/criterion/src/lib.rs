@@ -8,8 +8,10 @@
 //!
 //! In addition to the human-readable table on stdout, passing `--json <path>`
 //! after `--` (`cargo bench --bench intersect -- --json out.json`) writes
-//! every record as machine-readable JSON so perf trajectories can be compared
-//! across commits.
+//! every record as machine-readable JSON, and `--history <path>` *appends*
+//! one self-contained JSON line per run — commit hash, timestamp, host
+//! metadata, and all records — building a per-commit perf trajectory that
+//! `bench-diff` (in `rmatc-bench`) can gate regressions on.
 
 use std::time::{Duration, Instant};
 
@@ -220,17 +222,17 @@ impl Criterion {
     }
 }
 
-/// The `--json` operand, if present and plausible. Cargo appends its own
-/// flags (e.g. `--bench`) after user args, so a flag-like token following
-/// `--json` means the path was omitted.
-fn parse_json_path() -> Option<String> {
+/// The operand of `--<flag>`, if present and plausible. Cargo appends its own
+/// flags (e.g. `--bench`) after user args, so a flag-like token following the
+/// flag means the path was omitted.
+fn parse_path_flag(flag: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--json" {
+        if arg == flag {
             return match args.next() {
                 Some(path) if !path.starts_with('-') => Some(path),
                 _ => {
-                    eprintln!("--json requires a path operand; ignoring");
+                    eprintln!("{flag} requires a path operand; ignoring");
                     None
                 }
             };
@@ -239,12 +241,40 @@ fn parse_json_path() -> Option<String> {
     None
 }
 
+fn parse_json_path() -> Option<String> {
+    parse_path_flag("--json").map(resolve_output_path)
+}
+
+fn parse_history_path() -> Option<String> {
+    parse_path_flag("--history").map(resolve_output_path)
+}
+
+/// Resolves a relative output path against the workspace root instead of the
+/// package directory `cargo bench` runs benchmarks in, so
+/// `cargo bench ... -- --json BENCH_x.json` lands next to the root
+/// `Cargo.toml` whether invoked from the root or a member crate. The root is
+/// the nearest ancestor holding a `Cargo.lock`; without one (bench binary run
+/// outside cargo), the path is used as given.
+fn resolve_output_path(path: String) -> String {
+    if std::path::Path::new(&path).is_absolute() {
+        return path;
+    }
+    let Ok(cwd) = std::env::current_dir() else {
+        return path;
+    };
+    cwd.ancestors()
+        .find(|dir| dir.join("Cargo.lock").is_file())
+        .map(|root| root.join(&path).to_string_lossy().into_owned())
+        .unwrap_or(path)
+}
+
 /// First positional CLI argument = substring filter on benchmark names
-/// (mirrors criterion/libtest). `--json <path>` and other flags are skipped.
+/// (mirrors criterion/libtest). `--json <path>`, `--history <path>` and other
+/// flags are skipped.
 fn parse_filter() -> Option<String> {
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
-        if arg == "--json" {
+        if arg == "--json" || arg == "--history" {
             if args.peek().is_some_and(|next| !next.starts_with('-')) {
                 args.next();
             }
@@ -389,50 +419,112 @@ impl Bencher {
     }
 }
 
-/// Final reporting: prints the table footer and, when `--json <path>` was
-/// passed on the command line, writes all records as a JSON object with host
-/// metadata (core count matters: parallel sections measured on a single-core
-/// host show flat curves that say nothing about the parallel code).
+fn host_json() -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(0);
+    format!(
+        "{{\"cpus\": {cpus}, \"arch\": {:?}, \"os\": {:?}}}",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+    )
+}
+
+fn record_json(r: &Record) -> String {
+    let throughput = match r.throughput_elems {
+        Some(e) => e.to_string(),
+        None => "null".to_string(),
+    };
+    let elems_per_us = match r.elems_per_us() {
+        Some(v) => format!("{v:.3}"),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"group\": {:?}, \"bench\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+         \"samples\": {}, \"iters_per_sample\": {}, \"throughput_elems\": {}, \
+         \"elems_per_us\": {}}}",
+        r.group,
+        r.bench,
+        r.median_ns,
+        r.mean_ns,
+        r.samples,
+        r.iters_per_sample,
+        throughput,
+        elems_per_us,
+    )
+}
+
+/// The commit the benchmark ran on: `GITHUB_SHA` in CI, `git rev-parse HEAD`
+/// locally, `"unknown"` outside a repository.
+fn current_commit() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Appends one self-contained history line (commit, timestamp, host, records)
+/// to `path`, creating parent directories as needed.
+fn append_history(path: &str, records: &[Record]) {
+    use std::io::Write;
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let body: Vec<String> = records.iter().map(record_json).collect();
+    let line = format!(
+        "{{\"commit\": {:?}, \"timestamp\": {timestamp}, \"host\": {}, \"records\": [{}]}}\n",
+        current_commit(),
+        host_json(),
+        body.join(", "),
+    );
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    match result {
+        Ok(()) => println!("appended {} records to {path}", records.len()),
+        Err(e) => eprintln!("failed to append history to {path}: {e}"),
+    }
+}
+
+/// Final reporting: prints the table footer; `--json <path>` writes all
+/// records as one JSON snapshot with host metadata (core count matters:
+/// parallel sections measured on a single-core host show flat curves that say
+/// nothing about the parallel code); `--history <path>` appends a
+/// one-line-per-run commit-stamped record for trend tracking.
 pub fn finalize(records: Vec<Record>) {
     println!("\n{} benchmarks measured", records.len());
     if let Some(path) = parse_json_path() {
-        let cpus = std::thread::available_parallelism()
-            .map(usize::from)
-            .unwrap_or(0);
-        let mut out = format!(
-            "{{\"host\": {{\"cpus\": {cpus}, \"arch\": {:?}, \"os\": {:?}}},\n\"records\": [\n",
-            std::env::consts::ARCH,
-            std::env::consts::OS,
-        );
+        let mut out = format!("{{\"host\": {},\n\"records\": [\n", host_json());
         for (i, r) in records.iter().enumerate() {
             let sep = if i + 1 == records.len() { "" } else { "," };
-            let throughput = match r.throughput_elems {
-                Some(e) => e.to_string(),
-                None => "null".to_string(),
-            };
-            let elems_per_us = match r.elems_per_us() {
-                Some(v) => format!("{v:.3}"),
-                None => "null".to_string(),
-            };
-            out.push_str(&format!(
-                "  {{\"group\": {:?}, \"bench\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
-                 \"samples\": {}, \"iters_per_sample\": {}, \"throughput_elems\": {}, \
-                 \"elems_per_us\": {}}}{sep}\n",
-                r.group,
-                r.bench,
-                r.median_ns,
-                r.mean_ns,
-                r.samples,
-                r.iters_per_sample,
-                throughput,
-                elems_per_us,
-            ));
+            out.push_str(&format!("  {}{sep}\n", record_json(r)));
         }
         out.push_str("]}\n");
         match std::fs::write(&path, out) {
             Ok(()) => println!("wrote {} records to {path}", records.len()),
             Err(e) => eprintln!("failed to write {path}: {e}"),
         }
+    }
+    if let Some(path) = parse_history_path() {
+        append_history(&path, &records);
     }
 }
 

@@ -1,0 +1,239 @@
+//! Fixed-capacity Chase-Lev work-stealing deque.
+//!
+//! One deque per pool worker: the owner pushes and pops split-off subranges at
+//! the *bottom* (LIFO, cache-warm), idle workers steal from the *top* (FIFO,
+//! the largest remaining ranges). The protocol is the classic Chase-Lev
+//! dynamic circular deque ("Dynamic Circular Work-Stealing Deque", SPAA'05)
+//! with the C11 memory orderings of Lê et al. (PPoPP'13), restricted to a
+//! fixed-capacity ring: `push` reports failure instead of growing, and the
+//! caller runs the overflowing range inline. Because recursive halving bounds
+//! the owner's depth at `log2(tasks)`, a 256-slot ring never overflows in
+//! practice.
+//!
+//! Slot payloads are stored as three relaxed atomics rather than a plain
+//! struct: a thief may read a slot that a concurrent operation is recycling,
+//! and the read is only *used* after the `top` CAS confirms ownership — the
+//! per-field atomics make the racy read defined behaviour instead of UB.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+
+/// Number of slots per deque. Owner depth is bounded by `log2(tasks)` per
+/// in-flight job, so 256 is far above anything reachable; overflow is handled
+/// by running the task inline anyway.
+const CAPACITY: usize = 256;
+const MASK: usize = CAPACITY - 1;
+
+/// A unit of schedulable work: `job` is a type-erased pointer to the
+/// submitting call's `JobCore` (alive until every task of the job has run),
+/// and `[lo, hi)` is the range of task indices this entry covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Task {
+    pub job: usize,
+    pub lo: usize,
+    pub hi: usize,
+}
+
+#[derive(Default)]
+struct Slot {
+    job: AtomicUsize,
+    lo: AtomicUsize,
+    hi: AtomicUsize,
+}
+
+/// The per-worker deque. `push`/`pop` may only be called by the owning worker;
+/// `steal` may be called by any thread.
+pub(crate) struct Deque {
+    /// Next index a thief will steal from (only ever increments).
+    top: AtomicIsize,
+    /// Next index the owner will push to (increments on push, decrements on pop).
+    bottom: AtomicIsize,
+    slots: Box<[Slot]>,
+}
+
+impl Deque {
+    pub(crate) fn new() -> Self {
+        Self {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: (0..CAPACITY).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    fn read_slot(&self, index: isize) -> Task {
+        let slot = &self.slots[index as usize & MASK];
+        Task {
+            job: slot.job.load(Ordering::Relaxed),
+            lo: slot.lo.load(Ordering::Relaxed),
+            hi: slot.hi.load(Ordering::Relaxed),
+        }
+    }
+
+    fn write_slot(&self, index: isize, task: Task) {
+        let slot = &self.slots[index as usize & MASK];
+        slot.job.store(task.job, Ordering::Relaxed);
+        slot.lo.store(task.lo, Ordering::Relaxed);
+        slot.hi.store(task.hi, Ordering::Relaxed);
+    }
+
+    /// Owner-only: pushes `task` at the bottom. Returns `false` when the ring
+    /// is full (the caller must then run the task itself).
+    pub(crate) fn push(&self, task: Task) -> bool {
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let top = self.top.load(Ordering::Acquire);
+        if bottom - top >= CAPACITY as isize {
+            return false;
+        }
+        self.write_slot(bottom, task);
+        // Publish the slot before advancing `bottom` so a thief that observes
+        // the new bottom also observes the payload.
+        self.bottom.store(bottom + 1, Ordering::Release);
+        true
+    }
+
+    /// Owner-only: pops the most recently pushed task, racing thieves for the
+    /// last element.
+    pub(crate) fn pop(&self) -> Option<Task> {
+        let bottom = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(bottom, Ordering::Relaxed);
+        // The SeqCst fence orders the `bottom` write before the `top` read so
+        // owner and thief cannot both miss the other's claim of the last task.
+        fence(Ordering::SeqCst);
+        let top = self.top.load(Ordering::Relaxed);
+        if top > bottom {
+            // Deque was already empty; restore bottom.
+            self.bottom.store(bottom + 1, Ordering::Relaxed);
+            return None;
+        }
+        let task = self.read_slot(bottom);
+        if top == bottom {
+            // Single element left: race thieves for it by advancing top.
+            let won = self
+                .top
+                .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(bottom + 1, Ordering::Relaxed);
+            return won.then_some(task);
+        }
+        Some(task)
+    }
+
+    /// Thief: steals the oldest task. `None` means empty or lost a race —
+    /// callers treat both as "try elsewhere".
+    pub(crate) fn steal(&self) -> Option<Task> {
+        let top = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let bottom = self.bottom.load(Ordering::Acquire);
+        if top >= bottom {
+            return None;
+        }
+        // Read before the CAS: on CAS failure the (possibly torn) value is
+        // discarded; on success the slot cannot have been recycled, because an
+        // owner reusing it would first have had to observe `top` past ours.
+        let task = self.read_slot(top);
+        self.top
+            .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .ok()
+            .map(|_| task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn task(lo: usize, hi: usize) -> Task {
+        Task { job: 1, lo, hi }
+    }
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d = Deque::new();
+        assert!(d.push(task(0, 1)));
+        assert!(d.push(task(1, 2)));
+        assert!(d.push(task(2, 3)));
+        assert_eq!(d.steal(), Some(task(0, 1)));
+        assert_eq!(d.pop(), Some(task(2, 3)));
+        assert_eq!(d.pop(), Some(task(1, 2)));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn full_deque_rejects_push() {
+        let d = Deque::new();
+        for i in 0..CAPACITY {
+            assert!(d.push(task(i, i + 1)));
+        }
+        assert!(!d.push(task(999, 1000)));
+        assert_eq!(d.steal(), Some(task(0, 1)));
+        assert!(d.push(task(999, 1000)));
+    }
+
+    #[test]
+    fn concurrent_steals_take_each_task_exactly_once() {
+        let d = Deque::new();
+        let n = 200usize;
+        for i in 0..n {
+            assert!(d.push(task(i, i + 1)));
+        }
+        let taken = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while taken.load(Ordering::Relaxed) < n as u64 {
+                        if let Some(t) = d.steal() {
+                            taken.fetch_add(1, Ordering::Relaxed);
+                            sum.fetch_add(t.lo as u64, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..n as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn owner_pop_races_thieves_without_loss_or_duplication() {
+        // Owner pushes and pops while thieves steal; every task must be
+        // claimed exactly once across all participants.
+        let d = Deque::new();
+        let n = 20_000usize;
+        let claimed = AtomicU64::new(0);
+        let stop = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    while stop.load(Ordering::Acquire) == 0 {
+                        if let Some(t) = d.steal() {
+                            claimed.fetch_add((t.hi - t.lo) as u64, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            let mut produced = 0usize;
+            while produced < n {
+                if d.push(task(produced, produced + 1)) {
+                    produced += 1;
+                }
+                if produced.is_multiple_of(7) {
+                    if let Some(t) = d.pop() {
+                        claimed.fetch_add((t.hi - t.lo) as u64, Ordering::Relaxed);
+                    }
+                }
+            }
+            while let Some(t) = d.pop() {
+                claimed.fetch_add((t.hi - t.lo) as u64, Ordering::Relaxed);
+            }
+            // Drain stragglers the thieves may still race for, then stop them.
+            while claimed.load(Ordering::Relaxed) < n as u64 {
+                if let Some(t) = d.steal() {
+                    claimed.fetch_add((t.hi - t.lo) as u64, Ordering::Relaxed);
+                }
+            }
+            stop.store(1, Ordering::Release);
+        });
+        assert_eq!(claimed.load(Ordering::Relaxed), n as u64);
+    }
+}

@@ -1,27 +1,35 @@
-//! Offline stub of the `rayon` API subset this workspace uses: parallel
-//! iteration over `Range<usize>` with `map`/`sum`/`collect`/`for_each`.
+//! Offline stub of the `rayon` API subset this workspace uses, backed by a
+//! persistent work-stealing thread pool.
 //!
-//! Parallelism is real — chunks of the range are executed on scoped OS threads
-//! — but there is no persistent work-stealing pool: each `sum`/`collect` call
-//! forks and joins. Callers (the intersection kernels, the vertex-parallel
-//! LCC loop) already gate parallel entry behind a size cut-off, which keeps
-//! the fork cost amortized exactly where rayon's pool entry cost would be.
+//! Parallel iteration over `Range<usize>` (`map`/`sum`/`collect`/`for_each`)
+//! and `scope`/`Scope::spawn` are supported. Unlike the previous stub — which
+//! forked scoped OS threads on every terminal call — all parallel work runs on
+//! one process-wide pool of workers with per-worker Chase-Lev deques
+//! ([`mod@pool`], [`mod@deque`]): a call injects one job, workers split it by
+//! recursive halving and steal from each other, and the calling thread helps
+//! instead of blocking idle. Repeated small parallel calls therefore pay a
+//! queue push, not a `thread::spawn`, per call — the role rayon's persistent
+//! pool (and the paper's `OMP_WAIT_POLICY=active`) plays for parallel-region
+//! entry cost.
+//!
+//! The pool is built lazily on first use and sized by `RMATC_THREADS`,
+//! `RAYON_NUM_THREADS`, the first caller's [`ensure_pool`] hint, or the core
+//! count, in that order. Swapping this stub for the real rayon remains a
+//! one-line change in the workspace `Cargo.toml` (see `vendor/README.md`).
 
-use std::num::NonZeroUsize;
+mod deque;
+mod pool;
 
-/// Number of worker threads: `RAYON_NUM_THREADS` if set, else the number of
-/// available cores.
-pub fn current_num_threads() -> usize {
-    std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        })
-}
+pub use pool::{
+    current_num_threads, effective_parallelism, ensure_pool, in_worker, threads_spawned,
+};
+
+use std::mem;
+use std::sync::Mutex;
+
+/// How many chunks each worker gets on average when a parallel iterator is
+/// split: oversplitting lets the stealing balance uneven chunk costs.
+const CHUNKS_PER_WORKER: usize = 4;
 
 pub mod prelude {
     pub use crate::IntoParallelIterator;
@@ -66,7 +74,7 @@ impl ParRange {
     }
 }
 
-/// The mapped parallel iterator; terminal operations fork scoped threads.
+/// The mapped parallel iterator; terminal operations run on the global pool.
 #[derive(Debug, Clone, Copy)]
 pub struct ParMap<F> {
     start: usize,
@@ -74,38 +82,42 @@ pub struct ParMap<F> {
     f: F,
 }
 
-impl<F> ParMap<F> {
-    /// Runs `per_chunk` on each worker's sub-range and returns the per-chunk
-    /// results in range order.
-    fn run_chunks<T, G>(start: usize, end: usize, per_chunk: G) -> Vec<T>
-    where
-        T: Send,
-        G: Fn(std::ops::Range<usize>) -> T + Sync,
-    {
-        let len = end - start;
-        if len == 0 {
-            return Vec::new();
-        }
-        let workers = current_num_threads().min(len);
-        if workers <= 1 {
-            return vec![per_chunk(start..end)];
-        }
-        let chunk = len.div_ceil(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let lo = start + (w * chunk).min(len);
-                    let hi = start + ((w + 1) * chunk).min(len);
-                    let per_chunk = &per_chunk;
-                    scope.spawn(move || per_chunk(lo..hi))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rayon stub worker panicked"))
-                .collect()
-        })
+/// Runs `per_chunk` over contiguous sub-ranges of `[start, end)` on the pool
+/// and returns the per-chunk results in range order. Sequential when the pool
+/// has a single worker or the call is nested inside a pool worker.
+fn run_chunks<T, G>(start: usize, end: usize, per_chunk: G) -> Vec<T>
+where
+    T: Send,
+    G: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    let len = end - start;
+    if len == 0 {
+        return Vec::new();
     }
+    // Dispatch width: the pool size capped at the hardware's cores (see
+    // `effective_parallelism`) — on a narrower machine the region runs
+    // inline, exactly like the previous stub's `cores.min(len)` fallback.
+    let threads = pool::effective_parallelism();
+    if len == 1 || threads <= 1 || pool::in_worker() {
+        return vec![per_chunk(start..end)];
+    }
+    let chunk = len.div_ceil((threads * CHUNKS_PER_WORKER).min(len));
+    let chunks = len.div_ceil(chunk);
+    let slots: Vec<Mutex<Option<T>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+    pool::run_tasks(chunks, &|c| {
+        let lo = start + c * chunk;
+        let hi = (lo + chunk).min(end);
+        let result = per_chunk(lo..hi);
+        *slots[c].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every chunk ran")
+        })
+        .collect()
 }
 
 impl<F, T> ParMap<F>
@@ -118,7 +130,7 @@ where
         S: Send + std::iter::Sum<T> + std::iter::Sum<S>,
     {
         let f = &self.f;
-        Self::run_chunks(self.start, self.end, |r| r.map(f).sum::<S>())
+        run_chunks(self.start, self.end, |r| r.map(f).sum::<S>())
             .into_iter()
             .sum()
     }
@@ -128,7 +140,7 @@ where
         C: FromIterator<T>,
     {
         let f = &self.f;
-        Self::run_chunks(self.start, self.end, |r| r.map(f).collect::<Vec<T>>())
+        run_chunks(self.start, self.end, |r| r.map(f).collect::<Vec<T>>())
             .into_iter()
             .flatten()
             .collect()
@@ -136,16 +148,75 @@ where
 
     pub fn for_each(self, consumer: impl Fn(T) + Sync) {
         let f = &self.f;
-        Self::run_chunks(self.start, self.end, |r| r.map(f).for_each(&consumer));
+        run_chunks(self.start, self.end, |r| r.map(f).for_each(&consumer));
     }
+}
+
+/// A closure spawned on a [`Scope`].
+type SpawnedTask<'s> = Box<dyn FnOnce(&Scope<'s>) + Send + 's>;
+
+/// A scope for spawning pool tasks borrowing from the enclosing frame, after
+/// rayon's `scope`: every closure spawned on it completes before [`scope`]
+/// returns.
+pub struct Scope<'s> {
+    queue: Mutex<Vec<SpawnedTask<'s>>>,
+}
+
+impl<'s> Scope<'s> {
+    /// Queues `f` to run on the pool before the scope ends. Spawned closures
+    /// may spawn further work on the scope they receive.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'s>) + Send + 's,
+    {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Box::new(f));
+    }
+}
+
+/// Creates a scope, runs `f` in it, then runs everything spawned on the scope
+/// (in parallel, on the pool) until no spawns remain.
+///
+/// Semantics differ from real rayon in one way: spawned closures start only
+/// after `f` *returns* (they are queued, then drained in batches), whereas
+/// real rayon may run them concurrently with `f`. Code must not block inside
+/// `f` waiting for a spawn to run — under this stub that deadlocks. Nothing
+/// in this workspace does; the facade exists so the call shape matches the
+/// real crate.
+pub fn scope<'s, R>(f: impl FnOnce(&Scope<'s>) -> R) -> R {
+    let scope = Scope {
+        queue: Mutex::new(Vec::new()),
+    };
+    let result = f(&scope);
+    loop {
+        let batch = mem::take(&mut *scope.queue.lock().unwrap_or_else(|e| e.into_inner()));
+        if batch.is_empty() {
+            break;
+        }
+        let slots: Vec<Mutex<Option<SpawnedTask<'s>>>> =
+            batch.into_iter().map(|f| Mutex::new(Some(f))).collect();
+        pool::run_tasks(slots.len(), &|i| {
+            let task = slots[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("each spawned closure runs once");
+            task(&scope);
+        });
+    }
+    result
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn sum_matches_sequential() {
+        super::ensure_pool(4);
         let par: u64 = (0..10_000usize).into_par_iter().map(|x| x as u64 * 3).sum();
         let seq: u64 = (0..10_000u64).map(|x| x * 3).sum();
         assert_eq!(par, seq);
@@ -153,6 +224,7 @@ mod tests {
 
     #[test]
     fn collect_preserves_order() {
+        super::ensure_pool(4);
         let v: Vec<usize> = (0..1_000usize).into_par_iter().map(|x| x * x).collect();
         assert_eq!(v, (0..1_000usize).map(|x| x * x).collect::<Vec<_>>());
     }
@@ -163,5 +235,44 @@ mod tests {
         assert_eq!(total, 0);
         let v: Vec<usize> = (3..3usize).into_par_iter().map(|x| x).collect();
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        super::ensure_pool(4);
+        let hits = AtomicUsize::new(0);
+        (0..777usize).into_par_iter().map(|x| x).for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 777);
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        super::ensure_pool(4);
+        // Outer parallel map whose chunks themselves issue parallel sums:
+        // inner calls run inline on workers, and must still be correct.
+        let totals: Vec<u64> = (0..8usize)
+            .into_par_iter()
+            .map(|_| (0..100usize).into_par_iter().map(|x| x as u64).sum::<u64>())
+            .collect();
+        assert!(totals.iter().all(|&t| t == 4_950));
+    }
+
+    #[test]
+    fn scope_runs_all_spawns_including_nested_ones() {
+        super::ensure_pool(4);
+        let hits = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|inner| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    inner.spawn(|_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 20);
     }
 }

@@ -1,0 +1,435 @@
+//! The persistent work-stealing thread pool behind the `rayon` facade.
+//!
+//! A single process-wide pool is built lazily on first parallel use and lives
+//! for the rest of the process (workers are detached; an idle worker costs one
+//! parked OS thread). Sizing, in decreasing precedence: `RMATC_THREADS`,
+//! `RAYON_NUM_THREADS`, the first caller's hint (e.g. `LocalConfig::threads`)
+//! raised to the core count, the core count.
+//!
+//! ## Scheduling
+//!
+//! A parallel call ([`run_tasks`]) allocates a stack-held `JobCore`, injects a
+//! single task covering all `n` task indices into the global injector queue,
+//! and then *helps*: it steals and executes tasks itself while waiting, so
+//! work completes even if every worker is busy with other jobs. Workers pop
+//! the injected task and split it by recursive halving onto their own
+//! Chase-Lev deque ([`super::deque`]); idle workers steal the biggest ranges
+//! from the top. The job's `remaining` counter reaches zero exactly when every
+//! task index has executed, which unparks the submitting thread.
+//!
+//! Nested parallel calls from inside a worker run inline (sequentially) —
+//! the outer parallelism already owns the pool, and blocking a worker on a
+//! sub-job could deadlock a pool of one.
+
+use crate::deque::{Deque, Task};
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::{self, Thread};
+use std::time::Duration;
+
+/// One parallel call's shared state, stack-held by the submitting thread. Task
+/// entries carry a type-erased pointer to this; the pointer stays valid
+/// because the submitter blocks until `remaining` hits zero, and `remaining`
+/// only hits zero after the final task's last touch of this struct.
+struct JobCore {
+    /// Monomorphized thunk: calls the closure behind `ctx` with a task index.
+    run: unsafe fn(*const (), usize),
+    /// The `&impl Fn(usize)` of the submitting call.
+    ctx: *const (),
+    /// Task indices not yet executed.
+    remaining: AtomicUsize,
+    /// The submitting thread, unparked by whoever executes the last index.
+    waiter: Thread,
+    /// First panic raised by any task, rethrown on the submitting thread.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+unsafe fn call_thunk<F: Fn(usize) + Sync>(ctx: *const (), index: usize) {
+    (*(ctx as *const F))(index)
+}
+
+struct Pool {
+    deques: Vec<Deque>,
+    /// Externally injected tasks, plus the condvar idle workers sleep on.
+    injector: Mutex<VecDeque<Task>>,
+    idle: Condvar,
+    /// Workers currently blocked in `idle.wait` (kept exact under the
+    /// injector lock; read without it only to skip needless notifies).
+    sleepers: AtomicUsize,
+    /// Round-robin hint so thieves do not all hammer deque 0.
+    next_victim: AtomicUsize,
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+/// OS threads ever spawned by this pool — observable proof that repeated
+/// parallel calls reuse workers instead of forking per call.
+static THREADS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is one of the pool's workers.
+pub fn in_worker() -> bool {
+    IS_WORKER.with(Cell::get)
+}
+
+/// Total OS threads the pool has ever spawned (0 before first parallel use;
+/// equal to the pool size — and never growing — afterwards).
+pub fn threads_spawned() -> usize {
+    THREADS_SPAWNED.load(Ordering::Acquire)
+}
+
+/// Environment override, read once: `effective_parallelism` runs on every
+/// parallel-region entry, and `env::var` + `available_parallelism` are
+/// lock/syscall-priced — paying them per intersection would swamp the very
+/// region-entry cost the pool exists to remove.
+fn env_threads() -> Option<usize> {
+    static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        ["RMATC_THREADS", "RAYON_NUM_THREADS"]
+            .iter()
+            .find_map(|var| std::env::var(var).ok()?.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Physical core count, read once (see [`env_threads`] on why).
+fn available_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Builds the global pool if it does not exist yet and returns its size.
+/// `hint` is the caller's desired parallelism (0 = no opinion); environment
+/// overrides win, and a positive hint is raised to the core count so an
+/// intentionally narrow first caller does not starve later wide ones.
+///
+/// A hint *above* the core count is honored too: `run_tasks` and [`scope`]
+/// dispatch across the full pool (preemptive interleaving exercises the
+/// stealing protocol even on narrow hosts — that is what the pool's own
+/// tests rely on), while the parallel-iterator facade separately caps its
+/// dispatch width at [`effective_parallelism`]. Workers idle beyond that cap
+/// cost one parked thread waking ~10x/s each.
+///
+/// [`scope`]: crate::scope
+pub fn ensure_pool(hint: usize) -> usize {
+    pool_with_hint(hint).deques.len()
+}
+
+/// Pool size without forcing construction: the actual size once built, the
+/// size a build would pick otherwise.
+pub fn current_num_threads() -> usize {
+    match POOL.get() {
+        Some(pool) => pool.deques.len(),
+        None => env_threads().unwrap_or_else(available_cores),
+    }
+}
+
+/// The parallel width worth *dispatching* from outside the pool: an explicit
+/// environment override wins; otherwise the pool size capped to the physical
+/// core count. A pool can be larger than the machine (a wide `ensure_pool`
+/// hint keeps later callers honest), but fanning a region out wider than the
+/// hardware only adds context-switch overhead — the previous scoped-thread
+/// stub applied the same `cores.min(len)` cap.
+pub fn effective_parallelism() -> usize {
+    env_threads().unwrap_or_else(|| available_cores().min(current_num_threads()))
+}
+
+fn pool_with_hint(hint: usize) -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = env_threads()
+            .unwrap_or_else(|| {
+                let cores = available_cores();
+                if hint > 0 {
+                    hint.max(cores)
+                } else {
+                    cores
+                }
+            })
+            .clamp(1, 1024);
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            deques: (0..threads).map(|_| Deque::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            next_victim: AtomicUsize::new(0),
+        }));
+        for index in 0..threads {
+            THREADS_SPAWNED.fetch_add(1, Ordering::AcqRel);
+            thread::Builder::new()
+                .name(format!("rmatc-pool-{index}"))
+                .spawn(move || worker_loop(pool, index))
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    })
+}
+
+/// Executes `run(0..n)` across the pool, blocking until every index has run.
+/// Panics from tasks are rethrown here (first one wins). Calls from inside a
+/// pool worker run inline.
+pub(crate) fn run_tasks<F: Fn(usize) + Sync>(n: usize, run: &F) {
+    if n == 0 {
+        return;
+    }
+    if n == 1 || in_worker() {
+        for index in 0..n {
+            run(index);
+        }
+        return;
+    }
+    let pool = pool_with_hint(0);
+    if pool.deques.len() <= 1 {
+        for index in 0..n {
+            run(index);
+        }
+        return;
+    }
+    let job = JobCore {
+        run: call_thunk::<F>,
+        ctx: run as *const F as *const (),
+        remaining: AtomicUsize::new(n),
+        waiter: thread::current(),
+        panic: Mutex::new(None),
+    };
+    pool.inject(Task {
+        job: &job as *const JobCore as usize,
+        lo: 0,
+        hi: n,
+    });
+    pool.help_until_done(&job);
+    let payload = job.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+fn worker_loop(pool: &'static Pool, me: usize) {
+    IS_WORKER.with(|flag| flag.set(true));
+    loop {
+        if let Some(task) = pool.deques[me].pop() {
+            pool.execute(Some(me), task);
+            continue;
+        }
+        if let Some(task) = pool.steal(me) {
+            pool.execute(Some(me), task);
+            continue;
+        }
+        // Check the injector and sleep under the same lock, so an inject
+        // cannot slip between the check and the wait: `inject` notifies under
+        // this lock whenever sleepers are registered, and a task pushed to a
+        // deque without a notify is still drained by its owner's next pop.
+        // The long timeout is only a liveness backstop for that unnotified
+        // window (a sleeping thief misses a steal opportunity, never work
+        // loss) and keeps a fully idle pool near zero CPU.
+        let mut queue = pool.injector.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(task) = queue.pop_front() {
+            drop(queue);
+            pool.execute(Some(me), task);
+            continue;
+        }
+        pool.sleepers.fetch_add(1, Ordering::SeqCst);
+        let (queue, _) = pool
+            .idle
+            .wait_timeout(queue, Duration::from_millis(100))
+            .unwrap_or_else(|e| e.into_inner());
+        pool.sleepers.fetch_sub(1, Ordering::SeqCst);
+        drop(queue);
+    }
+}
+
+impl Pool {
+    fn inject(&self, task: Task) {
+        let mut queue = self.injector.lock().unwrap_or_else(|e| e.into_inner());
+        queue.push_back(task);
+        // Demand-driven wake-up: one worker per new task. The woken worker's
+        // own splits wake further sleepers (`wake_sleepers` per push), so the
+        // number of running workers tracks the number of available tasks
+        // instead of jumping to the full pool on every region entry.
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            self.idle.notify_one();
+        }
+    }
+
+    fn pop_injected(&self) -> Option<Task> {
+        self.injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    fn wake_sleepers(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _queue = self.injector.lock().unwrap_or_else(|e| e.into_inner());
+            self.idle.notify_one();
+        }
+    }
+
+    /// One pass over every other worker's deque, starting from a rotating
+    /// victim so thieves spread out.
+    fn steal(&self, me: usize) -> Option<Task> {
+        let n = self.deques.len();
+        let start = self.next_victim.fetch_add(1, Ordering::Relaxed);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if victim == me {
+                continue;
+            }
+            if let Some(task) = self.deques[victim].steal() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Steal pass for helping threads that own no deque.
+    fn steal_any(&self) -> Option<Task> {
+        self.steal(usize::MAX)
+    }
+
+    /// Runs a task: splits it by recursive halving — pushing upper halves to
+    /// the worker's own deque (or back to the injector for deque-less helping
+    /// threads) — then executes the leaves that remain.
+    fn execute(&self, me: Option<usize>, task: Task) {
+        // SAFETY: a task exists only while its job's `remaining` counter is at
+        // least the task's width, so the submitting frame is still alive.
+        let job = unsafe { &*(task.job as *const JobCore) };
+        let (lo, mut hi) = (task.lo, task.hi);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let upper = Task {
+                job: task.job,
+                lo: mid,
+                hi,
+            };
+            match me {
+                Some(index) => {
+                    if !self.deques[index].push(upper) {
+                        break; // ring full — run the rest inline
+                    }
+                    self.wake_sleepers();
+                }
+                None => self.inject(upper),
+            }
+            hi = mid;
+        }
+        // Clone the unpark handle *before* the final decrement: the decrement
+        // is the last permitted touch of `job`.
+        let waiter = job.waiter.clone();
+        for index in lo..hi {
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.ctx, index) }));
+            if let Err(payload) = result {
+                let mut slot = job.panic.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+        if job.remaining.fetch_sub(hi - lo, Ordering::AcqRel) == hi - lo {
+            waiter.unpark();
+        }
+    }
+
+    /// The submitting thread's wait loop: execute available tasks (its own
+    /// job's or anyone's — all help global progress) until the job completes.
+    fn help_until_done(&self, job: &JobCore) {
+        let mut idle_rounds = 0u32;
+        while job.remaining.load(Ordering::Acquire) > 0 {
+            match self.pop_injected().or_else(|| self.steal_any()) {
+                Some(task) => {
+                    self.execute(None, task);
+                    idle_rounds = 0;
+                }
+                None => {
+                    idle_rounds += 1;
+                    if idle_rounds < 32 {
+                        std::hint::spin_loop();
+                    } else {
+                        // Re-checked on every iteration; the final unpark (or
+                        // the timeout) bounds the wait.
+                        thread::park_timeout(Duration::from_micros(200));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_size() -> usize {
+        ensure_pool(4)
+    }
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        pool_size();
+        let hits: Vec<AtomicUsize> = (0..1_000).map(|_| AtomicUsize::new(0)).collect();
+        run_tasks(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn reuses_the_same_workers_across_calls() {
+        let size = pool_size();
+        let before = threads_spawned();
+        assert_eq!(before, size);
+        for _ in 0..200 {
+            let total = AtomicUsize::new(0);
+            run_tasks(16, &|i| {
+                total.fetch_add(i, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), (0..16).sum::<usize>());
+        }
+        assert_eq!(threads_spawned(), before, "pool must not fork per call");
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        pool_size();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let total = AtomicUsize::new(0);
+                    run_tasks(64, &|i| {
+                        total.fetch_add(i + 1, Ordering::Relaxed);
+                    });
+                    assert_eq!(total.load(Ordering::Relaxed), (1..=64).sum::<usize>());
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn task_panics_propagate_to_the_submitter() {
+        pool_size();
+        let result = catch_unwind(|| {
+            run_tasks(8, &|i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err(), "panic must reach the submitting thread");
+        // The pool must stay usable afterwards.
+        let total = AtomicUsize::new(0);
+        run_tasks(8, &|i| {
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 28);
+    }
+}
