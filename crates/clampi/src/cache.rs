@@ -21,6 +21,13 @@ pub enum CacheInsertOutcome {
     NotCached,
 }
 
+/// Number of hash-table slots probed per key (set associativity). A purely
+/// direct-mapped index evicts on every collision even when the table is sized to
+/// the expected entry count; a small probe sequence removes those artificial
+/// conflict evictions, matching the behaviour the paper relies on when it sizes
+/// the hash tables (Section III-B1).
+const WAYS: usize = 4;
+
 /// One CLaMPI cache instance: in the paper there are two per rank, `C_offsets` over
 /// the offsets window and `C_adj` over the adjacencies window.
 #[derive(Debug)]
@@ -92,29 +99,30 @@ impl<T: Clone> Clampi<T> {
         self.freelist.fragmentation()
     }
 
-    /// Number of hash-table slots probed per key (set associativity). A purely
-    /// direct-mapped index evicts on every collision even when the table is sized to
-    /// the expected entry count; a small probe sequence removes those artificial
-    /// conflict evictions, matching the behaviour the paper relies on when it sizes
-    /// the hash tables (Section III-B1).
-    const WAYS: usize = 4;
-
-    /// The probe sequence of a key: `WAYS` consecutive slots starting at its hash.
-    fn probe_slots(&self, key: &EntryKey) -> impl Iterator<Item = usize> {
+    /// The probe sequence of a key: up to [`WAYS`] consecutive slots starting at its
+    /// hash, returned in a fixed-size array (the lookup hot path must not allocate).
+    fn probe_slots(&self, key: &EntryKey) -> ([usize; WAYS], usize) {
         let n = self.slots.len();
         let base = key.slot(n);
-        (0..Self::WAYS.min(n)).map(move |i| (base + i) % n)
+        let count = WAYS.min(n);
+        let mut probes = [0usize; WAYS];
+        for (i, probe) in probes.iter_mut().take(count).enumerate() {
+            *probe = (base + i) % n;
+        }
+        (probes, count)
     }
 
     /// Looks up a region. On a hit the entry's recency is refreshed and its data is
-    /// returned; on a miss the caller is expected to perform the real RMA get and
-    /// then call [`Clampi::insert`].
-    pub fn lookup(&mut self, key: EntryKey) -> Option<Arc<Vec<T>>> {
+    /// returned (a refcount bump — the hit path performs no heap allocation); on a
+    /// miss the caller is expected to perform the real RMA get and then call
+    /// [`Clampi::insert`].
+    pub fn lookup(&mut self, key: EntryKey) -> Option<Arc<[T]>> {
         self.clock += 1;
         self.adaptive.record_access();
         let clock = self.clock;
         let mut hit = None;
-        for slot in self.probe_slots(&key).collect::<Vec<_>>() {
+        let (probes, ways) = self.probe_slots(&key);
+        for &slot in &probes[..ways] {
             if let Some(entry) = &mut self.slots[slot] {
                 if entry.key == key {
                     entry.last_access = clock;
@@ -136,10 +144,19 @@ impl<T: Clone> Clampi<T> {
         hit
     }
 
-    /// Inserts data fetched after a miss. `user_score` is the application-defined
+    /// Inserts data fetched after a miss. The shared buffer is retained as-is — an
+    /// `Arc` refcount bump, never a payload copy — so callers hand the cache the
+    /// very allocation the RMA transfer landed in (a `Vec` is also accepted for
+    /// convenience and converted once). `user_score` is the application-defined
     /// score (the paper passes the out-degree of the vertex whose adjacency list was
     /// fetched); pass `0.0` when not using application scores.
-    pub fn insert(&mut self, key: EntryKey, data: Vec<T>, user_score: f64) -> CacheInsertOutcome {
+    pub fn insert(
+        &mut self,
+        key: EntryKey,
+        data: impl Into<Arc<[T]>>,
+        user_score: f64,
+    ) -> CacheInsertOutcome {
+        let data: Arc<[T]> = data.into();
         let bytes = data.len() * std::mem::size_of::<T>();
         self.stats.bytes_from_network += bytes as u64;
         if bytes > self.freelist.capacity() {
@@ -151,15 +168,16 @@ impl<T: Clone> Clampi<T> {
         // Index handling: within the key's probe sequence, reuse the slot holding the
         // same key, else take an empty slot, else this is a hash conflict and CLaMPI's
         // eviction procedure picks a victim among the residents of the set.
-        let probes: Vec<usize> = self.probe_slots(&key).collect();
+        let (probes, ways) = self.probe_slots(&key);
+        let probes = &probes[..ways];
         let mut slot = None;
-        for &s in &probes {
+        for &s in probes {
             match &self.slots[s] {
                 Some(resident) if resident.key == key => {
                     // Re-inserting an already-cached key (e.g. after a racing fetch):
                     // refresh the data in place.
                     let resident = self.slots[s].as_mut().expect("checked above");
-                    resident.data = Arc::new(data);
+                    resident.data = data;
                     resident.last_access = self.clock;
                     resident.user_score = user_score;
                     return CacheInsertOutcome::Inserted;
@@ -223,7 +241,7 @@ impl<T: Clone> Clampi<T> {
         };
         self.slots[slot] = Some(Entry {
             key,
-            data: Arc::new(data),
+            data,
             addr,
             bytes,
             last_access: self.clock,

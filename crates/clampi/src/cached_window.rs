@@ -5,6 +5,7 @@
 use crate::cache::Clampi;
 use crate::config::ClampiConfig;
 use crate::entry::EntryKey;
+use crate::row::RowRef;
 use crate::stats::CacheStats;
 use rmatc_rma::{Endpoint, Window};
 use std::sync::Arc;
@@ -52,7 +53,7 @@ impl<T: Copy + Send + Sync> CachedWindow<T> {
         target: usize,
         offset: usize,
         len: usize,
-    ) -> Arc<Vec<T>> {
+    ) -> RowRef<'_, T> {
         self.get_scored(ep, target, offset, len, 0.0)
     }
 
@@ -60,7 +61,14 @@ impl<T: Copy + Send + Sync> CachedWindow<T> {
     /// score for the entry (the paper's extension: for LCC, the degree of the vertex
     /// whose adjacency list is being fetched). On a hit only the local access cost is
     /// charged to the endpoint; on a miss the real RMA get is issued, waited for, and
-    /// the result is inserted into the cache with the given score.
+    /// the fetched buffer itself is inserted into the cache with the given score.
+    ///
+    /// The read is zero-copy end to end: local-rank reads borrow the window
+    /// ([`RowRef::Window`]), hits share the cached buffer ([`RowRef::Cached`]),
+    /// and a miss performs exactly one allocation — the transfer buffer, which
+    /// is handed to the cache by refcount and returned as [`RowRef::Fetched`]
+    /// (so it stays valid even if the entry is evicted immediately, e.g. when
+    /// it does not fit).
     pub fn get_scored(
         &mut self,
         ep: &mut Endpoint,
@@ -68,24 +76,58 @@ impl<T: Copy + Send + Sync> CachedWindow<T> {
         offset: usize,
         len: usize,
         score: f64,
-    ) -> Arc<Vec<T>> {
+    ) -> RowRef<'_, T> {
         if target == ep.rank() {
             // Local partition: served from local memory, never cached (caching it
             // would only duplicate memory the rank already holds).
-            let data = ep.local_read(&self.window, offset, len).to_vec();
-            return Arc::new(data);
+            return RowRef::Window(ep.local_read(&self.window, offset, len));
         }
         let key = EntryKey::new(self.window.id(), target, offset, len);
         if let Some(hit) = self.cache.lookup(key) {
             ep.record_cache_hit(len * std::mem::size_of::<T>());
-            return hit;
+            return RowRef::Cached(hit);
         }
-        let data = ep.get(&self.window, target, offset, len).wait(ep);
-        let arc = Arc::new(data);
-        // Insert a clone of the payload; the Arc we return stays valid even if the
-        // entry is evicted immediately (e.g. it does not fit).
-        self.cache.insert(key, arc.as_ref().clone(), score);
-        arc
+        let arc = ep.get(&self.window, target, offset, len).wait(ep);
+        self.cache.insert(key, Arc::clone(&arc), score);
+        RowRef::Fetched(arc)
+    }
+
+    /// The fused read: resolves the row like [`CachedWindow::get_scored`], but
+    /// lets the caller compute over the data *where it already is* instead of
+    /// receiving a buffer.
+    ///
+    /// * Local-rank reads and cache hits call `on_row` on the in-place slice.
+    /// * A miss hands the exposed source region to `on_transfer`, which must
+    ///   land it in a shared buffer and may compute its result in the same
+    ///   pass (the copy+intersect kernel of `rmatc-core`); the landed buffer
+    ///   is then inserted into the cache with `score`.
+    ///
+    /// This is how the LCC hot path intersects a remote row against the local
+    /// row in the same pass that lands it in the cache, with identical hit /
+    /// miss / uncacheable accounting to the plain read.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_fused<R>(
+        &mut self,
+        ep: &mut Endpoint,
+        target: usize,
+        offset: usize,
+        len: usize,
+        score: f64,
+        on_row: impl FnOnce(&[T]) -> R,
+        on_transfer: impl FnOnce(&[T]) -> (Arc<[T]>, R),
+    ) -> R {
+        if target == ep.rank() {
+            return on_row(ep.local_read(&self.window, offset, len));
+        }
+        let key = EntryKey::new(self.window.id(), target, offset, len);
+        if let Some(hit) = self.cache.lookup(key) {
+            ep.record_cache_hit(len * std::mem::size_of::<T>());
+            return on_row(&hit);
+        }
+        let (pending, result) = ep.get_map(&self.window, target, offset, len, on_transfer);
+        let arc = pending.wait(ep);
+        self.cache.insert(key, arc, score);
+        result
     }
 
     /// Signals the closure of an access epoch to the cache (flushes in transparent
@@ -116,16 +158,77 @@ mod tests {
     fn first_get_misses_second_hits() {
         let (window, mut ep) = setup();
         let mut cw = CachedWindow::new(window, ClampiConfig::always_cache(4096, 64));
-        let a = cw.get(&mut ep, 1, 10, 5);
-        assert_eq!(*a, vec![1010, 1011, 1012, 1013, 1014]);
+        let a = cw.get(&mut ep, 1, 10, 5).to_vec();
+        assert_eq!(a, vec![1010, 1011, 1012, 1013, 1014]);
         let gets_after_first = ep.stats().gets;
-        let b = cw.get(&mut ep, 1, 10, 5);
-        assert_eq!(*a, *b);
+        let b = cw.get(&mut ep, 1, 10, 5).to_vec();
+        assert_eq!(a, b);
         assert_eq!(
             ep.stats().gets,
             gets_after_first,
             "second read must not hit the network"
         );
+        assert_eq!(cw.stats().hits, 1);
+        assert_eq!(cw.stats().misses, 1);
+    }
+
+    #[test]
+    fn miss_buffer_is_handed_to_the_cache_without_a_copy() {
+        let (window, mut ep) = setup();
+        let mut cw = CachedWindow::new(window, ClampiConfig::always_cache(4096, 64));
+        let fetched = match cw.get(&mut ep, 1, 10, 5) {
+            RowRef::Fetched(arc) => arc,
+            other => panic!("first read must be a miss, got {other:?}"),
+        };
+        let cached = match cw.get(&mut ep, 1, 10, 5) {
+            RowRef::Cached(arc) => arc,
+            other => panic!("second read must be a hit, got {other:?}"),
+        };
+        assert!(
+            Arc::ptr_eq(&fetched, &cached),
+            "the cache must retain the transfer buffer itself, not a copy"
+        );
+    }
+
+    #[test]
+    fn fused_reads_match_plain_reads_and_stats() {
+        let (window, mut ep) = setup();
+        let mut cw = CachedWindow::new(window, ClampiConfig::always_cache(4096, 64));
+        // Miss: the transfer closure computes during the copy.
+        let sum = cw.get_fused(
+            &mut ep,
+            1,
+            0,
+            4,
+            0.0,
+            |row| row.iter().copied().sum::<u32>(),
+            |src| (Arc::from(src), src.iter().copied().sum::<u32>()),
+        );
+        assert_eq!(sum, 1000 + 1001 + 1002 + 1003);
+        // Hit: served in place, no network get.
+        let gets = ep.stats().gets;
+        let sum2 = cw.get_fused(
+            &mut ep,
+            1,
+            0,
+            4,
+            0.0,
+            |row| row.iter().copied().sum::<u32>(),
+            |_| unreachable!("second read must hit"),
+        );
+        assert_eq!(sum2, sum);
+        assert_eq!(ep.stats().gets, gets);
+        // Local-rank read: served from the window, cache untouched.
+        let local = cw.get_fused(
+            &mut ep,
+            0,
+            5,
+            3,
+            0.0,
+            |row| row.to_vec(),
+            |_| unreachable!("local reads never transfer"),
+        );
+        assert_eq!(local, vec![5, 6, 7]);
         assert_eq!(cw.stats().hits, 1);
         assert_eq!(cw.stats().misses, 1);
     }
@@ -149,8 +252,11 @@ mod tests {
     fn local_rank_reads_bypass_the_cache() {
         let (window, mut ep) = setup();
         let mut cw = CachedWindow::new(window, ClampiConfig::always_cache(4096, 64));
-        let data = cw.get(&mut ep, 0, 5, 3);
-        assert_eq!(*data, vec![5, 6, 7]);
+        {
+            let data = cw.get(&mut ep, 0, 5, 3);
+            assert_eq!(&*data, &[5, 6, 7]);
+            assert!(data.is_borrowed(), "local reads must borrow the window");
+        }
         assert_eq!(cw.stats().lookups(), 0);
         assert_eq!(ep.stats().gets, 0);
     }
@@ -160,11 +266,11 @@ mod tests {
         let (window, mut ep) = setup();
         // 8-byte capacity: a 50-element read can never be cached.
         let mut cw = CachedWindow::new(window, ClampiConfig::always_cache(8, 4));
-        let a = cw.get(&mut ep, 1, 0, 50);
+        let a = cw.get(&mut ep, 1, 0, 50).to_vec();
         assert_eq!(a.len(), 50);
         assert_eq!(a[0], 1000);
-        let b = cw.get(&mut ep, 1, 0, 50);
-        assert_eq!(*a, *b);
+        let b = cw.get(&mut ep, 1, 0, 50).to_vec();
+        assert_eq!(a, b);
         assert_eq!(cw.stats().uncacheable, 2);
         assert_eq!(ep.stats().gets, 2, "both reads go to the network");
     }

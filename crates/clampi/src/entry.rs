@@ -53,8 +53,10 @@ impl EntryKey {
 pub struct Entry<T> {
     /// The key this entry answers.
     pub key: EntryKey,
-    /// Cached data (shared so hits can hand out cheap clones).
-    pub data: Arc<Vec<T>>,
+    /// Cached data. The shared slice is the *same allocation* the RMA transfer
+    /// landed in — inserting is a refcount bump, and hits hand out further
+    /// bumps — so the payload is copied exactly once, off the wire.
+    pub data: Arc<[T]>,
     /// Start address of the entry in the simulated memory buffer.
     pub addr: usize,
     /// Size in bytes occupied in the memory buffer.

@@ -29,6 +29,27 @@
 //! and intercepts gets exactly where CLaMPI's PMPI layer would: on a hit it charges
 //! the local access cost, on a miss it issues the real RMA get, waits for it, and
 //! inserts the result.
+//!
+//! Reads are zero-copy end to end: entries store the transfer buffer itself
+//! (`Arc<[T]>` — an insert is a refcount bump, never a payload clone), reads
+//! resolve to a borrowed [`RowRef`] view of wherever the row already lives,
+//! and [`CachedWindow::get_fused`] lets callers compute over the data in
+//! place — or, on a miss, *during* the transfer (the copy+intersect kernel of
+//! `rmatc-core`). Cache hits and local-rank reads perform no heap
+//! allocations; a miss performs exactly one.
+//!
+//! # Paper map
+//!
+//! | Module | Paper location | What it reproduces |
+//! |---|---|---|
+//! | [`cached_window`] | Fig. 3 steps 5–6; §II-F | Get interception: lookup before the network, insert after the miss |
+//! | [`cache`] | §III-B | The cache proper: slot index, weighted victim selection, admission control |
+//! | [`entry`] | §III-B1 | `(window, target, offset, len)` keys and the slot hash |
+//! | [`freelist`] | §II-F / §III-B | Variable-size entry storage with first-fit allocation and coalescing |
+//! | [`config`] | §II-F, §III-B1 | Consistency modes, score policies, and the hash-table sizing rules |
+//! | [`row`] | this reproduction | The zero-copy read views ([`RowRef`]) |
+//! | [`adaptive`] | §II-F (CLaMPI) | The adaptive resizing heuristic (observe, grow table / grow buffer) |
+//! | [`stats`] | Figs. 7–8 | Hit/miss/compulsory counters the evaluation plots |
 
 pub mod adaptive;
 pub mod cache;
@@ -36,10 +57,12 @@ pub mod cached_window;
 pub mod config;
 pub mod entry;
 pub mod freelist;
+pub mod row;
 pub mod stats;
 
 pub use cache::{CacheInsertOutcome, Clampi};
 pub use cached_window::CachedWindow;
 pub use config::{ClampiConfig, ConsistencyMode, ScorePolicy};
 pub use entry::EntryKey;
+pub use row::RowRef;
 pub use stats::CacheStats;

@@ -58,9 +58,9 @@ proptest! {
         ep.lock_all();
         for (i, (offset, len)) in accesses.into_iter().enumerate() {
             let offset = offset.min(128 - len.min(128));
-            let got = cached.get_scored(&mut ep, 1, offset, len, len as f64);
+            let got = cached.get_scored(&mut ep, 1, offset, len, len as f64).to_vec();
             let expected: Vec<u32> = (offset..offset + len).map(|x| x as u32 * 7).collect();
-            prop_assert_eq!(got.as_ref(), &expected, "access {}", i);
+            prop_assert_eq!(got, expected, "access {}", i);
             if i % 17 == 0 {
                 cached.end_epoch();
             }

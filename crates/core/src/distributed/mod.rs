@@ -20,6 +20,31 @@
 //! The entry point is [`DistLcc::run`], which returns per-vertex LCC scores, the
 //! triangle count, and a per-rank [`RankReport`] with the timing breakdown and the
 //! communication/cache statistics the paper's figures are built from.
+//!
+//! # Paper map (Figure 3 / Algorithm 3)
+//!
+//! | Step | Paper description | Module |
+//! |---|---|---|
+//! | 1 | 1D-partition the CSR graph across ranks | [`rmatc_graph::partition`] |
+//! | 2 | Expose `offsets` / `adjacencies` in two RMA windows | [`windows`] |
+//! | 3 | Open the passive-target access epoch, no synchronization | [`worker`] (`lock_all`) |
+//! | 4 | Get the `(start, end)` pair from `w_offsets` | [`reader`] (`read_offsets`) |
+//! | 5 | Get the adjacency list from `w_adj`, cache-intercepted | [`reader`] + `rmatc_clampi` |
+//! | 6 | Intersect, accumulate per-vertex closed triplets | [`worker`] + [`crate::intersect`] |
+//! | — | Assemble LCC scores and per-rank reports | [`report`] |
+//!
+//! # Zero-copy reads
+//!
+//! The remote-adjacency hot path never materializes a per-edge buffer:
+//! [`reader::RemoteReader::read_adjacency`] returns a borrowed
+//! `rmatc_clampi::RowRef` view (local window slice, cached entry, or the
+//! miss's single transfer buffer), and the worker's
+//! [`reader::RemoteReader::count_closing_remote`] goes one step further —
+//! cache hits are intersected in place, and misses run the fused
+//! copy+intersect kernel ([`crate::intersect::fused`]) that counts the
+//! intersection in the same SIMD block pass that lands the row in the buffer
+//! the cache retains. Hits and local-rank reads perform zero heap
+//! allocations; a miss performs exactly one.
 
 pub mod config;
 pub mod reader;

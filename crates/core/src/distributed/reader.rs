@@ -3,8 +3,10 @@
 
 use super::config::{DistConfig, ResolvedCaches, ScoreMode};
 use super::windows::GraphWindows;
-use rmatc_clampi::{CacheStats, CachedWindow};
-use rmatc_graph::types::VertexId;
+use crate::intersect::{fused, IntersectMethod, ParallelIntersector};
+use crate::local::count_closing_at;
+use rmatc_clampi::{CacheStats, CachedWindow, RowRef};
+use rmatc_graph::types::{Direction, VertexId};
 use rmatc_rma::Endpoint;
 use std::sync::Arc;
 
@@ -54,34 +56,113 @@ impl RemoteReader {
         )
     }
 
+    /// First get of the protocol: the `(start, end)` offsets pair of the row of
+    /// `local_idx` on `target` (cache-intercepted when `C_offsets` is enabled).
+    fn read_offsets(
+        &mut self,
+        ep: &mut Endpoint,
+        target: usize,
+        local_idx: usize,
+    ) -> (usize, usize) {
+        let row = match &mut self.offsets_cache {
+            Some(cache) => cache.get(ep, target, local_idx, 2),
+            None if target == ep.rank() => {
+                RowRef::Window(ep.local_read(&self.offsets_plain, local_idx, 2))
+            }
+            None => RowRef::Fetched(ep.get(&self.offsets_plain, target, local_idx, 2).wait(ep)),
+        };
+        (row[0] as usize, row[1] as usize)
+    }
+
+    /// The application-defined eviction score of an adjacency row of `len`
+    /// entries (known after the first get: the degree of the fetched vertex).
+    fn score_for(&self, len: usize) -> f64 {
+        match self.score_mode {
+            ScoreMode::Lru => 0.0,
+            ScoreMode::DegreeCentrality => len as f64,
+        }
+    }
+
     /// Reads the adjacency list of the vertex with local index `local_idx` on rank
     /// `target`, issuing the two gets (cache-intercepted where enabled).
+    ///
+    /// The returned [`RowRef`] is a zero-copy view: local-rank reads borrow the
+    /// window, cache hits share the cached buffer, and a miss allocates exactly
+    /// once — the transfer buffer, which the cache retains by refcount.
     pub fn read_adjacency(
         &mut self,
         ep: &mut Endpoint,
         target: usize,
         local_idx: usize,
-    ) -> Arc<Vec<VertexId>> {
-        // First get: the (start, end) offsets pair for the vertex's row.
-        let offsets = match &mut self.offsets_cache {
-            Some(cache) => cache.get(ep, target, local_idx, 2),
-            None => Arc::new(ep.get(&self.offsets_plain, target, local_idx, 2).wait(ep)),
-        };
-        let start = offsets[0] as usize;
-        let end = offsets[1] as usize;
+    ) -> RowRef<'_, VertexId> {
+        let (start, end) = self.read_offsets(ep, target, local_idx);
         let len = end - start;
         if len == 0 {
-            return Arc::new(Vec::new());
+            return RowRef::Window(&[]);
         }
-        // After the first get the degree (list length) is known: it becomes the
-        // application-defined score of the adjacency entry when degree scoring is on.
-        let score = match self.score_mode {
-            ScoreMode::Lru => 0.0,
-            ScoreMode::DegreeCentrality => len as f64,
-        };
+        let score = self.score_for(len);
         match &mut self.adj_cache {
             Some(cache) => cache.get_scored(ep, target, start, len, score),
-            None => Arc::new(ep.get(&self.adj_plain, target, start, len).wait(ep)),
+            None if target == ep.rank() => {
+                RowRef::Window(ep.local_read(&self.adj_plain, start, len))
+            }
+            None => RowRef::Fetched(ep.get(&self.adj_plain, target, start, len).wait(ep)),
+        }
+    }
+
+    /// Reads the adjacency of `(target, local_idx)` and counts the closing
+    /// vertices of the edge `(u, v)` in one protocol round — the distributed
+    /// worker's hot path. `adj_u` is the local row, `neighbour_idx` the index
+    /// of `v` within it (see [`count_closing_at`]).
+    ///
+    /// Cache hits and local-window rows are intersected in place — zero heap
+    /// allocations. On a miss the fused copy+intersect kernel
+    /// ([`fused::copy_intersect`]) counts the intersection in the same block
+    /// pass that lands the row in the transfer buffer handed to the cache;
+    /// pairs the hybrid cost model routes to a search-class kernel fall back
+    /// to a plain transfer followed by the configured kernel over the landed
+    /// buffer. The intersection runs on the caller's thread either way, so
+    /// `intersector` should be a sequential one (the distributed experiments
+    /// map one rank per core, as in the paper).
+    #[allow(clippy::too_many_arguments)]
+    pub fn count_closing_remote(
+        &mut self,
+        ep: &mut Endpoint,
+        target: usize,
+        local_idx: usize,
+        direction: Direction,
+        adj_u: &[VertexId],
+        v: VertexId,
+        neighbour_idx: usize,
+        intersector: &ParallelIntersector,
+    ) -> u64 {
+        let (start, end) = self.read_offsets(ep, target, local_idx);
+        let len = end - start;
+        if len == 0 {
+            return 0;
+        }
+        let score = self.score_for(len);
+        match &mut self.adj_cache {
+            Some(cache) => cache.get_fused(
+                ep,
+                target,
+                start,
+                len,
+                score,
+                |row| count_closing_at(direction, adj_u, row, v, neighbour_idx, intersector),
+                |src| transfer_count_closing(direction, adj_u, v, neighbour_idx, intersector, src),
+            ),
+            None if target == ep.rank() => {
+                let row = ep.local_read(&self.adj_plain, start, len);
+                count_closing_at(direction, adj_u, row, v, neighbour_idx, intersector)
+            }
+            None => {
+                let (pending, count) = ep.get_map(&self.adj_plain, target, start, len, |src| {
+                    transfer_count_closing(direction, adj_u, v, neighbour_idx, intersector, src)
+                });
+                pending.wait(ep);
+                count
+            }
         }
     }
 
@@ -93,6 +174,35 @@ impl RemoteReader {
     /// Statistics of the adjacency cache, if caching is enabled on that window.
     pub fn adjacency_cache_stats(&self) -> Option<CacheStats> {
         self.adj_cache.as_ref().map(|c| c.stats().clone())
+    }
+}
+
+/// The miss-path transfer closure of [`RemoteReader::count_closing_remote`]:
+/// lands the exposed source row `src` in a shared buffer and computes the
+/// closing count of the edge `(u, v)` against it, fusing the two passes when
+/// the resolved kernel is the merge-class SIMD block kernel (the fused kernel
+/// *is* that kernel). Search-class pairs copy plainly and run the configured
+/// kernel — exactly what [`count_closing_at`] would have done on the landed
+/// buffer, so the count is identical either way.
+fn transfer_count_closing(
+    direction: Direction,
+    adj_u: &[VertexId],
+    v: VertexId,
+    neighbour_idx: usize,
+    intersector: &ParallelIntersector,
+    src: &[VertexId],
+) -> (Arc<[VertexId]>, u64) {
+    // Operands come from the same helpers `count_closing_at` uses, and the
+    // kernel choice from the same resolver `ParallelIntersector::count`
+    // applies — the fused miss path cannot diverge from the hit path.
+    let a = crate::local::closing_a_side(direction, adj_u, neighbour_idx);
+    let from = crate::local::closing_b_start(direction, src, v);
+    if intersector.resolved_method(a.len(), src.len() - from) == IntersectMethod::Simd {
+        fused::copy_intersect(src, from, a)
+    } else {
+        let arc: Arc<[VertexId]> = Arc::from(src);
+        let count = intersector.count(a, &arc[from..]);
+        (arc, count)
     }
 }
 
@@ -130,7 +240,7 @@ mod tests {
         let remote = &pg.partitions[1];
         for (local_idx, _) in remote.global_ids.iter().enumerate().take(20) {
             let got = reader.read_adjacency(&mut ep, 1, local_idx);
-            assert_eq!(*got, remote.neighbours_of_local(local_idx));
+            assert_eq!(got.as_slice(), remote.neighbours_of_local(local_idx));
         }
         ep.unlock_all();
         // Two gets per non-empty row, one per empty row.
@@ -149,7 +259,11 @@ mod tests {
         for round in 0..2 {
             for (local_idx, _) in remote.global_ids.iter().enumerate().take(10) {
                 let got = reader.read_adjacency(&mut ep, 1, local_idx);
-                assert_eq!(*got, remote.neighbours_of_local(local_idx), "round {round}");
+                assert_eq!(
+                    got.as_slice(),
+                    remote.neighbours_of_local(local_idx),
+                    "round {round}"
+                );
             }
         }
         ep.unlock_all();
@@ -185,5 +299,56 @@ mod tests {
         assert!(got.is_empty());
         assert_eq!(ep.stats().gets, 1);
         ep.unlock_all();
+    }
+
+    #[test]
+    fn fused_count_matches_separate_read_and_intersect() {
+        // Cached and non-cached fused counts must equal reading the row and
+        // running `count_closing_at` over it, for every edge and both rounds
+        // (miss then hit).
+        let (pg, windows, config) = setup();
+        let caches = CacheSpec::paper(1 << 20)
+            .resolve(pg.global_vertex_count(), windows.adjacency_bytes() as u64);
+        let intersector = ParallelIntersector::new(config.method, 1, usize::MAX);
+        let part = &pg.partitions[0];
+        for cached in [false, true] {
+            let mut fused_reader = if cached {
+                RemoteReader::new(&windows, &caches, &config)
+            } else {
+                RemoteReader::non_cached(&windows, &config)
+            };
+            let mut plain_reader = RemoteReader::non_cached(&windows, &config);
+            let mut ep_a = Endpoint::new(0, 2, config.network);
+            let mut ep_b = Endpoint::new(0, 2, config.network);
+            ep_a.lock_all();
+            ep_b.lock_all();
+            for _round in 0..2 {
+                for local_idx in 0..part.local_vertex_count() {
+                    let adj_u = part.neighbours_of_local(local_idx);
+                    for (k, &v) in adj_u.iter().enumerate() {
+                        if pg.partitioner.owner(v) != 1 {
+                            continue;
+                        }
+                        let v_local = pg.partitioner.local_index(v);
+                        let got = fused_reader.count_closing_remote(
+                            &mut ep_a,
+                            1,
+                            v_local,
+                            pg.direction,
+                            adj_u,
+                            v,
+                            k,
+                            &intersector,
+                        );
+                        let row = plain_reader.read_adjacency(&mut ep_b, 1, v_local).to_vec();
+                        let expected =
+                            count_closing_at(pg.direction, adj_u, &row, v, k, &intersector);
+                        assert_eq!(got, expected, "cached={cached} u_local={local_idx} v={v}");
+                    }
+                }
+            }
+            ep_a.unlock_all();
+            ep_b.unlock_all();
+        }
     }
 }

@@ -83,13 +83,29 @@ pub fn run_worker(
             } else {
                 remote_edges += 1;
                 let v_local = pg.partitioner.local_index(v);
-                let adj_v = reader.read_adjacency(&mut ep, owner, v_local);
+                // One fused protocol round: the remote row is intersected where
+                // it lives (cache entry on a hit) or in the same pass that
+                // lands it in the cache (miss) — no per-edge buffer is built.
                 let compute_start = timer.elapsed_ns();
-                let c = triangles_for_edge(direction, adj_u, &adj_v, v, k, &intersector);
+                let c = reader.count_closing_remote(
+                    &mut ep,
+                    owner,
+                    v_local,
+                    direction,
+                    adj_u,
+                    v,
+                    k,
+                    &intersector,
+                );
                 if config.double_buffering {
                     // Double buffering: the computation of this edge overlaps the
                     // communication of the next one, so bank its duration as overlap
-                    // credit for the endpoint's next get completions.
+                    // credit for the endpoint's next get completions. The credit
+                    // deliberately covers the whole fused round — cache probe,
+                    // landing copy, intersection — because all of it is local CPU
+                    // work the paper's scheme hides behind the in-flight get; the
+                    // modeled communication cost itself is virtual time and is
+                    // never part of the measured duration.
                     ep.note_compute_ns((timer.elapsed_ns() - compute_start) as f64);
                 }
                 c

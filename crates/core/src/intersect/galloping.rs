@@ -25,7 +25,7 @@
 //!
 //! Below one lockstep batch the gallop/batch machinery costs more than it
 //! saves (there are no independent loads to overlap), so key sets under
-//! [`BATCH`] short-circuit to plain restart binary search — which makes
+//! `BATCH` (64 keys) short-circuit to plain restart binary search — which makes
 //! `IntersectMethod::Galloping` safe to use standalone, not only behind the
 //! hybrid rule's routing.
 

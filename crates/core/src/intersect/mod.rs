@@ -11,9 +11,18 @@
 //! * [`simd`] — branchless/SIMD block-compare merge (`O(|A| + |B|)`), the
 //!   merge-class upgrade of SSI;
 //! * [`galloping`] — exponential-probe search with a running cursor
-//!   (`O(|A| · (1 + log(|B|/|A|)))`), the search-class upgrade of binary search.
+//!   (`O(|A| · (1 + log(|B|/|A|)))`), the search-class upgrade of binary search;
+//! * [`fused`] — the copy+intersect variant of the SIMD merge used by the
+//!   distributed path: a remote row that missed the CLaMPI cache is
+//!   intersected against the local row in the same block pass that lands it
+//!   in the cache buffer.
+//!
+//! Every kernel is a plain-slice entry point (`&[VertexId]`), so callers can
+//! run them directly over borrowed views — local CSR rows, cached CLaMPI
+//! entries, or fetched transfer buffers — without materializing owned copies.
 
 pub mod binary;
+pub mod fused;
 pub mod galloping;
 pub mod hybrid;
 pub mod parallel;
@@ -21,6 +30,7 @@ pub mod simd;
 pub mod ssi;
 
 pub use binary::binary_search_count;
+pub use fused::copy_intersect;
 pub use galloping::galloping_count;
 pub use hybrid::{galloping_is_faster, select_kernel, ssi_is_faster, IntersectMethod};
 pub use parallel::ParallelIntersector;

@@ -53,10 +53,23 @@ impl ParallelIntersector {
         self.method
     }
 
+    /// The concrete kernel the cost model resolves for a pair of list
+    /// lengths, in either order — the same decision [`ParallelIntersector::count`]
+    /// makes internally, exposed so callers that pre-route work (the
+    /// distributed reader's fused miss path) can never diverge from it.
+    pub fn resolved_method(&self, len_a: usize, len_b: usize) -> IntersectMethod {
+        let (short, long) = if len_a <= len_b {
+            (len_a, len_b)
+        } else {
+            (len_b, len_a)
+        };
+        self.method.resolve(short, long)
+    }
+
     /// Counts `|a ∩ b|`, using the parallel kernels above the cut-off.
     pub fn count(&self, a: &[VertexId], b: &[VertexId]) -> u64 {
         let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-        let method = self.method.resolve(short.len(), long.len());
+        let method = self.resolved_method(short.len(), long.len());
         if self.chunks == 1 || long.len() < self.cutoff {
             return match method {
                 IntersectMethod::SortedSetIntersection => ssi_count(short, long),

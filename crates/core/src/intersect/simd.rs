@@ -59,7 +59,7 @@ pub fn simd_count_chunk(
 }
 
 #[cfg(target_arch = "x86_64")]
-fn avx2_available() -> bool {
+pub(crate) fn avx2_available() -> bool {
     use std::sync::atomic::{AtomicU8, Ordering};
     static AVX2: AtomicU8 = AtomicU8::new(0);
     match AVX2.load(Ordering::Relaxed) {

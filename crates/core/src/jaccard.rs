@@ -1,6 +1,6 @@
 //! Distributed Jaccard / common-neighbour similarity — the first "other graph
 //! problem that may benefit from the proposed approach" the paper's conclusion lists
-//! as future work (and cites as reference [12], communication-efficient Jaccard
+//! as future work (and cites as reference \[12\], communication-efficient Jaccard
 //! similarity for distributed genome comparisons).
 //!
 //! The Jaccard similarity of an edge `(u, v)` is

@@ -408,6 +408,32 @@ fn count_vertex(g: &CsrGraph, u: VertexId, intersector: &ParallelIntersector) ->
     (t, adj_u.len() as u64)
 }
 
+/// The `adj_u`-side operand of the closing count for the edge `(u, v)`:
+/// undirected graphs intersect only the upper-triangle suffix past `v`
+/// (located at `neighbour_idx` within `adj_u`), directed graphs the whole
+/// row. Shared between [`count_closing_at`] and the distributed reader's
+/// fused miss path so the two can never diverge.
+pub(crate) fn closing_a_side(
+    direction: Direction,
+    adj_u: &[VertexId],
+    neighbour_idx: usize,
+) -> &[VertexId] {
+    match direction {
+        Direction::Undirected => &adj_u[neighbour_idx + 1..],
+        Direction::Directed => adj_u,
+    }
+}
+
+/// Start of the `adj_v`-side operand: the first index past `v` (undirected
+/// upper-triangle offsetting) or `0` (directed). Counterpart of
+/// [`closing_a_side`], shared for the same reason.
+pub(crate) fn closing_b_start(direction: Direction, adj_v: &[VertexId], v: VertexId) -> usize {
+    match direction {
+        Direction::Undirected => adj_v.partition_point(|&x| x <= v),
+        Direction::Directed => 0,
+    }
+}
+
 /// Counts the closing vertices for the edge `(u, v)` given both adjacency lists:
 /// undirected graphs count only `w > v` (upper-triangle offsetting), directed graphs
 /// count the full intersection (ordered pairs, Eq. 1).
@@ -448,18 +474,13 @@ pub fn count_closing_at(
     neighbour_idx: usize,
     intersector: &ParallelIntersector,
 ) -> u64 {
-    match direction {
-        Direction::Undirected => {
-            debug_assert_eq!(
-                adj_u[neighbour_idx], v,
-                "neighbour_idx must locate v in adj_u"
-            );
-            let a = &adj_u[neighbour_idx + 1..];
-            let b = &adj_v[adj_v.partition_point(|&x| x <= v)..];
-            intersector.count(a, b)
-        }
-        Direction::Directed => intersector.count(adj_u, adj_v),
-    }
+    debug_assert!(
+        direction == Direction::Directed || adj_u[neighbour_idx] == v,
+        "neighbour_idx must locate v in adj_u"
+    );
+    let a = closing_a_side(direction, adj_u, neighbour_idx);
+    let b = &adj_v[closing_b_start(direction, adj_v, v)..];
+    intersector.count(a, b)
 }
 
 /// Assembles a [`LocalResult`] from per-vertex closed-triplet counts.

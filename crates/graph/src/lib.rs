@@ -17,7 +17,7 @@
 //!   algorithm.
 //! * [`split`] — degree-weighted (equal-work) range splitting over CSR offsets,
 //!   shared by the shared-memory schedulers and the balanced partitioner.
-//! * [`reference`] — simple sequential triangle counting and LCC used as ground truth.
+//! * [`mod@reference`] — simple sequential triangle counting and LCC used as ground truth.
 //! * [`stats`] — degree distributions, CSR sizes, cut fractions and skew metrics.
 //! * [`io`] — plain-text edge list reading/writing (SNAP format).
 

@@ -4,8 +4,8 @@
 //! rank `k` owns the contiguous vertex range `((k-1)·n/p, k·n/p]` (0-based here:
 //! `[k·n/p, (k+1)·n/p)`), and stores the CSR rows of exactly those vertices. The
 //! cyclic distribution of Lumsdaine et al. is provided as the alternative the paper
-//! discusses for balancing skewed degrees, and [`BalancedBlock1D`]
-//! (`PartitionScheme::BalancedBlock1D`) keeps the contiguous-block shape but draws
+//! discusses for balancing skewed degrees, and
+//! [`PartitionScheme::BalancedBlock1D`] keeps the contiguous-block shape but draws
 //! the rank boundaries by prefix-summing degrees ([`crate::split`]), so every rank
 //! stores roughly the same number of edges even on hub-heavy graphs.
 

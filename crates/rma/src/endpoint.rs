@@ -4,15 +4,20 @@
 use crate::network::NetworkModel;
 use crate::stats::RankStats;
 use crate::window::Window;
+use std::sync::Arc;
 
 /// A one-sided get that has been issued but not yet completed by a flush.
 ///
 /// As in MPI-3 RMA, the target buffer must not be read before the operation is
 /// completed; [`PendingGet::wait`] performs the per-operation flush and hands the
 /// data out, and [`Endpoint::flush_all`] completes every outstanding operation.
+///
+/// The transferred data lives in a shared `Arc<[T]>` buffer — the single
+/// allocation of the transfer — so downstream layers (the CLaMPI cache) can
+/// retain it with a refcount bump instead of copying the payload again.
 #[derive(Debug)]
 pub struct PendingGet<T> {
-    data: Vec<T>,
+    data: Arc<[T]>,
     cost_ns: f64,
     epoch: u64,
 }
@@ -20,7 +25,7 @@ pub struct PendingGet<T> {
 impl<T> PendingGet<T> {
     /// Completes this get (an `MPI_Win_flush` scoped to the operation), charging its
     /// modeled cost to the endpoint, and returns the transferred data.
-    pub fn wait(self, ep: &mut Endpoint) -> Vec<T> {
+    pub fn wait(self, ep: &mut Endpoint) -> Arc<[T]> {
         assert_eq!(
             self.epoch, ep.epoch_counter,
             "PendingGet completed in a different access epoch than it was issued in"
@@ -133,8 +138,32 @@ impl Endpoint {
         offset: usize,
         len: usize,
     ) -> PendingGet<T> {
+        self.get_map(window, target, offset, len, |src| (Arc::from(src), ()))
+            .0
+    }
+
+    /// Issues a one-sided get whose data transfer is performed by `transfer`:
+    /// the closure receives the exposed source region (the simulator's wire)
+    /// and must return the landed buffer plus an auxiliary result computed
+    /// during the transfer. This is the hook for *fused* transfers — e.g. the
+    /// copy+intersect kernel that counts an intersection against a local row
+    /// in the same pass that lands the remote row in the cache buffer —
+    /// without giving callers unmetered access to remote memory. Cost
+    /// accounting, epochs and statistics are identical to [`Endpoint::get`].
+    pub fn get_map<T: Copy + Send + Sync, R>(
+        &mut self,
+        window: &Window<T>,
+        target: usize,
+        offset: usize,
+        len: usize,
+        transfer: impl FnOnce(&[T]) -> (Arc<[T]>, R),
+    ) -> (PendingGet<T>, R) {
         assert!(self.epoch_open, "RMA get issued outside an access epoch");
-        let data = window.copy_from(target, offset, len);
+        let (data, result) = transfer(window.exposed(target, offset, len));
+        // A hard check, not a debug assertion: a short or long landed buffer
+        // would be cached under this get's key and served as wrong-length
+        // "hits" forever after — silent corruption in release builds.
+        assert_eq!(data.len(), len, "transfer must land the full region");
         let bytes = len * window.element_size();
         let cost_ns = if target == self.rank {
             self.stats.record_local(self.network.local_cost_ns(bytes));
@@ -144,11 +173,14 @@ impl Endpoint {
             self.network.remote_cost_ns(bytes)
         };
         self.outstanding_ns += cost_ns;
-        PendingGet {
-            data,
-            cost_ns,
-            epoch: self.epoch_counter,
-        }
+        (
+            PendingGet {
+                data,
+                cost_ns,
+                epoch: self.epoch_counter,
+            },
+            result,
+        )
     }
 
     /// Reads the caller's own exposed region directly (no get, no charge beyond the
@@ -230,7 +262,7 @@ mod tests {
         let pending = ep.get(&w, 1, 1, 3);
         assert_eq!(pending.len(), 3);
         let data = pending.wait(&mut ep);
-        assert_eq!(data, vec![20, 30, 40]);
+        assert_eq!(&*data, &[20, 30, 40]);
         assert_eq!(ep.stats().gets, 1);
         assert_eq!(ep.stats().bytes, 12);
         assert!(ep.stats().comm_time_ns > 0.0);
@@ -261,7 +293,7 @@ mod tests {
         let mut ep = Endpoint::new(1, 2, NetworkModel::aries());
         ep.lock_all();
         let data = ep.get(&w, 1, 0, 2).wait(&mut ep);
-        assert_eq!(data, vec![10, 20]);
+        assert_eq!(&*data, &[10, 20]);
         assert_eq!(ep.stats().gets, 0);
         assert_eq!(ep.stats().local_reads, 1);
         assert_eq!(ep.stats().comm_time_ns, 0.0);
@@ -274,6 +306,24 @@ mod tests {
         let mut ep = Endpoint::new(0, 2, NetworkModel::aries());
         assert_eq!(ep.local_read(&w, 1, 2), &[2, 3]);
         assert_eq!(ep.stats().local_reads, 1);
+    }
+
+    #[test]
+    fn get_map_runs_the_transfer_on_the_exposed_region() {
+        let w = window2();
+        let mut ep = Endpoint::new(0, 2, NetworkModel::aries());
+        ep.lock_all();
+        // A fused transfer: land the region and compute a sum in the same pass.
+        let (pending, sum) = ep.get_map(&w, 1, 1, 3, |src| {
+            (Arc::from(src), src.iter().copied().sum::<u32>())
+        });
+        assert_eq!(sum, 20 + 30 + 40);
+        let data = pending.wait(&mut ep);
+        assert_eq!(&*data, &[20, 30, 40]);
+        // Identical accounting to a plain get.
+        assert_eq!(ep.stats().gets, 1);
+        assert_eq!(ep.stats().bytes, 12);
+        ep.unlock_all();
     }
 
     #[test]

@@ -32,6 +32,23 @@
 //! small entries), per-byte cost (which makes caching adjacency lists of high-degree
 //! vertices especially worthwhile), and the complete absence of target-side
 //! synchronization during computation.
+//!
+//! Transfers land in a shared `Arc<[T]>` buffer — the get's single
+//! allocation, which the CLaMPI layer retains by refcount — and
+//! [`Endpoint::get_map`] additionally exposes the transfer itself as a hook,
+//! so a fused kernel can compute over the data in the same pass that copies
+//! it off the (simulated) wire.
+//!
+//! # Paper map
+//!
+//! | Module | Paper location | What it reproduces |
+//! |---|---|---|
+//! | [`window`] | Fig. 3 (`w_offsets`, `w_adj`); §III-A | `MPI_Win_create` exposure: one read-only slice per rank |
+//! | [`endpoint`] | Fig. 3 steps 4–5; §II-E | `MPI_Win_lock_all` epochs, `MPI_Get`, `MPI_Win_flush`, overlap credit |
+//! | [`network`] | §IV-D1 | The linear cost model `t(s) = α + β·s`, calibrated to Cray Aries |
+//! | [`runner`] | §IV-A | One thread per MPI rank, plus the barrier used only by the TriC baseline |
+//! | [`stats`] | §IV-D | Per-rank gets/bytes/virtual-time counters the figures aggregate |
+//! | [`cputime`] | §IV-C | Per-thread CPU time so oversubscribed hosts do not inflate compute |
 
 pub mod cputime;
 pub mod endpoint;

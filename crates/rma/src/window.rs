@@ -74,9 +74,11 @@ impl<T: Copy + Send + Sync> Window<T> {
             .sum()
     }
 
-    /// Copies `len` elements starting at `offset` from the region exposed by
-    /// `target`. Internal: used by [`crate::Endpoint`] to implement `get`.
-    pub(crate) fn copy_from(&self, target: usize, offset: usize, len: usize) -> Vec<T> {
+    /// The source slice of a get: `len` elements starting at `offset` in the
+    /// region exposed by `target`, bounds-checked. Internal: this is the
+    /// simulator's stand-in for the wire — [`crate::Endpoint`] reads it to
+    /// perform the data transfer of `MPI_Get`.
+    pub(crate) fn exposed(&self, target: usize, offset: usize, len: usize) -> &[T] {
         let part = &self.parts[target];
         assert!(
             offset + len <= part.len(),
@@ -84,7 +86,7 @@ impl<T: Copy + Send + Sync> Window<T> {
             part.len(),
             self.id
         );
-        part[offset..offset + len].to_vec()
+        &part[offset..offset + len]
     }
 }
 
@@ -109,18 +111,18 @@ mod tests {
     }
 
     #[test]
-    fn copy_from_reads_the_right_slice() {
+    fn exposed_reads_the_right_slice() {
         let w = Window::from_parts(vec![vec![10u32, 20, 30, 40], vec![50u32, 60]]);
-        assert_eq!(w.copy_from(0, 1, 2), vec![20, 30]);
-        assert_eq!(w.copy_from(1, 0, 2), vec![50, 60]);
-        assert_eq!(w.copy_from(0, 4, 0), Vec::<u32>::new());
+        assert_eq!(w.exposed(0, 1, 2), &[20, 30]);
+        assert_eq!(w.exposed(1, 0, 2), &[50, 60]);
+        assert_eq!(w.exposed(0, 4, 0), &[] as &[u32]);
     }
 
     #[test]
     #[should_panic(expected = "out of bounds")]
-    fn copy_from_out_of_bounds_panics() {
+    fn exposed_out_of_bounds_panics() {
         let w = Window::from_parts(vec![vec![1u32, 2]]);
-        w.copy_from(0, 1, 5);
+        w.exposed(0, 1, 5);
     }
 
     #[test]

@@ -17,6 +17,15 @@
 //! costs `α + β·s`, a logarithmic barrier cost per round, and real barrier waiting
 //! time caused by load imbalance.
 
+//! # Paper map
+//!
+//! | Module | Paper location | What it reproduces |
+//! |---|---|---|
+//! | [`runner`] | §II-D, Figs. 9–10 | The query–response rounds of TriC and TriC Buffered |
+//! | [`exchange`] | §II-D | Blocking all-to-all exchanges with modeled message + barrier costs |
+//! | [`config`] | §IV-B | Rank count, buffered-mode cap (the paper's 16 MiB), network model |
+//! | [`report`] | Figs. 9–10 | Per-rank timing/communication totals compared against the async runner |
+
 pub mod config;
 pub mod exchange;
 pub mod report;

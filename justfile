@@ -3,8 +3,8 @@
 # CI also runs `--workspace`, clippy with denied warnings, and rustfmt —
 # `just verify` runs the exact same set so green-local means green-CI.
 
-# Everything CI's tier1 + lint jobs run.
-verify: tier1 workspace-tests lint fmt-check
+# Everything CI's tier1 + lint + docs jobs run.
+verify: tier1 workspace-tests lint fmt-check docs
 
 # The tier-1 contract from ROADMAP.md.
 tier1:
@@ -24,9 +24,17 @@ fmt-check:
 fmt:
     cargo fmt
 
+# The documentation gate: rustdoc with denied warnings (broken intra-doc
+# links fail) over the first-party crates, plus every doctest in the
+# workspace. Vendored stubs are excluded — they document external APIs.
+docs:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p rmatc -p rmatc-core -p rmatc-clampi -p rmatc-rma -p rmatc-graph -p rmatc-tric -p rmatc-bench
+    cargo test --workspace --doc -q
+
 # The bench-smoke job: JSON snapshots plus an appended bench-history record,
 # then the regression gate (>15% median regression fails).
 bench-smoke:
     cargo bench -p rmatc-bench --bench intersect -- --json BENCH_intersect.json --history bench-history/intersect.ndjson
     cargo bench -p rmatc-bench --bench local_lcc -- --json BENCH_local_lcc.json --history bench-history/local_lcc.ndjson
-    cargo run -p rmatc-bench --bin bench-diff -- bench-history/intersect.ndjson bench-history/local_lcc.ndjson
+    cargo bench -p rmatc-bench --bench remote_read -- --json BENCH_remote_read.json --history bench-history/remote_read.ndjson
+    cargo run -p rmatc-bench --bin bench-diff -- bench-history/intersect.ndjson bench-history/local_lcc.ndjson bench-history/remote_read.ndjson

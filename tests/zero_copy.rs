@@ -1,0 +1,386 @@
+//! Acceptance tests of the zero-copy remote-adjacency path: the fused
+//! read+intersect worker is observationally identical to a materializing read
+//! loop (same LCC values, same cache statistics, same endpoint counters),
+//! cache hits and local-rank reads perform no heap allocations, and the single
+//! miss allocation is handed to the cache without a second copy.
+
+use proptest::prelude::*;
+use rmatc::clampi::{CacheStats, RowRef};
+use rmatc::core::distributed::reader::RemoteReader;
+use rmatc::core::distributed::worker::run_worker;
+use rmatc::core::distributed::{CacheSpec, DistConfig, GraphWindows, ScoreMode};
+use rmatc::core::intersect::{IntersectMethod, ParallelIntersector};
+use rmatc::core::local::count_closing_at;
+use rmatc::graph::gen::{GraphGenerator, RmatGenerator};
+use rmatc::graph::partition::{PartitionScheme, PartitionedGraph};
+use rmatc::graph::reference;
+use rmatc::rma::{Endpoint, NetworkModel, RankStats};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Heap-allocation accounting: a counting wrapper around the system allocator
+// with per-thread counters, so concurrently running tests cannot disturb the
+// measurement. The counter cells are const-initialized and `Drop`-free, which
+// keeps the allocator itself allocation-free.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counter update performs
+// no allocation (const-initialized, Drop-free thread-local).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations_on_this_thread() -> u64 {
+    ALLOCATIONS.with(|c| c.get())
+}
+
+// ---------------------------------------------------------------------------
+// Shared fixtures.
+// ---------------------------------------------------------------------------
+
+fn base_config(ranks: usize) -> DistConfig {
+    DistConfig {
+        ranks,
+        scheme: PartitionScheme::Block1D,
+        method: IntersectMethod::Hybrid,
+        network: NetworkModel::aries(),
+        // Off: overlap credit depends on wall-clock timing and would make the
+        // modeled communication times non-deterministic across the two loops.
+        double_buffering: false,
+        cache: None,
+        score_mode: ScoreMode::DegreeCentrality,
+    }
+}
+
+fn build_reader(
+    pg: &PartitionedGraph,
+    windows: &GraphWindows,
+    config: &DistConfig,
+) -> RemoteReader {
+    match &config.cache {
+        Some(spec) => {
+            let caches = spec.resolve(pg.global_vertex_count(), windows.adjacency_bytes() as u64);
+            RemoteReader::new(windows, &caches, config)
+        }
+        None => RemoteReader::non_cached(windows, config),
+    }
+}
+
+/// The pre-zero-copy worker, reconstructed: reads every remote row into an
+/// owned buffer first, then intersects — the two-pass shape the fused path
+/// replaced. Protocol order, cache interception and endpoint charging are
+/// identical, so every observable statistic must match the fused worker.
+fn materializing_worker(
+    rank: usize,
+    pg: &PartitionedGraph,
+    windows: &GraphWindows,
+    config: &DistConfig,
+) -> (Vec<u64>, Option<CacheStats>, Option<CacheStats>, RankStats) {
+    let part = &pg.partitions[rank];
+    let mut reader = build_reader(pg, windows, config);
+    let mut ep = Endpoint::new(rank, config.ranks, config.network);
+    let intersector = ParallelIntersector::new(config.method, 1, usize::MAX);
+    let direction = pg.direction;
+    let mut triangles = vec![0u64; part.local_vertex_count()];
+    ep.lock_all();
+    for (local_idx, slot) in triangles.iter_mut().enumerate() {
+        let adj_u = part.neighbours_of_local(local_idx);
+        for (k, &v) in adj_u.iter().enumerate() {
+            let owner = pg.partitioner.owner(v);
+            let v_local = pg.partitioner.local_index(v);
+            *slot += if owner == rank {
+                let adj_v = part.neighbours_of_local(v_local);
+                count_closing_at(direction, adj_u, adj_v, v, k, &intersector)
+            } else {
+                let adj_v = reader.read_adjacency(&mut ep, owner, v_local).to_vec();
+                count_closing_at(direction, adj_u, &adj_v, v, k, &intersector)
+            };
+        }
+    }
+    ep.unlock_all();
+    (
+        triangles,
+        reader.offsets_cache_stats(),
+        reader.adjacency_cache_stats(),
+        ep.into_stats(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Observational equivalence: fused worker == materializing loop == reference.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fused_worker_is_observationally_identical_to_materializing_reads() {
+    let g = RmatGenerator::paper(9, 8).generate_cleaned(13).into_csr();
+    let expected = reference::per_vertex_triangles(&g);
+    let ranks = 4;
+    let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, ranks).unwrap();
+    let windows = GraphWindows::build(&pg);
+    // No cache, a generous (hit-heavy) cache, and a tight cache that forces
+    // evictions and uncacheable entries.
+    for cache in [
+        None,
+        Some(CacheSpec::paper(1 << 20)),
+        Some(CacheSpec::paper(1 << 14)),
+    ] {
+        let mut config = base_config(ranks);
+        config.cache = cache;
+        for rank in 0..ranks {
+            let fused = run_worker(rank, &pg, &windows, &config);
+            let (triangles, offsets_stats, adj_stats, rma) =
+                materializing_worker(rank, &pg, &windows, &config);
+            assert_eq!(
+                fused.local_triangles, triangles,
+                "triangle counts differ (rank {rank}, cache {cache:?})"
+            );
+            assert_eq!(
+                fused.offsets_cache, offsets_stats,
+                "offsets CacheStats differ (rank {rank}, cache {cache:?})"
+            );
+            assert_eq!(
+                fused.adjacency_cache, adj_stats,
+                "adjacency CacheStats differ (rank {rank}, cache {cache:?})"
+            );
+            assert_eq!(
+                fused.rma, rma,
+                "endpoint statistics differ (rank {rank}, cache {cache:?})"
+            );
+            for (local_idx, &gv) in pg.partitions[rank].global_ids.iter().enumerate() {
+                assert_eq!(
+                    fused.local_triangles[local_idx], expected[gv as usize],
+                    "vertex {gv} disagrees with the reference"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation behaviour.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cache_hits_and_local_reads_allocate_nothing() {
+    let g = RmatGenerator::paper(8, 8).generate_cleaned(9).into_csr();
+    let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 2).unwrap();
+    let windows = GraphWindows::build(&pg);
+    let mut config = base_config(2);
+    // Both caches far larger than the data they might hold, so the second
+    // round is all hits.
+    config.cache = Some(CacheSpec {
+        total_bytes: 1 << 22,
+        offsets_bytes: Some(1 << 20),
+        cache_offsets: true,
+        cache_adjacencies: true,
+        adaptive: false,
+    });
+    let mut reader = build_reader(&pg, &windows, &config);
+    let mut ep = Endpoint::new(0, 2, config.network);
+    ep.lock_all();
+    let reads = pg.partitions[1].local_vertex_count().min(40);
+    // Warm: fetch and cache every row (allocations expected here).
+    for idx in 0..reads {
+        let _ = reader.read_adjacency(&mut ep, 1, idx);
+    }
+    // Measure: remote reads served from the cache.
+    let before = allocations_on_this_thread();
+    let mut checksum = 0u64;
+    for idx in 0..reads {
+        let row = reader.read_adjacency(&mut ep, 1, idx);
+        checksum += row.iter().map(|&v| v as u64).sum::<u64>();
+    }
+    assert_eq!(
+        allocations_on_this_thread(),
+        before,
+        "cache-hit reads must perform zero heap allocations"
+    );
+    // Measure: local-rank reads borrow the window.
+    let local_reads = pg.partitions[0].local_vertex_count().min(40);
+    let before = allocations_on_this_thread();
+    for idx in 0..local_reads {
+        let row = reader.read_adjacency(&mut ep, 0, idx);
+        assert!(row.is_borrowed(), "local reads must borrow the window");
+        checksum += row.len() as u64;
+    }
+    assert_eq!(
+        allocations_on_this_thread(),
+        before,
+        "local-rank reads must perform zero heap allocations"
+    );
+    ep.unlock_all();
+    assert!(checksum > 0, "the reads must have touched real data");
+}
+
+#[test]
+fn fused_hit_path_allocates_nothing() {
+    let g = RmatGenerator::paper(8, 8).generate_cleaned(9).into_csr();
+    let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 2).unwrap();
+    let windows = GraphWindows::build(&pg);
+    let mut config = base_config(2);
+    config.cache = Some(CacheSpec {
+        total_bytes: 1 << 22,
+        offsets_bytes: Some(1 << 20),
+        cache_offsets: true,
+        cache_adjacencies: true,
+        adaptive: false,
+    });
+    let mut reader = build_reader(&pg, &windows, &config);
+    let mut ep = Endpoint::new(0, 2, config.network);
+    let intersector = ParallelIntersector::new(config.method, 1, usize::MAX);
+    let part = &pg.partitions[0];
+    // Collect the first few remote edges of rank 0.
+    let mut edges = Vec::new();
+    'outer: for local_idx in 0..part.local_vertex_count() {
+        let adj_u = part.neighbours_of_local(local_idx);
+        for (k, &v) in adj_u.iter().enumerate() {
+            if pg.partitioner.owner(v) == 1 {
+                edges.push((local_idx, k, v, pg.partitioner.local_index(v)));
+                if edges.len() >= 64 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(!edges.is_empty(), "the partition must have remote edges");
+    ep.lock_all();
+    let run = |reader: &mut RemoteReader, ep: &mut Endpoint| -> u64 {
+        let mut total = 0;
+        for &(local_idx, k, v, v_local) in &edges {
+            let adj_u = part.neighbours_of_local(local_idx);
+            total += reader.count_closing_remote(
+                ep,
+                1,
+                v_local,
+                pg.direction,
+                adj_u,
+                v,
+                k,
+                &intersector,
+            );
+        }
+        total
+    };
+    let warm = run(&mut reader, &mut ep);
+    let before = allocations_on_this_thread();
+    let hot = run(&mut reader, &mut ep);
+    assert_eq!(
+        allocations_on_this_thread(),
+        before,
+        "the fused read+intersect hit path must perform zero heap allocations"
+    );
+    assert_eq!(warm, hot, "hit-path counts must match the miss-path counts");
+    ep.unlock_all();
+}
+
+#[test]
+fn miss_buffer_is_shared_with_the_cache_not_copied() {
+    let g = RmatGenerator::paper(8, 8).generate_cleaned(9).into_csr();
+    let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 2).unwrap();
+    let windows = GraphWindows::build(&pg);
+    let mut config = base_config(2);
+    config.cache = Some(CacheSpec::paper(1 << 22));
+    let mut reader = build_reader(&pg, &windows, &config);
+    let mut ep = Endpoint::new(0, 2, config.network);
+    ep.lock_all();
+    // Find a non-empty remote row.
+    let idx = (0..pg.partitions[1].local_vertex_count())
+        .find(|&i| !pg.partitions[1].neighbours_of_local(i).is_empty())
+        .expect("some remote row is non-empty");
+    let fetched: Arc<[u32]> = match reader.read_adjacency(&mut ep, 1, idx) {
+        RowRef::Fetched(arc) => arc,
+        other => panic!("first read must miss, got {other:?}"),
+    };
+    let cached: Arc<[u32]> = match reader.read_adjacency(&mut ep, 1, idx) {
+        RowRef::Cached(arc) => arc,
+        other => panic!("second read must hit, got {other:?}"),
+    };
+    assert!(
+        Arc::ptr_eq(&fetched, &cached),
+        "the cache must retain the transfer buffer itself — no second copy"
+    );
+    ep.unlock_all();
+}
+
+// ---------------------------------------------------------------------------
+// Randomized interleavings of cached / non-cached / local-rank reads.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reader_interleavings_are_exact_and_consistent(
+        accesses in prop::collection::vec((0usize..4, 0usize..64), 1..150),
+        cache_bytes in 512usize..(1usize << 16),
+        cached in any::<bool>(),
+    ) {
+        let g = RmatGenerator::paper(8, 8).generate_cleaned(17).into_csr();
+        let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 4).unwrap();
+        let windows = GraphWindows::build(&pg);
+        let mut config = base_config(4);
+        if cached {
+            config.cache = Some(CacheSpec::paper(cache_bytes));
+        }
+        let mut reader = build_reader(&pg, &windows, &config);
+        let mut ep = Endpoint::new(0, 4, config.network);
+        ep.lock_all();
+        let mut non_cached_gets_expected = 0u64;
+        for (target, idx) in accesses {
+            let part = &pg.partitions[target];
+            let idx = idx % part.local_vertex_count();
+            let row = reader.read_adjacency(&mut ep, target, idx);
+            prop_assert_eq!(row.as_slice(), part.neighbours_of_local(idx),
+                "target {} idx {}", target, idx);
+            if target == 0 {
+                prop_assert!(row.is_borrowed(), "own-rank reads must borrow the window");
+            } else if !cached {
+                non_cached_gets_expected += 1 + u64::from(!row.is_empty());
+            }
+        }
+        ep.unlock_all();
+        let stats = ep.into_stats();
+        if cached {
+            let offsets = reader.offsets_cache_stats().expect("offsets cache enabled");
+            let adj = reader.adjacency_cache_stats().expect("adjacency cache enabled");
+            for s in [&offsets, &adj] {
+                prop_assert_eq!(s.lookups(), s.hits + s.misses);
+                prop_assert!(s.compulsory_misses <= s.misses);
+                // Every uncacheable insert was preceded by a lookup miss.
+                prop_assert!(s.uncacheable <= s.misses);
+            }
+            // Every miss (and nothing else) goes to the network.
+            prop_assert_eq!(stats.gets, offsets.misses + adj.misses);
+        } else {
+            prop_assert_eq!(stats.gets, non_cached_gets_expected);
+        }
+    }
+}
