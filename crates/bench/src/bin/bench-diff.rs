@@ -5,23 +5,63 @@
 //! For every history file (written by `cargo bench ... -- --history <path>`),
 //! compares the newest run's medians against the previous run's and prints a
 //! per-benchmark delta table. Exits non-zero when any benchmark's median
-//! regressed by more than the threshold (default 15%) between two runs on the
-//! same host; runs recorded on different hosts are reported but never gated,
-//! because their timings are not comparable.
+//! regressed by more than its threshold between two runs on the same host;
+//! runs recorded on different hosts are reported but never gated, because
+//! their timings are not comparable.
+//!
+//! Thresholds are per benchmark: the default is 15% (overridable with
+//! `--threshold`), but benchmarks listed in [`PER_BENCH_THRESHOLD_PCT`] carry
+//! their own wider band — microbenches whose whole body is a cache probe or a
+//! handful of loads (e.g. `remote_read/cached_hit`) jitter well past 15% on
+//! shared CI runners without any code change, and a gate that cries wolf gets
+//! ignored. Keys match by prefix, so one entry can cover a parameterized
+//! family like `intersect/parallel/...`.
 
 use rmatc_bench::history::{compare_latest, parse_history};
 use std::process::ExitCode;
 
 const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 
+/// Benchmarks allowed a wider regression band than the default, as
+/// `(key prefix, threshold pct)`. First matching prefix wins.
+///
+/// Rationale per entry — keep this comment honest when editing:
+/// * `remote_read/cached_hit` — ~100 ns of pure cache-probe; a scheduler
+///   hiccup during its short sample window shifts the median by tens of
+///   percent.
+/// * `remote_read/cached_cold` — eviction-heavy loop, sensitive to physical
+///   page layout run-to-run.
+/// * `intersect/parallel/` — multi-threaded section; CI runners share cores,
+///   so thread wake latency dominates small-sample medians.
+/// * `intersect/costmodel/hybrid_calibrated` — re-fits its profile from live
+///   micro-probes at bench startup, so its kernel routing (and hence median)
+///   legitimately moves between runs on a noisy host; the entry exists to
+///   track the analytic/calibrated relationship, not as a tight gate.
+const PER_BENCH_THRESHOLD_PCT: &[(&str, f64)] = &[
+    ("remote_read/cached_hit", 40.0),
+    ("remote_read/cached_cold", 25.0),
+    ("intersect/parallel/", 25.0),
+    ("intersect/costmodel/hybrid_calibrated", 60.0),
+];
+
+/// The gate threshold (fraction, not percent) for one benchmark key.
+fn threshold_for(key: &str, default_pct: f64) -> f64 {
+    PER_BENCH_THRESHOLD_PCT
+        .iter()
+        .find(|(prefix, _)| key.starts_with(prefix))
+        .map(|&(_, pct)| pct)
+        .unwrap_or(default_pct)
+        / 100.0
+}
+
 fn main() -> ExitCode {
-    let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
+    let mut default_pct = DEFAULT_THRESHOLD_PCT;
     let mut paths = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threshold" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(pct) if pct > 0.0 => threshold_pct = pct,
+                Some(pct) if pct > 0.0 => default_pct = pct,
                 _ => {
                     eprintln!("--threshold requires a positive percentage");
                     return ExitCode::from(2);
@@ -39,7 +79,6 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let threshold = threshold_pct / 100.0;
     let mut failed = false;
     for path in &paths {
         let content = match std::fs::read_to_string(path) {
@@ -66,24 +105,28 @@ fn main() -> ExitCode {
                 ""
             }
         );
+        let mut regressions = 0usize;
         for delta in &comparison.deltas {
+            let threshold = threshold_for(&delta.key, default_pct);
             let change = delta.relative_change() * 100.0;
-            let marker = if !comparison.host_mismatch && change > threshold_pct {
+            let regressed = !comparison.host_mismatch && delta.relative_change() > threshold;
+            let marker = if regressed {
+                regressions += 1;
                 "  << REGRESSION"
             } else {
                 ""
             };
             println!(
-                "   {:<56} {:>12.0} ns -> {:>12.0} ns  {:>+7.1}%{marker}",
-                delta.key, delta.old_median_ns, delta.new_median_ns, change
+                "   {:<56} {:>12.0} ns -> {:>12.0} ns  {:>+7.1}% (gate {:.0}%){marker}",
+                delta.key,
+                delta.old_median_ns,
+                delta.new_median_ns,
+                change,
+                threshold * 100.0
             );
         }
-        let regressions = comparison.regressions(threshold);
-        if !regressions.is_empty() {
-            eprintln!(
-                "{path}: {} benchmark(s) regressed more than {threshold_pct}%",
-                regressions.len()
-            );
+        if regressions > 0 {
+            eprintln!("{path}: {regressions} benchmark(s) regressed past their threshold");
             failed = true;
         }
     }

@@ -1,0 +1,163 @@
+//! ATLAS-style cost-model calibrator (see `docs/TUNING.md`).
+//!
+//! Usage: `rmatc-calibrate [--quick] [--dry-run] [--json <path>] [--out <path>]`
+//!
+//! Micro-probes the four intersection kernels across a log-spaced grid of
+//! `(|A|, |B|)` shapes, fits this machine's merge↔search and
+//! galloping↔binary-search crossovers, and prints them next to the analytic
+//! model's curves. Unless `--dry-run` is given, the fitted
+//! [`CostProfile`](rmatc_core::CostProfile) is persisted to the default
+//! profile path (`RMATC_PROFILE`, or `~/.cache/rmatc/profile-<host>.json`),
+//! where [`CostModel::from_environment`](rmatc_core::CostModel) picks it up.
+//!
+//! * `--quick` — coarse probe (tens of milliseconds); default is the full
+//!   probe (under a second).
+//! * `--dry-run` — probe and fit but write no profile file; this is what CI
+//!   runs to keep the probe harness from rotting.
+//! * `--json <path>` — additionally write the fitted profile JSON to an
+//!   explicit path (works with `--dry-run`; CI uploads it as an artifact).
+//! * `--out <path>` — persist to this path instead of the default.
+
+use rmatc_core::intersect::calibrate::{
+    calibrate, default_profile_path, save_profile, Calibration, CalibrationConfig, LOG_B_MIN,
+};
+use rmatc_core::intersect::select_kernel;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut dry_run = false;
+    let mut quick = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dry-run" => dry_run = true,
+            "--quick" => quick = true,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => return usage_error("--json requires a path"),
+            },
+            "--out" => match args.next() {
+                Some(path) => out_path = Some(PathBuf::from(path)),
+                None => return usage_error("--out requires a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: rmatc-calibrate [--quick] [--dry-run] [--json <path>] [--out <path>]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let config = if quick {
+        CalibrationConfig::quick()
+    } else {
+        CalibrationConfig::full()
+    };
+    eprintln!(
+        "probing kernels ({} mode: {} merge grid points, {} key sizes)...",
+        if quick { "quick" } else { "full" },
+        config.probe_log_b.len(),
+        config.probe_log_a.len(),
+    );
+    let calibration = calibrate(&config);
+    print_report(&calibration);
+
+    if let Err(e) = calibration.profile.validate() {
+        eprintln!("fitted profile failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = &json_path {
+        if let Err(e) = save_profile(&calibration.profile, path) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("profile JSON written to {}", path.display());
+    }
+
+    if dry_run {
+        println!("dry run: no profile persisted");
+        return ExitCode::SUCCESS;
+    }
+    let path = out_path.unwrap_or_else(default_profile_path);
+    match save_profile(&calibration.profile, &path) {
+        Ok(()) => {
+            println!("profile persisted to {}", path.display());
+            println!("(set RMATC_PROFILE to override; delete the file to fall back to analytic)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to persist {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The fitted curves next to the analytic model, plus where they disagree on
+/// kernel choice — the single table a user needs to decide whether the
+/// calibrated model is worth enabling on this machine.
+fn print_report(calibration: &Calibration) {
+    let profile = &calibration.profile;
+    println!("\nmerge <-> search crossover (ratio |B|/|A| above which search wins)");
+    println!(
+        "   {:>10} {:>14} {:>14} {:>10}",
+        "|B|", "measured", "analytic", "probed"
+    );
+    let probed: Vec<u32> = calibration.merge_probes.iter().map(|p| p.log_b).collect();
+    for (i, &threshold) in profile.merge_ratio.iter().enumerate() {
+        let log_b = LOG_B_MIN + i as u32;
+        println!(
+            "   {:>10} {:>14.2} {:>14.2} {:>10}",
+            1u64 << log_b,
+            threshold,
+            log_b as f64 - 1.0,
+            if probed.contains(&log_b) { "yes" } else { "-" }
+        );
+    }
+    println!("\ngalloping vs binary search across the probed sweep");
+    for s in &calibration.gallop_samples {
+        println!(
+            "   |A| = 2^{:<2} |B| = 2^{:<2}  galloping {:>10.0} ns  binary {:>10.0} ns  -> {}",
+            s.log_a,
+            s.log_b,
+            s.gallop_ns,
+            s.binary_ns,
+            if s.gallop_wins() {
+                "galloping"
+            } else {
+                "binary"
+            }
+        );
+    }
+    println!(
+        "   fitted skew exponent (least regret): {:.3}  (analytic: 2.000)",
+        profile.gallop_exponent
+    );
+
+    let mut disagreements = 0usize;
+    let mut shapes = 0usize;
+    for log_b in 6..=20u32 {
+        for log_gap in 0..=log_b.min(12) {
+            shapes += 1;
+            let long = 1usize << log_b;
+            let short = long >> log_gap;
+            if profile.select_kernel(short, long) != select_kernel(short, long) {
+                disagreements += 1;
+            }
+        }
+    }
+    println!(
+        "\ncalibrated model changes the kernel on {disagreements}/{shapes} probed power-of-two shapes"
+    );
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("{message}");
+    eprintln!("usage: rmatc-calibrate [--quick] [--dry-run] [--json <path>] [--out <path>]");
+    ExitCode::from(2)
+}

@@ -3,9 +3,9 @@
 //! The vendored criterion harness appends one JSON line per run to a history
 //! file (`cargo bench ... -- --history bench-history/<bench>.ndjson`): commit
 //! hash, timestamp, host metadata, and every benchmark record. This module
-//! reads that format back — with a small self-contained JSON parser, since the
-//! workspace's `serde` is a no-op offline stub — and compares the newest run
-//! against the previous one so CI can fail on kernel regressions.
+//! reads that format back — via the `serde` facade's JSON value tree
+//! (`serde::json`) — and compares the newest run against the previous one so
+//! CI can fail on kernel regressions.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -140,7 +140,7 @@ pub fn compare_latest(runs: &[HistoryRun]) -> Option<Comparison> {
 }
 
 fn parse_run(line: &str) -> Option<HistoryRun> {
-    let value = json::parse(line)?;
+    let value = serde::json::parse_value_str(line).ok()?;
     let host = value.get("host")?;
     let records = value
         .get("records")?
@@ -164,203 +164,6 @@ fn parse_run(line: &str) -> Option<HistoryRun> {
         },
         records,
     })
-}
-
-/// Minimal recursive-descent JSON parser — just enough for the history format
-/// this workspace writes itself (objects, arrays, strings with `\"`/`\\`
-/// escapes, numbers, booleans, null).
-mod json {
-    use std::collections::BTreeMap;
-
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        Null,
-        Bool(bool),
-        Number(f64),
-        String(String),
-        Array(Vec<Value>),
-        Object(BTreeMap<String, Value>),
-    }
-
-    impl Value {
-        pub fn get(&self, key: &str) -> Option<&Value> {
-            match self {
-                Value::Object(map) => map.get(key),
-                _ => None,
-            }
-        }
-
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::String(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Number(x) => Some(*x),
-                _ => None,
-            }
-        }
-
-        pub fn as_array(&self) -> Option<&[Value]> {
-            match self {
-                Value::Array(items) => Some(items),
-                _ => None,
-            }
-        }
-    }
-
-    pub fn parse(input: &str) -> Option<Value> {
-        let bytes = input.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        (pos == bytes.len()).then_some(value)
-    }
-
-    fn skip_ws(bytes: &[u8], pos: &mut usize) {
-        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
-            *pos += 1;
-        }
-    }
-
-    fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Option<()> {
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&byte) {
-            *pos += 1;
-            Some(())
-        } else {
-            None
-        }
-    }
-
-    fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Value> {
-        skip_ws(bytes, pos);
-        match bytes.get(*pos)? {
-            b'{' => parse_object(bytes, pos),
-            b'[' => parse_array(bytes, pos),
-            b'"' => parse_string(bytes, pos).map(Value::String),
-            b't' => parse_literal(bytes, pos, "true", Value::Bool(true)),
-            b'f' => parse_literal(bytes, pos, "false", Value::Bool(false)),
-            b'n' => parse_literal(bytes, pos, "null", Value::Null),
-            _ => parse_number(bytes, pos),
-        }
-    }
-
-    fn parse_literal(bytes: &[u8], pos: &mut usize, text: &str, value: Value) -> Option<Value> {
-        if bytes[*pos..].starts_with(text.as_bytes()) {
-            *pos += text.len();
-            Some(value)
-        } else {
-            None
-        }
-    }
-
-    fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Value> {
-        let start = *pos;
-        while *pos < bytes.len()
-            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        {
-            *pos += 1;
-        }
-        std::str::from_utf8(&bytes[start..*pos])
-            .ok()?
-            .parse::<f64>()
-            .ok()
-            .map(Value::Number)
-    }
-
-    fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
-        expect(bytes, pos, b'"')?;
-        let mut out = String::new();
-        loop {
-            match bytes.get(*pos)? {
-                b'"' => {
-                    *pos += 1;
-                    return Some(out);
-                }
-                b'\\' => {
-                    *pos += 1;
-                    let escaped = bytes.get(*pos)?;
-                    out.push(match escaped {
-                        b'"' => '"',
-                        b'\\' => '\\',
-                        b'/' => '/',
-                        b'n' => '\n',
-                        b't' => '\t',
-                        b'r' => '\r',
-                        _ => return None, // \uXXXX etc.: not produced by our writer
-                    });
-                    *pos += 1;
-                }
-                &byte => {
-                    // Multi-byte UTF-8 sequences pass through byte by byte.
-                    let len = utf8_len(byte);
-                    let chunk = bytes.get(*pos..*pos + len)?;
-                    out.push_str(std::str::from_utf8(chunk).ok()?);
-                    *pos += len;
-                }
-            }
-        }
-    }
-
-    fn utf8_len(first: u8) -> usize {
-        match first {
-            0x00..=0x7F => 1,
-            0xC0..=0xDF => 2,
-            0xE0..=0xEF => 3,
-            _ => 4,
-        }
-    }
-
-    fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Value> {
-        expect(bytes, pos, b'[')?;
-        let mut items = Vec::new();
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Some(Value::Array(items));
-        }
-        loop {
-            items.push(parse_value(bytes, pos)?);
-            skip_ws(bytes, pos);
-            match bytes.get(*pos)? {
-                b',' => *pos += 1,
-                b']' => {
-                    *pos += 1;
-                    return Some(Value::Array(items));
-                }
-                _ => return None,
-            }
-        }
-    }
-
-    fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<Value> {
-        expect(bytes, pos, b'{')?;
-        let mut map = BTreeMap::new();
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Some(Value::Object(map));
-        }
-        loop {
-            skip_ws(bytes, pos);
-            let key = parse_string(bytes, pos)?;
-            expect(bytes, pos, b':')?;
-            map.insert(key, parse_value(bytes, pos)?);
-            skip_ws(bytes, pos);
-            match bytes.get(*pos)? {
-                b',' => *pos += 1,
-                b'}' => {
-                    *pos += 1;
-                    return Some(Value::Object(map));
-                }
-                _ => return None,
-            }
-        }
-    }
 }
 
 #[cfg(test)]

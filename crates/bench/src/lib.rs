@@ -14,6 +14,24 @@
 //! The experiment scale is controlled with the `RMATC_SCALE` environment variable
 //! (`tiny`, `small`, `medium`; default `tiny`) so the full suite runs in minutes on
 //! a laptop while still exposing every code path the paper exercises.
+//!
+//! # Paper map
+//!
+//! | Binary (`src/bin/`) | Paper artefact | What it reproduces |
+//! |---|---|---|
+//! | `table2_graphs` | Table II | The evaluation graphs and their size/skew columns |
+//! | `table3_intersection` | Table III | Shared-memory kernel comparison (SSI, binary search, hybrid, plus this reproduction's SIMD/galloping upgrades) |
+//! | `fig1_reuse` | Figure 1 | Remote-access data-reuse distribution motivating caching |
+//! | `fig4_reuse_skew` | Figure 4 | Reuse vs degree skew |
+//! | `fig5_entry_sizes` | Figure 5 | Cached-entry size distribution |
+//! | `fig6_shared_scaling` | Figure 6 | Shared-memory strong scaling of the intersection strategies |
+//! | `fig7_cache_sweep` | Figure 7 | LCC runtime vs cache budget, offsets-only / adjacencies-only panels |
+//! | `fig8_scores` | Figure 8 | LRU vs degree-centrality eviction scores |
+//! | `fig9_small_scale` | Figure 9 | Small-scale distributed comparison (non-cached, cached, TriC) |
+//! | `fig10_large_scale` | Figure 10 | Large-scale distributed runs |
+//! | `text_comm_fractions` | §IV-C prose | Communication-time fractions quoted in the text |
+//! | `bench-diff` | — (this reproduction) | Per-commit regression gate over the criterion history, with per-benchmark thresholds |
+//! | `rmatc-calibrate` | — (this reproduction) | ATLAS-style cost-model calibration front end (see `docs/TUNING.md`) |
 
 pub mod history;
 pub mod measure;

@@ -1,7 +1,7 @@
 //! Configuration of the distributed runner: rank count, partitioning, intersection
 //! method, network model, double buffering, and the CLaMPI cache budget split.
 
-use crate::intersect::IntersectMethod;
+use crate::intersect::{CostModel, IntersectMethod};
 use rmatc_clampi::ClampiConfig;
 use rmatc_graph::partition::PartitionScheme;
 use rmatc_rma::NetworkModel;
@@ -139,6 +139,11 @@ pub struct DistConfig {
     pub scheme: PartitionScheme,
     /// Intersection kernel.
     pub method: IntersectMethod,
+    /// Cost model [`IntersectMethod::Hybrid`] resolves kernels through on
+    /// every rank: analytic (default) or machine-calibrated (see
+    /// [`crate::intersect::calibrate`]). Kernel choice only — rank outputs
+    /// are identical under any model.
+    pub cost_model: CostModel,
     /// Network cost model for remote reads.
     pub network: NetworkModel,
     /// Overlap the communication of the next edge with the computation of the
@@ -157,6 +162,7 @@ impl DistConfig {
             ranks,
             scheme: PartitionScheme::Block1D,
             method: IntersectMethod::Hybrid,
+            cost_model: CostModel::Analytic,
             network: NetworkModel::aries(),
             double_buffering: true,
             cache: None,
@@ -175,6 +181,13 @@ impl DistConfig {
     /// Switches the adjacency-cache eviction score to degree centrality.
     pub fn with_degree_scores(mut self) -> Self {
         self.score_mode = ScoreMode::DegreeCentrality;
+        self
+    }
+
+    /// Same configuration with a different cost model for `Hybrid`
+    /// resolution on every rank.
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
         self
     }
 }

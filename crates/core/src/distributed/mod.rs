@@ -100,7 +100,7 @@ impl DistLcc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::intersect::IntersectMethod;
+    use crate::intersect::{CostModel, IntersectMethod};
     use rmatc_graph::datasets::{Dataset, DatasetScale};
     use rmatc_graph::gen::{GraphGenerator, RmatGenerator};
     use rmatc_graph::partition::PartitionScheme;
@@ -116,6 +116,7 @@ mod tests {
             ranks,
             scheme: PartitionScheme::Block1D,
             method: IntersectMethod::Hybrid,
+            cost_model: CostModel::Analytic,
             network: NetworkModel::aries(),
             double_buffering: true,
             cache: None,

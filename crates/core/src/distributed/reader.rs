@@ -210,7 +210,7 @@ fn transfer_count_closing(
 mod tests {
     use super::*;
     use crate::distributed::config::CacheSpec;
-    use crate::intersect::IntersectMethod;
+    use crate::intersect::CostModel;
     use rmatc_graph::gen::{GraphGenerator, RmatGenerator};
     use rmatc_graph::partition::{PartitionScheme, PartitionedGraph};
     use rmatc_rma::NetworkModel;
@@ -223,6 +223,7 @@ mod tests {
             ranks: 2,
             scheme: PartitionScheme::Block1D,
             method: IntersectMethod::Hybrid,
+            cost_model: CostModel::Analytic,
             network: NetworkModel::aries(),
             double_buffering: false,
             cache: None,

@@ -55,7 +55,8 @@ pub fn run_worker(
     // The intersection inside one rank is sequential: the paper's shared-memory
     // parallelism is a separate axis (Figure 6) from the distributed one, and the
     // distributed experiments map one MPI task per core.
-    let intersector = ParallelIntersector::new(config.method, 1, usize::MAX);
+    let intersector =
+        ParallelIntersector::new(config.method, 1, usize::MAX).with_cost_model(config.cost_model);
     let direction = pg.direction;
 
     let mut local_triangles = vec![0u64; part.local_vertex_count()];
@@ -144,7 +145,7 @@ fn triangles_for_edge(
 mod tests {
     use super::*;
     use crate::distributed::config::{CacheSpec, ScoreMode};
-    use crate::intersect::IntersectMethod;
+    use crate::intersect::{CostModel, IntersectMethod};
     use rmatc_graph::gen::{GraphGenerator, RmatGenerator};
     use rmatc_graph::partition::PartitionScheme;
     use rmatc_graph::reference;
@@ -158,6 +159,7 @@ mod tests {
             ranks,
             scheme: PartitionScheme::Block1D,
             method: IntersectMethod::Hybrid,
+            cost_model: CostModel::Analytic,
             network: NetworkModel::aries(),
             double_buffering: false,
             cache: None,

@@ -1,0 +1,931 @@
+//! Runtime calibration of the hybrid cost model (ATLAS-style micro-probing).
+//!
+//! The analytic rule of [`hybrid`](super::hybrid) trusts two asymptotic
+//! boundaries on every machine: Eq. (3)'s merge↔search crossover
+//! `|B|/|A| ≤ log2(|B|) − 1` and the galloping↔binary-search rule
+//! `|B| < |A|²`. Both are *model* boundaries — the constants hidden by the
+//! O-notation (SIMD width, branch-miss cost, cache line economics of nearly
+//! sequential vs random probes) shift the real crossovers from host to host,
+//! and Table III's win margins hinge on picking the right kernel per pair.
+//!
+//! This module closes that gap the way ATLAS tunes BLAS: run the actual
+//! kernels on a log-spaced grid of `(|A|, |B|)` shapes once, find where their
+//! measured times cross, and persist the result as a [`CostProfile`]:
+//!
+//! * the **merge↔search boundary** becomes a piecewise-log curve — for each
+//!   grid point `log2 |B|`, the ratio `|B|/|A|` at which the fastest
+//!   search-class kernel overtakes the SIMD merge, linearly interpolated in
+//!   `log2 |B|` between grid points (the analytic curve `log2(|B|) − 1` is a
+//!   straight line in that space, so the analytic model is exactly
+//!   representable — see [`CostProfile::analytic`]);
+//! * the **galloping↔binary boundary** becomes a skew exponent `g`: galloping
+//!   wins while `g · log2(|B|/|A|) < log2 |B|`, i.e. `|B| < |A|^(g/(g−1))`
+//!   in the analytic form; the paper's model is `g = 2`. The exponent is
+//!   fitted by *least regret* over the timed sweep rather than by solving
+//!   through a crossover point, because a cache hierarchy can invert the
+//!   family's predicted winning side (see [`fit_gallop_exponent`]).
+//!
+//! A [`CostProfile`] plugs into the selection path through
+//! [`CostModel::Calibrated`] — [`LocalConfig`](crate::local::LocalConfig) and
+//! the distributed `DistConfig` carry a `cost_model` knob, and
+//! [`IntersectMethod::resolve_with`](super::IntersectMethod::resolve_with)
+//! dispatches through it. [`CostModel::Analytic`] stays the default: it is
+//! deterministic across hosts, which CI and the differential tests rely on.
+//!
+//! Profiles persist as pretty-printed JSON under
+//! `~/.cache/rmatc/profile-<host>.json` (override with the `RMATC_PROFILE`
+//! environment variable) and load lazily at most once per process
+//! ([`load_default_profile`]). `rmatc-calibrate` (in `rmatc-bench`) is the
+//! command-line front end; `docs/TUNING.md` documents the workflow.
+//!
+//! Whatever the profile says, only the *kernel choice* changes — every kernel
+//! returns the same counts (the differential suite in `tests/kernels.rs`
+//! proves it), so a bad profile can cost time but never correctness.
+
+use super::binary::binary_search_count;
+use super::galloping::galloping_count;
+use super::hybrid::{select_kernel, IntersectMethod};
+use super::simd::simd_count;
+use rmatc_graph::types::VertexId;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// `log2 |B|` of the first grid point of [`CostProfile::merge_ratio`].
+pub const LOG_B_MIN: u32 = 6;
+
+/// Number of grid points: `log2 |B|` ∈ `LOG_B_MIN ..= LOG_B_MIN + GRID_POINTS - 1`
+/// (64 … 1Mi entries), one per power of two.
+pub const GRID_POINTS: usize = 15;
+
+/// Serialized format version of [`CostProfile`].
+pub const PROFILE_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// The profile and the cost-model knob.
+// ---------------------------------------------------------------------------
+
+/// A machine's fitted kernel-crossover curves.
+///
+/// `merge_ratio[i]` is the `|B|/|A|` threshold at `log2 |B| = LOG_B_MIN + i`:
+/// at or below it the merge class (SIMD block-compare) is expected to win,
+/// above it the search class. Between grid points the threshold is linearly
+/// interpolated in `log2 |B|`; outside the grid the nearest segment
+/// extrapolates. `gallop_exponent` splits the search class: galloping wins
+/// while `gallop_exponent · log2(|B|/|A|) < log2 |B|`.
+///
+/// Fixed-size arrays keep the profile `Copy`, so carrying it in
+/// [`LocalConfig`](crate::local::LocalConfig)/`DistConfig` costs a memcpy and
+/// no allocation. Serialization goes through the workspace's `serde` facade
+/// ([`serde::Serialize`]/[`serde::Deserialize`] are implemented by hand
+/// against its value-tree model) and round-trips bit-exactly for finite
+/// values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProfile {
+    /// Merge↔search crossover ratio per `log2 |B|` grid point.
+    pub merge_ratio: [f64; GRID_POINTS],
+    /// Skew exponent of the galloping↔binary-search boundary (analytic: 2).
+    pub gallop_exponent: f64,
+}
+
+impl CostProfile {
+    /// The profile that reproduces the analytic model *bit-exactly*: the
+    /// interpolated merge threshold evaluates to exactly
+    /// `log2(|B|) − 1.0` for every `|B|` (the grid stores consecutive
+    /// integers minus one, so interpolation reduces to exact float
+    /// arithmetic), and the gallop rule with exponent `2.0` performs the same
+    /// operations as [`super::hybrid::galloping_is_faster`]. Selecting through
+    /// `CostModel::Calibrated(CostProfile::analytic())` is therefore
+    /// indistinguishable from `CostModel::Analytic` — the equivalence tests
+    /// in `tests/calibrate.rs` check this exhaustively.
+    pub fn analytic() -> Self {
+        let mut merge_ratio = [0.0; GRID_POINTS];
+        for (i, slot) in merge_ratio.iter_mut().enumerate() {
+            *slot = (LOG_B_MIN as usize + i) as f64 - 1.0;
+        }
+        Self {
+            merge_ratio,
+            gallop_exponent: 2.0,
+        }
+    }
+
+    /// The interpolated merge↔search threshold on `|B|/|A|` for a given
+    /// `log2 |B|` (`lb`). Linear between grid points, nearest-segment
+    /// extrapolation outside the grid.
+    pub fn merge_threshold(&self, lb: f64) -> f64 {
+        let i = ((lb.floor() as i64) - LOG_B_MIN as i64).clamp(0, GRID_POINTS as i64 - 2) as usize;
+        let x_i = (LOG_B_MIN as usize + i) as f64;
+        self.merge_ratio[i] + (lb - x_i) * (self.merge_ratio[i + 1] - self.merge_ratio[i])
+    }
+
+    /// Calibrated counterpart of [`super::hybrid::ssi_is_faster`]: true when
+    /// the merge class is expected to win for `short_len ≤ long_len`.
+    pub fn merge_is_faster(&self, short_len: usize, long_len: usize) -> bool {
+        debug_assert!(short_len <= long_len);
+        if short_len == 0 || long_len == 0 {
+            return true;
+        }
+        let ratio = long_len as f64 / short_len as f64;
+        ratio <= self.merge_threshold((long_len as f64).log2())
+    }
+
+    /// Calibrated counterpart of [`super::hybrid::galloping_is_faster`],
+    /// with the measured skew exponent in place of the analytic `2.0`.
+    pub fn galloping_is_faster(&self, short_len: usize, long_len: usize) -> bool {
+        debug_assert!(short_len <= long_len);
+        if short_len == 0 || long_len == 0 {
+            return true;
+        }
+        let gap = (long_len as f64 / short_len as f64).max(1.0);
+        self.gallop_exponent * gap.log2() < (long_len as f64).log2()
+    }
+
+    /// The calibrated three-way kernel choice for a `(short, long)` pair —
+    /// the drop-in replacement for [`select_kernel`].
+    pub fn select_kernel(&self, short_len: usize, long_len: usize) -> IntersectMethod {
+        if self.merge_is_faster(short_len, long_len) {
+            IntersectMethod::Simd
+        } else if self.galloping_is_faster(short_len, long_len) {
+            IntersectMethod::Galloping
+        } else {
+            IntersectMethod::BinarySearch
+        }
+    }
+
+    /// Structural sanity: every threshold finite, the exponent finite and
+    /// positive. Enforced on deserialization so a hand-edited profile cannot
+    /// smuggle NaNs into the hot path. Threshold *values* are deliberately
+    /// unbounded — the fitter clamps its own output to `[1, 2^20]`, but a
+    /// hand-written profile may express "never merge" (0) or "always merge"
+    /// (huge) without tripping validation; selection stays well-defined for
+    /// any finite curve.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, &t) in self.merge_ratio.iter().enumerate() {
+            if !t.is_finite() {
+                return Err(format!("merge_ratio[{i}] = {t} is not finite"));
+            }
+        }
+        if !self.gallop_exponent.is_finite() || self.gallop_exponent <= 0.0 {
+            return Err(format!(
+                "gallop_exponent = {} must be finite and positive",
+                self.gallop_exponent
+            ));
+        }
+        Ok(())
+    }
+
+    /// Renders the profile as the persisted pretty-JSON document.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self).expect("validated profiles are finite")
+    }
+
+    /// Parses a persisted profile, validating version, grid shape, and
+    /// finiteness.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde::json::from_str(text)
+    }
+}
+
+impl serde::Serialize for CostProfile {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::object([
+            ("version", serde::Serialize::to_value(&PROFILE_VERSION)),
+            ("log_b_min", serde::Serialize::to_value(&LOG_B_MIN)),
+            ("merge_ratio", serde::Serialize::to_value(&self.merge_ratio)),
+            (
+                "gallop_exponent",
+                serde::Serialize::to_value(&self.gallop_exponent),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for CostProfile {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let version: u32 = field(value, "version")?;
+        if version != PROFILE_VERSION {
+            return Err(serde::Error::new(format!(
+                "profile version {version} is not the supported {PROFILE_VERSION}"
+            )));
+        }
+        let log_b_min: u32 = field(value, "log_b_min")?;
+        if log_b_min != LOG_B_MIN {
+            return Err(serde::Error::new(format!(
+                "profile grid starts at log2|B| = {log_b_min}, expected {LOG_B_MIN}"
+            )));
+        }
+        let profile = CostProfile {
+            merge_ratio: field(value, "merge_ratio")?,
+            gallop_exponent: field(value, "gallop_exponent")?,
+        };
+        profile.validate().map_err(serde::Error::new)?;
+        Ok(profile)
+    }
+}
+
+fn field<T: serde::Deserialize>(value: &serde::Value, name: &str) -> Result<T, serde::Error> {
+    T::from_value(
+        value
+            .get(name)
+            .ok_or_else(|| serde::Error::field(name, "a value"))?,
+    )
+}
+
+/// Which cost model [`IntersectMethod::Hybrid`](super::IntersectMethod)
+/// resolves kernels through.
+///
+/// `Analytic` is the deterministic default — the paper's Eq. (3) plus the
+/// `|B| < |A|²` probe rule, identical on every host, which CI and the
+/// differential tests depend on. `Calibrated` carries a fitted
+/// [`CostProfile`]; the analytic path pays nothing for the knob beyond one
+/// predictable branch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum CostModel {
+    /// Eq. (3) + `|B| < |A|²`, as written in the paper.
+    #[default]
+    Analytic,
+    /// Crossovers measured on this machine by [`calibrate`].
+    Calibrated(CostProfile),
+}
+
+impl CostModel {
+    /// Resolves the kernel for a `(short, long)` pair under this model.
+    #[inline]
+    pub fn select(&self, short_len: usize, long_len: usize) -> IntersectMethod {
+        match self {
+            CostModel::Analytic => select_kernel(short_len, long_len),
+            CostModel::Calibrated(profile) => profile.select_kernel(short_len, long_len),
+        }
+    }
+
+    /// `Calibrated` with the persisted machine profile when one exists
+    /// ([`load_default_profile`]), `Analytic` otherwise. The opt-in entry
+    /// point for binaries that want measured crossovers without forcing every
+    /// user to run the calibrator first.
+    pub fn from_environment() -> Self {
+        match load_default_profile() {
+            Some(profile) => CostModel::Calibrated(profile),
+            None => CostModel::Analytic,
+        }
+    }
+
+    /// Short display label (`"analytic"` / `"calibrated"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostModel::Analytic => "analytic",
+            CostModel::Calibrated(_) => "calibrated",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence.
+// ---------------------------------------------------------------------------
+
+/// The path profiles persist to: `RMATC_PROFILE` when set, else
+/// `$XDG_CACHE_HOME|$HOME/.cache` + `rmatc/profile-<host>-<arch>.json`, else
+/// (no home at all) `./rmatc-profile.json`.
+pub fn default_profile_path() -> PathBuf {
+    if let Ok(path) = std::env::var("RMATC_PROFILE") {
+        if !path.is_empty() {
+            return PathBuf::from(path);
+        }
+    }
+    let file = format!("profile-{}.json", host_tag());
+    cache_dir()
+        .map(|dir| dir.join("rmatc").join(file))
+        .unwrap_or_else(|| PathBuf::from("rmatc-profile.json"))
+}
+
+fn cache_dir() -> Option<PathBuf> {
+    if let Ok(xdg) = std::env::var("XDG_CACHE_HOME") {
+        if !xdg.is_empty() {
+            return Some(PathBuf::from(xdg));
+        }
+    }
+    std::env::var("HOME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .map(|h| PathBuf::from(h).join(".cache"))
+}
+
+/// `<hostname>-<arch>`, sanitized to `[A-Za-z0-9._-]` — profiles are
+/// per-machine, and a profile copied across machines is exactly the failure
+/// mode this tag makes visible.
+pub fn host_tag() -> String {
+    let hostname = std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .or_else(|| {
+            std::fs::read_to_string("/proc/sys/kernel/hostname")
+                .ok()
+                .map(|s| s.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .unwrap_or_else(|| "host".to_string());
+    let mut tag: String = hostname
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    tag.push('-');
+    tag.push_str(std::env::consts::ARCH);
+    tag
+}
+
+/// Writes `profile` to `path` as pretty JSON, creating parent directories.
+pub fn save_profile(profile: &CostProfile, path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, profile.to_json())
+}
+
+/// Reads and validates a profile from `path`.
+pub fn load_profile(path: &std::path::Path) -> Result<CostProfile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    CostProfile::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Lazily loads the machine profile from [`default_profile_path`], at most
+/// once per process. `None` when no profile has been persisted (or it fails
+/// validation — a warning goes to stderr, and the caller falls back to the
+/// analytic model rather than aborting).
+pub fn load_default_profile() -> Option<CostProfile> {
+    static PROFILE: OnceLock<Option<CostProfile>> = OnceLock::new();
+    *PROFILE.get_or_init(|| {
+        let path = default_profile_path();
+        if !path.exists() {
+            return None;
+        }
+        match load_profile(&path) {
+            Ok(profile) => Some(profile),
+            Err(e) => {
+                eprintln!("ignoring invalid cost profile: {e}");
+                None
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The micro-probe.
+// ---------------------------------------------------------------------------
+
+/// Probe budget and coverage. `quick` fits in tens of milliseconds (startup /
+/// CI smoke), `full` spends under a second for tighter crossovers.
+#[derive(Debug, Clone)]
+pub struct CalibrationConfig {
+    /// Grid points (`log2 |B|`) whose merge↔search crossover is measured
+    /// directly; the remaining [`GRID_POINTS`] entries are filled by
+    /// piecewise-linear interpolation/extrapolation over these.
+    pub probe_log_b: Vec<u32>,
+    /// Key-list sizes (`log2 |A|`) probed for the galloping↔binary crossover.
+    pub probe_log_a: Vec<u32>,
+    /// Largest `log2 |B|` the gallop sweep may allocate.
+    pub max_gallop_log_b: u32,
+    /// Wall-clock budget per timing sample, in nanoseconds.
+    pub sample_budget_ns: u64,
+    /// Seed of the deterministic list generator (shapes only — timings are
+    /// still the machine's).
+    pub seed: u64,
+}
+
+impl CalibrationConfig {
+    /// Thorough probe: six merge grid points up to `|B| = 2^18`, three key
+    /// sizes for the gallop exponent. Under a second on a laptop core.
+    ///
+    /// The gallop key sizes are deliberately *large* (2^10 … 2^12): the
+    /// galloping↔binary boundary only matters for hub rows (thousands of
+    /// keys against out-of-cache haystacks) — at toy sizes everything is
+    /// L1-resident and restart binary search wins trivially, which would fit
+    /// an exponent the hot path's shapes never see.
+    pub fn full() -> Self {
+        Self {
+            probe_log_b: vec![8, 10, 12, 14, 16, 18],
+            probe_log_a: vec![10, 11, 12],
+            max_gallop_log_b: 23,
+            sample_budget_ns: 400_000,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Coarse probe: three merge grid points, two key sizes; tens of
+    /// milliseconds. The `--quick` mode of `rmatc-calibrate` and the CI
+    /// dry-run use this.
+    pub fn quick() -> Self {
+        Self {
+            probe_log_b: vec![8, 11, 14],
+            probe_log_a: vec![10, 12],
+            max_gallop_log_b: 22,
+            sample_budget_ns: 120_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// One measured merge↔search crossover.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeProbe {
+    /// `log2 |B|` of the probed grid point.
+    pub log_b: u32,
+    /// Fitted crossover ratio `|B|/|A|` at that size.
+    pub threshold: f64,
+}
+
+/// One timed galloping-vs-binary sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GallopSample {
+    /// `log2 |A|` of the key list.
+    pub log_a: u32,
+    /// `log2 |B|` of the haystack.
+    pub log_b: u32,
+    /// Measured galloping time per call, nanoseconds.
+    pub gallop_ns: f64,
+    /// Measured restart-binary-search time per call, nanoseconds.
+    pub binary_ns: f64,
+}
+
+impl GallopSample {
+    /// True when galloping measured faster on this shape.
+    pub fn gallop_wins(&self) -> bool {
+        self.gallop_ns < self.binary_ns
+    }
+}
+
+/// A fitted profile together with the raw crossover points it was fitted
+/// from, for reporting (`rmatc-calibrate` prints them next to the analytic
+/// curve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// The fitted, grid-filled profile.
+    pub profile: CostProfile,
+    /// Measured merge↔search crossovers, one per probed grid point.
+    pub merge_probes: Vec<MergeProbe>,
+    /// Timed galloping-vs-binary samples across the `(|A|, |B|)` sweep.
+    pub gallop_samples: Vec<GallopSample>,
+}
+
+/// Runs the micro-probe and fits a [`CostProfile`].
+///
+/// Deterministic in structure (the probed shapes come from a fixed-seed
+/// generator) but the fitted values are *measurements* — two runs on the same
+/// machine agree to noise, two machines legitimately differ. That is the
+/// point.
+pub fn calibrate(config: &CalibrationConfig) -> Calibration {
+    let merge_probes: Vec<MergeProbe> = config
+        .probe_log_b
+        .iter()
+        .map(|&log_b| MergeProbe {
+            log_b,
+            threshold: probe_merge_crossover(log_b, config),
+        })
+        .collect();
+    let gallop_samples: Vec<GallopSample> = config
+        .probe_log_a
+        .iter()
+        .flat_map(|&log_a| probe_gallop_samples(log_a, config))
+        .collect();
+
+    let mut merge_ratio = [0.0; GRID_POINTS];
+    for (i, slot) in merge_ratio.iter_mut().enumerate() {
+        let lb = (LOG_B_MIN as usize + i) as f64;
+        *slot = interpolate_probes(&merge_probes, lb);
+    }
+    // Running-max pass: the true crossover ratio grows with |B| (the merge
+    // kernel's linear cost amortizes better the bigger the pair), so any
+    // decrease between grid slots is probe noise. Enforcing monotonicity also
+    // keeps the above-grid linear extrapolation from diving: a
+    // noise-descending last segment would otherwise route big balanced pairs
+    // to the search class ([`CostProfile::merge_threshold`] extrapolates the
+    // end segments without a clamp, to stay exact for the analytic profile).
+    for i in 1..GRID_POINTS {
+        merge_ratio[i] = merge_ratio[i].max(merge_ratio[i - 1]);
+    }
+
+    let gallop_exponent = fit_gallop_exponent(&gallop_samples, &merge_ratio);
+
+    let profile = CostProfile {
+        merge_ratio,
+        gallop_exponent,
+    };
+    debug_assert!(profile.validate().is_ok());
+    Calibration {
+        profile,
+        merge_probes,
+        gallop_samples,
+    }
+}
+
+/// Fits the skew exponent `g` (galloping wins while
+/// `g · log2(|B|/|A|) < log2 |B|`) by **least regret** over the timed
+/// samples: for each candidate `g`, sum the nanoseconds lost on every sample
+/// where the candidate picks the slower kernel, and keep the cheapest.
+///
+/// Only samples the fitted merge boundary routes to the *search class* count
+/// (given `merge_ratio`): the exponent is a tie-breaker inside that class,
+/// so a shape the hybrid would hand to the SIMD merge anyway — however
+/// decisively binary search beats galloping there — must not drag the fit.
+/// Without this conditioning the many cheap cache-resident shapes (where
+/// restart binary search always wins) can outvote the expensive
+/// memory-resident ones the decision actually governs.
+///
+/// Pass-through-the-crossover fitting (solve `g` from the measured boundary
+/// point) is the obvious alternative but is wrong on real hardware: the
+/// analytic family predicts galloping wins on the *small-gap* side, while a
+/// modern cache hierarchy can flip that — restart binary search keeps its top
+/// tree levels hot and wins every L2-resident shape, and galloping's
+/// near-sequential probes win once the haystack spills to memory, *whatever*
+/// the gap. When the measured boundary is such a cache cliff, no exponent
+/// reproduces it exactly, and solving through the crossover point lands on
+/// the worst member of the family (it inverts the winning region). Least
+/// regret instead returns the projection of the machine's behaviour onto the
+/// family that costs the fewest nanoseconds on the probed mix — with
+/// degenerate "always gallop" / "never gallop" members available when the
+/// machine really is one-sided.
+pub fn fit_gallop_exponent(samples: &[GallopSample], merge_ratio: &[f64; GRID_POINTS]) -> f64 {
+    const CANDIDATES: [f64; 12] = [1.05, 1.2, 1.4, 1.6, 1.8, 2.0, 2.25, 2.5, 3.0, 4.0, 6.0, 8.0];
+    let merge_gate = CostProfile {
+        merge_ratio: *merge_ratio,
+        gallop_exponent: 2.0, // unused by merge_is_faster
+    };
+    let reachable: Vec<&GallopSample> = samples
+        .iter()
+        .filter(|s| !merge_gate.merge_is_faster(1 << s.log_a, 1 << s.log_b))
+        .collect();
+    if reachable.is_empty() {
+        return 2.0;
+    }
+    let mut best = (f64::INFINITY, 2.0);
+    for g in CANDIDATES {
+        let regret: f64 = reachable
+            .iter()
+            .map(|s| {
+                let gap = (s.log_b - s.log_a) as f64;
+                let picks_gallop = g * gap < s.log_b as f64;
+                let picked = if picks_gallop {
+                    s.gallop_ns
+                } else {
+                    s.binary_ns
+                };
+                picked - s.gallop_ns.min(s.binary_ns)
+            })
+            .sum();
+        // Strictly-better keeps the first (analytic-closest ordering is not
+        // meaningful here; ties in practice don't occur with real timings).
+        if regret < best.0 {
+            best = (regret, g);
+        }
+    }
+    best.1
+}
+
+/// Piecewise-linear interpolation of the probed `(log_b, threshold)` points
+/// at `lb`, extrapolating the end segments — the same shape
+/// [`CostProfile::merge_threshold`] evaluates later, so filling the grid this
+/// way adds no second approximation. Thresholds are clamped to `[1, 2^20]`
+/// (a ratio below 1 cannot occur, and beyond the grid the probe has no
+/// evidence).
+fn interpolate_probes(probes: &[MergeProbe], lb: f64) -> f64 {
+    debug_assert!(!probes.is_empty());
+    if probes.len() == 1 {
+        return probes[0].threshold;
+    }
+    let seg = probes
+        .windows(2)
+        .position(|w| lb < w[1].log_b as f64)
+        .unwrap_or(probes.len() - 2);
+    let (p0, p1) = (&probes[seg], &probes[seg + 1]);
+    let (x0, x1) = (p0.log_b as f64, p1.log_b as f64);
+    let t = p0.threshold + (lb - x0) * (p1.threshold - p0.threshold) / (x1 - x0);
+    t.clamp(1.0, (1u64 << 20) as f64)
+}
+
+/// Finds the ratio `|B|/|A|` at which the fastest search-class kernel
+/// overtakes the SIMD merge for `|B| = 2^log_b`, sweeping `|A| = |B| >> k`.
+fn probe_merge_crossover(log_b: u32, config: &CalibrationConfig) -> f64 {
+    let universe = (1u64 << log_b) * 4;
+    let b = synthetic_sorted(
+        1usize << log_b,
+        universe,
+        config.seed ^ ((log_b as u64) << 32),
+    );
+    let max_k = (log_b.saturating_sub(2)).min(11);
+    let mut previous: Option<(f64, f64)> = None; // (log2 ratio, margin)
+    for k in 0..=max_k {
+        let a = synthetic_sorted(
+            (1usize << log_b) >> k,
+            universe,
+            config.seed ^ 0xa5a5 ^ (k as u64),
+        );
+        let t_merge = time_kernel(|| simd_count(&a, &b), config.sample_budget_ns);
+        let t_bin = time_kernel(|| binary_search_count(&a, &b), config.sample_budget_ns);
+        let t_gal = time_kernel(|| galloping_count(&a, &b), config.sample_budget_ns);
+        let t_search = t_bin.min(t_gal);
+        // Positive margin: merge wins. The crossover is where it hits zero.
+        let margin = (t_search / t_merge).ln();
+        if margin < 0.0 {
+            return match previous {
+                // Interpolate the zero crossing in log2-ratio space.
+                Some((prev_lr, prev_margin)) => {
+                    let frac = prev_margin / (prev_margin - margin);
+                    let lr = prev_lr + frac * (k as f64 - prev_lr);
+                    2f64.powf(lr).max(1.0)
+                }
+                // Search already wins at ratio 1: merge never preferred here.
+                None => 1.0,
+            };
+        }
+        previous = Some((k as f64, margin));
+    }
+    // Merge won everywhere probed: the threshold is at least the largest
+    // ratio swept.
+    2f64.powi(max_k as i32)
+}
+
+/// Times galloping vs restart binary search for a fixed key list
+/// `|A| = 2^log_a` across a doubling `|B|` sweep. The whole sweep is kept
+/// (no early exit at the first sign flip) because the win region need not be
+/// one-sided — see [`fit_gallop_exponent`].
+fn probe_gallop_samples(log_a: u32, config: &CalibrationConfig) -> Vec<GallopSample> {
+    let max_log_b = (2 * log_a + 4).min(config.max_gallop_log_b);
+    let mut samples = Vec::new();
+    for log_b in (log_a + 2)..=max_log_b {
+        // Keys and haystack share one value universe (scaled to the haystack,
+        // like vertex ids shared by every adjacency row) so the keys spread
+        // across the whole of `b`.
+        let universe = (1u64 << log_b) * 4;
+        let a = synthetic_sorted(1usize << log_a, universe, config.seed ^ 0x9e37);
+        let b = synthetic_sorted(1usize << log_b, universe, config.seed ^ (log_b as u64));
+        samples.push(GallopSample {
+            log_a,
+            log_b,
+            gallop_ns: time_kernel(|| galloping_count(&a, &b), config.sample_budget_ns),
+            binary_ns: time_kernel(|| binary_search_count(&a, &b), config.sample_budget_ns),
+        });
+    }
+    samples
+}
+
+/// Times one kernel call: adaptively sized inner loop, best of three samples
+/// (minimum is the standard noise-robust estimator for micro-kernels — load
+/// spikes only ever add time).
+fn time_kernel(mut f: impl FnMut() -> u64, budget_ns: u64) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let once_ns = start.elapsed().as_nanos().max(30) as u64;
+    let iters = (budget_ns / once_ns).clamp(1, 1_000_000);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// Deterministic sorted, duplicate-free list of `len` values spread across
+/// `0..universe`: cumulative xorshift strides with mean `universe / len`.
+///
+/// The shared `universe` is the load-bearing part: adjacency rows of very
+/// different degrees still draw from the same vertex-id range, so a probe
+/// pair must too. (Generating both lists with the same *stride* distribution
+/// instead would put a short list's values in a tiny prefix of the long
+/// list's range — the merge kernel then exits after that prefix and measures
+/// as absurdly fast, wrecking the fit.) Independently seeded lists overlap in
+/// a substantial fraction of the shorter one, the regime real rows intersect
+/// in, so every kernel's match path is exercised.
+fn synthetic_sorted(len: usize, universe: u64, seed: u64) -> Vec<VertexId> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    // Uniform strides in `1..=2·mean − 1` average `mean`, landing the last
+    // value near `universe` without a second normalization pass.
+    let mean = (universe / len.max(1) as u64).max(1);
+    let span = 2 * mean - 1;
+    let mut out = Vec::with_capacity(len);
+    let mut value: u64 = next() % mean.min(8);
+    for _ in 0..len {
+        value += 1 + next() % span;
+        out.push(value as VertexId);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_profile_reproduces_equation_three_bit_exactly() {
+        let profile = CostProfile::analytic();
+        for long in [1usize, 2, 63, 64, 100, 4_096, 65_536, 1 << 22] {
+            for short in [1usize, 2, 7, 64, 373, 4_096] {
+                let (s, l) = (short.min(long), short.max(long));
+                assert_eq!(
+                    profile.select_kernel(s, l),
+                    select_kernel(s, l),
+                    "short={s} long={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_threshold_is_log2_minus_one_everywhere() {
+        let profile = CostProfile::analytic();
+        for long in [2usize, 64, 100, 1000, 4096, 1 << 20, 1 << 26] {
+            let lb = (long as f64).log2();
+            assert_eq!(profile.merge_threshold(lb).to_bits(), (lb - 1.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn profile_json_round_trips_bit_exactly() {
+        let mut profile = CostProfile::analytic();
+        profile.merge_ratio[3] = 7.23456789012345;
+        profile.gallop_exponent = std::f64::consts::E;
+        let text = profile.to_json();
+        let back = CostProfile::from_json(&text).unwrap();
+        assert_eq!(back, profile);
+        assert_eq!(
+            back.gallop_exponent.to_bits(),
+            profile.gallop_exponent.to_bits()
+        );
+    }
+
+    #[test]
+    fn malformed_profiles_are_rejected() {
+        assert!(CostProfile::from_json("{}").is_err());
+        assert!(CostProfile::from_json("not json").is_err());
+        // Wrong version.
+        let wrong = CostProfile::analytic()
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 99");
+        assert!(CostProfile::from_json(&wrong).is_err());
+        // Wrong grid length.
+        let v = serde::Value::object([
+            ("version", serde::Value::Number(1.0)),
+            ("log_b_min", serde::Value::Number(LOG_B_MIN as f64)),
+            ("merge_ratio", serde::Value::Array(vec![])),
+            ("gallop_exponent", serde::Value::Number(2.0)),
+        ]);
+        assert!(
+            <CostProfile as serde::Deserialize>::from_value(&v).is_err(),
+            "empty grid must be rejected"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_entries() {
+        let mut profile = CostProfile::analytic();
+        profile.merge_ratio[0] = f64::NAN;
+        assert!(profile.validate().is_err());
+        let mut profile = CostProfile::analytic();
+        profile.gallop_exponent = -1.0;
+        assert!(profile.validate().is_err());
+    }
+
+    #[test]
+    fn cost_model_dispatches_per_variant() {
+        let analytic = CostModel::Analytic;
+        let skewed = CostModel::Calibrated(CostProfile {
+            // Threshold 0 everywhere: never merge.
+            merge_ratio: [0.0; GRID_POINTS],
+            gallop_exponent: 2.0,
+        });
+        assert_eq!(analytic.select(1024, 1024), IntersectMethod::Simd);
+        assert_ne!(skewed.select(1024, 1024), IntersectMethod::Simd);
+        assert_eq!(analytic.label(), "analytic");
+        assert_eq!(skewed.label(), "calibrated");
+    }
+
+    #[test]
+    fn synthetic_lists_are_sorted_unique_and_overlapping() {
+        let a = synthetic_sorted(10_000, 40_000, 1);
+        let b = synthetic_sorted(10_000, 40_000, 2);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        let common = rmatc_graph::reference::sorted_intersection_count(&a, &b);
+        assert!(
+            common > 1_000,
+            "independently seeded lists must overlap substantially, got {common}"
+        );
+        // A short list over the same universe spans the long list's range —
+        // the property the probe relies on (no early-exit shortcut).
+        let short = synthetic_sorted(100, 40_000, 3);
+        assert!(
+            *short.last().unwrap() as u64 > 20_000,
+            "short list must spread across the shared universe, ends at {}",
+            short.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn interpolation_passes_through_probe_points() {
+        let probes = [
+            MergeProbe {
+                log_b: 8,
+                threshold: 4.0,
+            },
+            MergeProbe {
+                log_b: 12,
+                threshold: 12.0,
+            },
+        ];
+        assert_eq!(interpolate_probes(&probes, 8.0), 4.0);
+        assert_eq!(interpolate_probes(&probes, 12.0), 12.0);
+        assert_eq!(interpolate_probes(&probes, 10.0), 8.0);
+        // Extrapolation continues the end segments, clamped at ratio 1.
+        assert_eq!(interpolate_probes(&probes, 14.0), 16.0);
+        assert_eq!(interpolate_probes(&probes, 6.0), 1.0);
+    }
+
+    #[test]
+    fn fitted_grids_are_monotone_so_extrapolation_cannot_dive() {
+        // A noise-descending probe set must still yield a non-decreasing
+        // grid, keeping the above-grid linear extrapolation from routing big
+        // balanced pairs to the search class.
+        let mut config = CalibrationConfig::quick();
+        config.sample_budget_ns = 5_000;
+        config.probe_log_b = vec![8, 11, 14];
+        config.probe_log_a = vec![];
+        config.max_gallop_log_b = 12;
+        let profile = calibrate(&config).profile;
+        for w in profile.merge_ratio.windows(2) {
+            assert!(w[0] <= w[1], "grid must be non-decreasing: {w:?}");
+        }
+        // Extrapolated thresholds above the grid can therefore never fall
+        // below the last slot.
+        assert!(profile.merge_threshold(24.0) >= profile.merge_ratio[GRID_POINTS - 1]);
+    }
+
+    #[test]
+    fn quick_calibration_produces_a_valid_profile() {
+        // Structural assertions only: the fitted values are measurements and
+        // legitimately vary by machine; validity and bounds must not.
+        let mut config = CalibrationConfig::quick();
+        config.sample_budget_ns = 20_000; // keep the test fast
+        config.probe_log_b = vec![8, 11];
+        config.probe_log_a = vec![6];
+        config.max_gallop_log_b = 14;
+        let calibration = calibrate(&config);
+        calibration.profile.validate().unwrap();
+        assert_eq!(calibration.merge_probes.len(), 2);
+        assert!(!calibration.gallop_samples.is_empty());
+        for sample in &calibration.gallop_samples {
+            assert!(sample.gallop_ns.is_finite() && sample.gallop_ns > 0.0);
+            assert!(sample.binary_ns.is_finite() && sample.binary_ns > 0.0);
+        }
+        for probe in &calibration.merge_probes {
+            assert!(probe.threshold >= 1.0);
+        }
+        for slot in calibration.profile.merge_ratio {
+            assert!((1.0..=(1u64 << 20) as f64).contains(&slot));
+        }
+        // And the fitted profile serializes.
+        let text = calibration.profile.to_json();
+        assert_eq!(CostProfile::from_json(&text).unwrap(), calibration.profile);
+    }
+
+    #[test]
+    fn profile_path_honours_the_env_override() {
+        // Can't mutate the environment safely in a threaded test runner, so
+        // exercise only the pure pieces: the host tag shape and the fallback.
+        let tag = host_tag();
+        assert!(tag.contains('-'));
+        assert!(tag
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-'));
+        let path = default_profile_path();
+        assert!(path.to_string_lossy().ends_with(".json"));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let dir = std::env::temp_dir().join(format!("rmatc-calibrate-test-{}", std::process::id()));
+        let path = dir.join("nested").join("profile.json");
+        let profile = CostProfile::analytic();
+        save_profile(&profile, &path).unwrap();
+        assert_eq!(load_profile(&path).unwrap(), profile);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -69,9 +69,30 @@ impl IntersectMethod {
 
     /// Resolves the per-pair decision: `Hybrid` applies the three-way cost
     /// model ([`select_kernel`]), every other method is already concrete.
+    ///
+    /// Equivalent to [`resolve_with`](Self::resolve_with) under
+    /// [`CostModel::Analytic`](super::CostModel::Analytic); kept as the
+    /// shorthand for the paper's as-written rule.
     pub fn resolve(self, short_len: usize, long_len: usize) -> IntersectMethod {
         match self {
             IntersectMethod::Hybrid => select_kernel(short_len, long_len),
+            concrete => concrete,
+        }
+    }
+
+    /// Resolves the per-pair decision through an explicit cost model:
+    /// `Hybrid` asks `model` (the analytic Eq. (3) rule, or a machine's
+    /// calibrated [`CostProfile`](super::calibrate::CostProfile)), every
+    /// other method is already concrete. The model only ever picks the
+    /// *kernel*; counts are identical whichever one it picks.
+    pub fn resolve_with(
+        self,
+        short_len: usize,
+        long_len: usize,
+        model: &super::calibrate::CostModel,
+    ) -> IntersectMethod {
+        match self {
+            IntersectMethod::Hybrid => model.select(short_len, long_len),
             concrete => concrete,
         }
     }

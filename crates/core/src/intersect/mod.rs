@@ -15,13 +15,19 @@
 //! * [`fused`] — the copy+intersect variant of the SIMD merge used by the
 //!   distributed path: a remote row that missed the CLaMPI cache is
 //!   intersected against the local row in the same block pass that lands it
-//!   in the cache buffer.
+//!   in the cache buffer;
+//! * [`calibrate`] — ATLAS-style runtime calibration of the hybrid rule: a
+//!   startup micro-probe measures where this machine's kernels actually
+//!   cross over, and the fitted [`CostProfile`] replaces the analytic
+//!   boundaries via [`CostModel::Calibrated`] (the analytic model stays the
+//!   deterministic default).
 //!
 //! Every kernel is a plain-slice entry point (`&[VertexId]`), so callers can
 //! run them directly over borrowed views — local CSR rows, cached CLaMPI
 //! entries, or fetched transfer buffers — without materializing owned copies.
 
 pub mod binary;
+pub mod calibrate;
 pub mod fused;
 pub mod galloping;
 pub mod hybrid;
@@ -30,6 +36,7 @@ pub mod simd;
 pub mod ssi;
 
 pub use binary::binary_search_count;
+pub use calibrate::{CostModel, CostProfile};
 pub use fused::copy_intersect;
 pub use galloping::galloping_count;
 pub use hybrid::{galloping_is_faster, select_kernel, ssi_is_faster, IntersectMethod};
@@ -39,16 +46,29 @@ pub use ssi::ssi_count;
 
 use rmatc_graph::types::VertexId;
 
-/// A sequential intersector: picks the kernel according to the configured method.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A sequential intersector: picks the kernel according to the configured
+/// method, resolving `Hybrid` through its [`CostModel`] (analytic by
+/// default).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Intersector {
     method: IntersectMethod,
+    model: CostModel,
 }
 
 impl Intersector {
-    /// Creates an intersector for the given method.
+    /// Creates an intersector for the given method, with the analytic cost
+    /// model.
     pub fn new(method: IntersectMethod) -> Self {
-        Self { method }
+        Self {
+            method,
+            model: CostModel::Analytic,
+        }
+    }
+
+    /// Same intersector resolving `Hybrid` through `model` instead.
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
     }
 
     /// The configured method.
@@ -56,10 +76,18 @@ impl Intersector {
         self.method
     }
 
+    /// The cost model `Hybrid` resolves through.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
     /// Counts `|a ∩ b|` for two sorted, duplicate-free slices.
     pub fn count(&self, a: &[VertexId], b: &[VertexId]) -> u64 {
         let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-        match self.method.resolve(short.len(), long.len()) {
+        match self
+            .method
+            .resolve_with(short.len(), long.len(), &self.model)
+        {
             IntersectMethod::SortedSetIntersection => ssi_count(short, long),
             IntersectMethod::BinarySearch => binary_search_count(short, long),
             IntersectMethod::Simd => simd_count(short, long),

@@ -145,7 +145,7 @@ fn run_rank(
     let part = &pg.partitions[rank];
     let mut reader = RemoteReader::new(windows, caches, cfg);
     let mut ep = Endpoint::new(rank, cfg.ranks, cfg.network);
-    let intersector = Intersector::new(cfg.method);
+    let intersector = Intersector::new(cfg.method).with_cost_model(cfg.cost_model);
     let mut edges = Vec::new();
     ep.lock_all();
     let timer = ThreadTimer::start();

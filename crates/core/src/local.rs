@@ -29,7 +29,7 @@
 //! first configuration's thread count) and reused across calls, so repeated
 //! small invocations pay a queue push instead of a `thread::spawn` per call.
 
-use crate::intersect::{IntersectMethod, ParallelIntersector};
+use crate::intersect::{CostModel, IntersectMethod, ParallelIntersector};
 use crate::lcc;
 use rayon::prelude::*;
 use rmatc_graph::split::balanced_vertex_bounds;
@@ -64,10 +64,16 @@ pub enum RangeSchedule {
 }
 
 /// Configuration for the shared-memory computation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LocalConfig {
     /// Intersection kernel selection.
     pub method: IntersectMethod,
+    /// Cost model [`IntersectMethod::Hybrid`] resolves kernels through:
+    /// the paper's analytic rule (default, deterministic across hosts) or a
+    /// machine-calibrated [`CostProfile`](crate::intersect::CostProfile).
+    /// Whichever model is set, only the kernel choice changes — LCC values
+    /// are identical.
+    pub cost_model: CostModel,
     /// Number of threads (1 = fully sequential regardless of `parallelism`).
     pub threads: usize,
     /// With [`LocalParallelism::IntersectionParallel`], intersections whose
@@ -84,6 +90,7 @@ impl LocalConfig {
     pub fn sequential() -> Self {
         Self {
             method: IntersectMethod::Hybrid,
+            cost_model: CostModel::Analytic,
             threads: 1,
             parallel_cutoff: usize::MAX,
             parallelism: LocalParallelism::IntersectionParallel,
@@ -95,11 +102,9 @@ impl LocalConfig {
     /// (the paper's scheme).
     pub fn parallel(threads: usize) -> Self {
         Self {
-            method: IntersectMethod::Hybrid,
             threads,
             parallel_cutoff: crate::intersect::parallel::DEFAULT_PARALLEL_CUTOFF,
-            parallelism: LocalParallelism::IntersectionParallel,
-            schedule: RangeSchedule::DegreeWeighted,
+            ..Self::sequential()
         }
     }
 
@@ -136,6 +141,13 @@ impl LocalConfig {
     /// Same configuration with a different range schedule.
     pub fn with_schedule(mut self, schedule: RangeSchedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Same configuration with a different cost model for `Hybrid`
+    /// resolution (see [`crate::intersect::calibrate`]).
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
         self
     }
 }
@@ -220,7 +232,8 @@ impl LocalLcc {
             self.config.method,
             self.config.threads,
             self.config.parallel_cutoff,
-        );
+        )
+        .with_cost_model(self.config.cost_model);
         let n = g.vertex_count();
         let mut per_vertex = vec![0u64; n];
         let mut edges = 0u64;
@@ -329,6 +342,7 @@ impl LocalLcc {
 
     fn sequential_intersector(&self) -> ParallelIntersector {
         ParallelIntersector::new(self.config.method, 1, usize::MAX)
+            .with_cost_model(self.config.cost_model)
     }
 
     /// Equal-work boundaries only pay off when chunks actually run

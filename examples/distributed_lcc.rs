@@ -39,6 +39,7 @@ fn main() {
         ranks,
         scheme: PartitionScheme::Block1D,
         method: IntersectMethod::Hybrid,
+        cost_model: CostModel::Analytic,
         network: NetworkModel::aries(),
         double_buffering: true,
         cache: Some(CacheSpec::paper(budget)),

@@ -31,8 +31,14 @@ docs:
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p rmatc -p rmatc-core -p rmatc-clampi -p rmatc-rma -p rmatc-graph -p rmatc-tric -p rmatc-bench
     cargo test --workspace --doc -q
 
+# Fit this machine's kernel-crossover cost profile and persist it to the
+# default profile path (RMATC_PROFILE or ~/.cache/rmatc/). See docs/TUNING.md.
+calibrate:
+    cargo run --release -p rmatc-bench --bin rmatc-calibrate
+
 # The bench-smoke job: JSON snapshots plus an appended bench-history record,
-# then the regression gate (>15% median regression fails).
+# then the regression gate (median regression past the per-benchmark
+# threshold fails; default 15%).
 bench-smoke:
     cargo bench -p rmatc-bench --bench intersect -- --json BENCH_intersect.json --history bench-history/intersect.ndjson
     cargo bench -p rmatc-bench --bench local_lcc -- --json BENCH_local_lcc.json --history bench-history/local_lcc.ndjson

@@ -39,8 +39,9 @@ pub use rmatc_tric as tric;
 pub mod prelude {
     pub use rmatc_clampi::{ClampiConfig, ConsistencyMode, ScorePolicy};
     pub use rmatc_core::{
-        CacheSpec, DistConfig, DistJaccard, DistLcc, DistResult, IntersectMethod, JaccardResult,
-        LocalConfig, LocalLcc, LocalParallelism, RangeSchedule, ScoreMode,
+        CacheSpec, CostModel, CostProfile, DistConfig, DistJaccard, DistLcc, DistResult,
+        IntersectMethod, JaccardResult, LocalConfig, LocalLcc, LocalParallelism, RangeSchedule,
+        ScoreMode,
     };
     pub use rmatc_graph::datasets::{Dataset, DatasetScale};
     pub use rmatc_graph::gen::{

@@ -1,0 +1,251 @@
+//! Determinism and equivalence tests of the calibrated cost model
+//! (`rmatc_core::intersect::calibrate`):
+//!
+//! * `CostProfile` round-trips through serde (the workspace's value-tree
+//!   facade + JSON text) bit-exactly, for arbitrary finite profiles;
+//! * `CostModel::Calibrated` with the analytic-fitted profile selects the
+//!   same kernel as `CostModel::Analytic` — exhaustively across the
+//!   differential shapes and a dense sweep of `(|A|, |B|)` pairs;
+//! * whatever profile is installed — fitted, distorted, or adversarial —
+//!   only the *kernel choice* changes: LCC values and triangle counts are
+//!   identical on the local and distributed paths.
+
+use proptest::prelude::*;
+use rmatc::prelude::*;
+use rmatc_core::intersect::calibrate::{CostProfile, GRID_POINTS};
+use rmatc_core::intersect::select_kernel;
+use rmatc_core::Intersector;
+use rmatc_graph::reference;
+
+/// Profiles that pull the boundaries to extremes, to force kernel choices
+/// the analytic rule would never make.
+fn adversarial_profiles() -> Vec<CostProfile> {
+    let analytic = CostProfile::analytic();
+    let mut always_merge = analytic;
+    always_merge.merge_ratio = [1e18; GRID_POINTS];
+    let mut never_merge = analytic;
+    never_merge.merge_ratio = [0.5; GRID_POINTS];
+    let mut gallop_everything = never_merge;
+    gallop_everything.gallop_exponent = 0.01;
+    let mut binary_everything = never_merge;
+    binary_everything.gallop_exponent = 1e6;
+    vec![
+        analytic,
+        always_merge,
+        never_merge,
+        gallop_everything,
+        binary_everything,
+    ]
+}
+
+#[test]
+fn analytic_profile_selection_is_identical_on_a_dense_sweep() {
+    // The analytic-fitted profile must agree with the analytic model on
+    // every pair, including right at the class boundaries; sweep a dense
+    // grid of sizes plus the exact boundary neighbourhoods.
+    let profile = CostProfile::analytic();
+    let model = CostModel::Calibrated(profile);
+    let mut sizes: Vec<usize> = vec![0, 1, 2, 3];
+    for log in 2..=24 {
+        let base = 1usize << log;
+        sizes.extend([base - 1, base, base + 1]);
+    }
+    // Near the Eq. 3 boundary for |B| = 4096 (threshold ratio 11).
+    sizes.extend([372, 373, 374]);
+    let mut checked = 0u64;
+    for &long in &sizes {
+        for &short in &sizes {
+            if short > long {
+                continue;
+            }
+            assert_eq!(
+                model.select(short, long),
+                CostModel::Analytic.select(short, long),
+                "short={short} long={long}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked > 1_000,
+        "sweep must actually cover pairs: {checked}"
+    );
+}
+
+#[test]
+fn analytic_profile_matches_on_the_differential_shapes() {
+    // The same list shapes `tests/kernels.rs` runs the kernel suite on.
+    let empty: Vec<u32> = vec![];
+    let one = vec![7u32];
+    let all_equal_a: Vec<u32> = (0..500).collect();
+    let evens: Vec<u32> = (0..2_000).map(|x| x * 2).collect();
+    let odds: Vec<u32> = (0..2_000).map(|x| x * 2 + 1).collect();
+    let leaf = vec![5u32, 40_000, 99_999, 163_841];
+    let hub: Vec<u32> = (0..163_842).collect();
+    let cases: Vec<(&[u32], &[u32])> = vec![
+        (&empty, &empty),
+        (&empty, &all_equal_a),
+        (&one, &empty),
+        (&one, &one),
+        (&one, &all_equal_a),
+        (&all_equal_a, &all_equal_a),
+        (&evens, &odds),
+        (&evens, &evens),
+        (&leaf, &hub),
+    ];
+    let profile = CostProfile::analytic();
+    for (a, b) in cases {
+        let (short, long) = if a.len() <= b.len() {
+            (a.len(), b.len())
+        } else {
+            (b.len(), a.len())
+        };
+        assert_eq!(
+            profile.select_kernel(short, long),
+            select_kernel(short, long),
+            "|a|={} |b|={}",
+            a.len(),
+            b.len()
+        );
+    }
+}
+
+#[test]
+fn any_profile_changes_kernels_not_counts() {
+    // Counting through a calibrated intersector must give the analytic
+    // counts on every shape, for every adversarial profile — the model can
+    // only pick *which* kernel runs.
+    let evens: Vec<u32> = (0..2_000).map(|x| x * 2).collect();
+    let mixed: Vec<u32> = (0..3_000).map(|x| x * 3 / 2).collect();
+    let leaf = vec![5u32, 1_000, 2_999];
+    let pairs: Vec<(&[u32], &[u32])> = vec![(&evens, &mixed), (&leaf, &mixed), (&evens, &evens)];
+    for profile in adversarial_profiles() {
+        let calibrated = Intersector::new(IntersectMethod::Hybrid)
+            .with_cost_model(CostModel::Calibrated(profile));
+        let analytic = Intersector::new(IntersectMethod::Hybrid);
+        for (a, b) in &pairs {
+            assert_eq!(
+                calibrated.count(a, b),
+                analytic.count(a, b),
+                "profile {profile:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn local_lcc_is_invariant_under_the_cost_model() {
+    let graphs = [
+        RmatGenerator::paper(9, 8).generate_cleaned(11).into_csr(),
+        WattsStrogatz::new(400, 8, 0.1)
+            .generate_cleaned(5)
+            .into_csr(),
+    ];
+    for g in &graphs {
+        let baseline = LocalLcc::new(LocalConfig::sequential()).run(g);
+        assert_eq!(baseline.triangle_count, reference::count_triangles(g));
+        for profile in adversarial_profiles() {
+            for cfg in [
+                LocalConfig::sequential(),
+                LocalConfig::vertex_parallel(4),
+                LocalConfig::edge_parallel(4),
+            ] {
+                let run = LocalLcc::new(cfg.with_cost_model(CostModel::Calibrated(profile))).run(g);
+                assert_eq!(
+                    run.per_vertex_triangles, baseline.per_vertex_triangles,
+                    "{:?} under {profile:?}",
+                    cfg.parallelism
+                );
+                assert_eq!(run.lcc, baseline.lcc);
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_lcc_is_invariant_under_the_cost_model() {
+    let g = RmatGenerator::paper(8, 8).generate_cleaned(3).into_csr();
+    let expected = reference::lcc_scores(&g);
+    for profile in adversarial_profiles() {
+        for cached in [false, true] {
+            let mut config = DistConfig::non_cached(4)
+                .with_cost_model(CostModel::Calibrated(profile))
+                .with_degree_scores();
+            if cached {
+                config.cache = Some(CacheSpec::paper(1 << 20));
+            }
+            let result = DistLcc::new(config).run(&g);
+            assert_eq!(result.triangle_count, reference::count_triangles(&g));
+            for (v, (a, b)) in result.lcc.iter().zip(expected.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "vertex {v}: {a} vs {b} cached={cached} profile={profile:?}"
+                );
+            }
+        }
+    }
+}
+
+fn finite_threshold() -> impl Strategy<Value = f64> {
+    // Thresholds spanning ~20 decades (including zero and sub-1 values):
+    // a uniform mantissa scaled by a random power of ten.
+    (0.0f64..10.0, 0u32..20).prop_map(|(mantissa, exp)| mantissa * 10f64.powi(exp as i32 - 2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn profile_round_trips_through_serde_unchanged(
+        thresholds in prop::collection::vec(finite_threshold(), GRID_POINTS..GRID_POINTS + 1),
+        exponent in 0.01f64..32.0,
+    ) {
+        let mut profile = CostProfile::analytic();
+        for (slot, t) in profile.merge_ratio.iter_mut().zip(&thresholds) {
+            *slot = *t;
+        }
+        profile.gallop_exponent = exponent;
+        let text = profile.to_json();
+        let back = CostProfile::from_json(&text).unwrap();
+        prop_assert_eq!(back, profile);
+        // Bit-exact, not just PartialEq-equal.
+        for (a, b) in back.merge_ratio.iter().zip(profile.merge_ratio.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(back.gallop_exponent.to_bits(), profile.gallop_exponent.to_bits());
+        // And a second trip is a fixed point.
+        prop_assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn analytic_equivalence_on_random_pairs(short in 0usize..3_000_000, skew in 1usize..5_000) {
+        let long = short.saturating_mul(skew).min(1 << 26).max(short);
+        let model = CostModel::Calibrated(CostProfile::analytic());
+        prop_assert_eq!(
+            model.select(short, long),
+            CostModel::Analytic.select(short, long),
+            "short={} long={}", short, long
+        );
+    }
+
+    #[test]
+    fn hybrid_counts_match_under_random_profiles(
+        a in prop::collection::vec(0u32..4_000, 0..400),
+        b in prop::collection::vec(0u32..4_000, 0..400),
+        thresholds in prop::collection::vec(finite_threshold(), GRID_POINTS..GRID_POINTS + 1),
+        exponent in 0.01f64..32.0,
+    ) {
+        let mut sorted_a = a; sorted_a.sort_unstable(); sorted_a.dedup();
+        let mut sorted_b = b; sorted_b.sort_unstable(); sorted_b.dedup();
+        let mut profile = CostProfile::analytic();
+        for (slot, t) in profile.merge_ratio.iter_mut().zip(&thresholds) {
+            *slot = *t;
+        }
+        profile.gallop_exponent = exponent;
+        let expected = reference::sorted_intersection_count(&sorted_a, &sorted_b);
+        let ix = Intersector::new(IntersectMethod::Hybrid)
+            .with_cost_model(CostModel::Calibrated(profile));
+        prop_assert_eq!(ix.count(&sorted_a, &sorted_b), expected);
+        prop_assert_eq!(ix.count(&sorted_b, &sorted_a), expected);
+    }
+}

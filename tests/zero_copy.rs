@@ -9,7 +9,7 @@ use rmatc::clampi::{CacheStats, RowRef};
 use rmatc::core::distributed::reader::RemoteReader;
 use rmatc::core::distributed::worker::run_worker;
 use rmatc::core::distributed::{CacheSpec, DistConfig, GraphWindows, ScoreMode};
-use rmatc::core::intersect::{IntersectMethod, ParallelIntersector};
+use rmatc::core::intersect::{CostModel, IntersectMethod, ParallelIntersector};
 use rmatc::core::local::count_closing_at;
 use rmatc::graph::gen::{GraphGenerator, RmatGenerator};
 use rmatc::graph::partition::{PartitionScheme, PartitionedGraph};
@@ -71,6 +71,7 @@ fn base_config(ranks: usize) -> DistConfig {
         ranks,
         scheme: PartitionScheme::Block1D,
         method: IntersectMethod::Hybrid,
+        cost_model: CostModel::Analytic,
         network: NetworkModel::aries(),
         // Off: overlap credit depends on wall-clock timing and would make the
         // modeled communication times non-deterministic across the two loops.

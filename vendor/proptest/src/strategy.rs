@@ -64,6 +64,16 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize);
 
+// Floating-point ranges support only the half-open form (inclusive float
+// ranges are a footgun the real crate also steers away from).
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident . $idx:tt),+))*) => {$(
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {

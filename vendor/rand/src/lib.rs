@@ -122,6 +122,17 @@ impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
     }
 }
 
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng_bits: u64) -> f64 {
+        assert!(
+            self.start < self.end,
+            "gen_range called with an empty range"
+        );
+        let unit = (rng_bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
 /// The user-facing random-number trait.
 pub trait Rng: RngCore {
     fn gen<T: Standard>(&mut self) -> T {

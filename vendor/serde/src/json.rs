@@ -1,0 +1,376 @@
+//! JSON rendering and parsing of the [`Value`] tree.
+//!
+//! The writer emits numbers with Rust's shortest round-trip formatting and the
+//! parser rounds correctly, so finite `f64`s survive a text round trip
+//! bit-exactly. Non-finite numbers have no JSON representation and are
+//! rejected at write time rather than silently turned into `null`.
+
+use crate::{Deserialize, Error, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serializes `value` as compact single-line JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None)?;
+    Ok(out)
+}
+
+/// Serializes `value` as indented multi-line JSON (2-space indent), ending
+/// with a newline — the format the persisted profile files use so they stay
+/// diffable and human-inspectable.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(0))?;
+    out.push('\n');
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`. Trailing non-whitespace input is an error.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    T::from_value(&parse_value_str(input)?)
+}
+
+/// Maximum container nesting the parser accepts. Deeper input is rejected as
+/// malformed instead of recursing — a corrupt or hostile file must degrade to
+/// a parse error (which callers warn about and ignore), never to a stack
+/// overflow.
+const MAX_DEPTH: usize = 128;
+
+/// Parses JSON text into the raw [`Value`] tree.
+pub fn parse_value_str(input: &str) -> Result<Value, Error> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0).ok_or_else(|| Error::new("malformed JSON"))?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Ok(value)
+    } else {
+        Err(Error::new(format!("trailing input at byte {pos}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+/// `indent = None` writes compact, `Some(level)` pretty at that nesting depth.
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(x) => {
+            if !x.is_finite() {
+                return Err(Error::new(format!("{x} has no JSON representation")));
+            }
+            // `{:?}` is Rust's shortest representation that parses back to the
+            // same bits — the property the round-trip tests rely on.
+            let _ = write!(out, "{x:?}");
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, '[', ']', indent, items.len(), |out, i, inner| {
+                write_value(out, &items[i], inner)
+            })?;
+        }
+        Value::Object(map) => {
+            let entries: Vec<(&String, &Value)> = map.iter().collect();
+            write_seq(out, '{', '}', indent, entries.len(), |out, i, inner| {
+                let (key, item) = entries[i];
+                write_string(out, key);
+                out.push_str(": ");
+                write_value(out, item, inner)
+            })?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a bracketed, comma-separated sequence of `len` items, each rendered
+/// by `emit(out, index, item_indent)` — shared by arrays and objects.
+fn write_seq(
+    out: &mut String,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    len: usize,
+    mut emit: impl FnMut(&mut String, usize, Option<usize>) -> Result<(), Error>,
+) -> Result<(), Error> {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        match indent {
+            Some(level) => {
+                out.push('\n');
+                push_indent(out, level + 1);
+                emit(out, i, Some(level + 1))?;
+            }
+            None => {
+                if i > 0 {
+                    out.push(' ');
+                }
+                emit(out, i, None)?;
+            }
+        }
+    }
+    if let Some(level) = indent {
+        if len > 0 {
+            out.push('\n');
+            push_indent(out, level);
+        }
+    }
+    out.push(close);
+    Ok(())
+}
+
+fn push_indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser: recursive descent over the writer's output format (plus `\uXXXX`
+// escapes for generality).
+// ---------------------------------------------------------------------------
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Option<()> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Option<Value> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'{' => parse_object(bytes, pos, depth),
+        b'[' => parse_array(bytes, pos, depth),
+        b'"' => parse_string(bytes, pos).map(Value::String),
+        b't' => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        b'f' => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        b'n' => parse_literal(bytes, pos, "null", Value::Null),
+        _ => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, text: &str, value: Value) -> Option<Value> {
+    if bytes[*pos..].starts_with(text.as_bytes()) {
+        *pos += text.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(Value::Number)
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let escaped = bytes.get(*pos)?;
+                match escaped {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            &byte => {
+                // Multi-byte UTF-8 sequences pass through byte by byte.
+                let len = utf8_len(byte);
+                let chunk = bytes.get(*pos..*pos + len)?;
+                out.push_str(std::str::from_utf8(chunk).ok()?);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Option<Value> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Value::Array(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Option<Value> {
+    expect(bytes, pos, b'{')?;
+    let mut map = std::collections::BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(Value::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        map.insert(key, parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Value::Object(map));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip_compact_and_pretty() {
+        let value = Value::object([
+            ("pi", Value::Number(std::f64::consts::PI)),
+            ("name", Value::String("probe \"x\"\n".to_string())),
+            (
+                "grid",
+                Value::Array(vec![Value::Number(1.0), Value::Number(-0.5)]),
+            ),
+            ("on", Value::Bool(true)),
+            ("none", Value::Null),
+        ]);
+        for text in [
+            to_string(&value).unwrap(),
+            to_string_pretty(&value).unwrap(),
+        ] {
+            assert_eq!(parse_value_str(&text).unwrap(), value, "{text}");
+        }
+    }
+
+    #[test]
+    fn floats_survive_exactly() {
+        for x in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.5e-9, 0.0] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected_at_write_time() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(parse_value_str("{} x").is_err());
+        assert!(parse_value_str("1 2").is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(parse_value_str(&deep).is_err());
+        // Reasonable nesting still parses.
+        let ok = "[".repeat(50) + &"]".repeat(50);
+        assert!(parse_value_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = parse_value_str("\"a\\u0041\\n\"").unwrap();
+        assert_eq!(v.as_str(), Some("aA\n"));
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_stable() {
+        let value = Value::object([("b", Value::Number(2.0)), ("a", Value::Number(1.0))]);
+        let text = to_string_pretty(&value).unwrap();
+        // BTreeMap keys sort, so "a" precedes "b" regardless of insert order.
+        assert_eq!(text, "{\n  \"a\": 1.0,\n  \"b\": 2.0\n}\n");
+    }
+}

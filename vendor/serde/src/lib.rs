@@ -1,8 +1,229 @@
 //! Offline stub of the `serde` facade.
 //!
-//! Re-exports the no-op derive macros so `#[derive(serde::Serialize,
-//! serde::Deserialize)]` compiles unchanged. The real traits are declared too,
-//! in case future code wants `T: serde::Serialize` bounds, but the derives
-//! intentionally generate no impls while the workspace does not serialize.
+//! Two layers, matching how the workspace actually uses serde:
+//!
+//! * The **no-op derive macros** are re-exported so `#[derive(serde::Serialize,
+//!   serde::Deserialize)]` compiles unchanged on the many config/result types
+//!   that never cross a process boundary in this offline build.
+//! * A **real, minimal data model** for the types that *do* serialize (the
+//!   calibration profiles of `rmatc-core`): the [`Serialize`] / [`Deserialize`]
+//!   traits below convert to and from a self-describing [`Value`] tree, and the
+//!   [`json`] module renders/parses that tree as JSON text. Types opt in by
+//!   implementing the traits by hand — the derives intentionally stay no-ops so
+//!   the stub never has to parse arbitrary Rust item syntax.
+//!
+//! The data model is deliberately small: JSON's six shapes, with all numbers as
+//! `f64` (exact for integers up to 2^53 — every serialized field in this
+//! workspace is far below that). `f64` round-trips exactly: the writer emits
+//! Rust's shortest round-trip formatting and the parser rounds correctly, so
+//! `from_str(&to_string(&x)?) == x` for every finite value. Non-finite floats
+//! have no JSON representation and make [`json::to_string`] return an error.
+
+mod value;
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+/// Error produced by [`Deserialize::from_value`] and the [`json`] parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+
+    /// An error for a `field` that is missing or has the wrong shape.
+    pub fn field(field: &str, expected: &str) -> Self {
+        Self(format!("field `{field}`: expected {expected}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model (the stub's `Serialize`).
+///
+/// Lives in the type namespace; `#[derive(serde::Serialize)]` resolves to the
+/// no-op macro in the macro namespace, so deriving and hand-implementing can
+/// coexist on the same name, exactly as with the real crate.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model (the stub's `Deserialize`).
+pub trait Deserialize: Sized {
+    /// Reads `Self` back out of a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_serde_num {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(x) => Ok(*x as $t),
+                    _ => Err(Error::new(concat!("expected a number for ", stringify!($t)))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_serde_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::new("expected a boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::new("expected a string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::new("expected an array")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let Value::Array(items) = value else {
+            return Err(Error::new("expected an array"));
+        };
+        if items.len() != N {
+            return Err(Error::new(format!(
+                "expected an array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_values() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+    }
+
+    #[test]
+    fn containers_round_trip_through_values() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let a = [0.5f64, 1.5, 2.5];
+        assert_eq!(<[f64; 3]>::from_value(&a.to_value()).unwrap(), a);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&7u32.to_value()).unwrap(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn wrong_shapes_error() {
+        assert!(u64::from_value(&Value::Null).is_err());
+        assert!(<[f64; 3]>::from_value(&vec![1.0f64].to_value()).is_err());
+        assert!(String::from_value(&Value::Bool(false)).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! The self-describing value tree the stub's (de)serialization goes through.
+
+use std::collections::BTreeMap;
+
+/// A JSON-shaped value: the six shapes of the format, with all numbers as
+/// `f64` (exact for integers up to 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// A string-keyed map (sorted, so output is deterministic).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Member lookup; `None` unless `self` is an object holding `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if `self` is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if `self` is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if `self` is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
