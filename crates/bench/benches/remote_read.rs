@@ -79,16 +79,18 @@ fn bench_remote_read(c: &mut Criterion) {
         let mut total = 0;
         for e in &edges {
             let adj_u = part.neighbours_of_local(e.u_local);
-            total += reader.count_closing_remote(
-                ep,
-                1,
-                e.v_local,
-                pg.direction,
-                adj_u,
-                e.v,
-                e.k,
-                &intersector,
-            );
+            total += reader
+                .count_closing_remote(
+                    ep,
+                    1,
+                    e.v_local,
+                    pg.direction,
+                    adj_u,
+                    e.v,
+                    e.k,
+                    &intersector,
+                )
+                .expect("no faults injected");
         }
         total
     };
@@ -133,6 +135,18 @@ fn bench_remote_read(c: &mut Criterion) {
     group.bench_function("non_cached", |b| {
         let mut reader = make_reader(None);
         let mut ep = Endpoint::new(0, 2, config.network);
+        ep.lock_all();
+        b.iter(|| run(&mut reader, &mut ep))
+    });
+
+    // The self-healing path with injection disabled: an explicit retry policy
+    // but no `FaultInjector`, so no checksums are computed and no fault is
+    // ever rolled. Guards the robustness layer's promise that the fault-off
+    // read path costs nothing over `non_cached`.
+    group.bench_function("faulty_path_off", |b| {
+        let mut reader = make_reader(None);
+        let mut ep =
+            Endpoint::new(0, 2, config.network).with_retry(rmatc_rma::RetryPolicy::default());
         ep.lock_all();
         b.iter(|| run(&mut reader, &mut ep))
     });

@@ -31,6 +31,10 @@ const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 ///   percent.
 /// * `remote_read/cached_cold` — eviction-heavy loop, sensitive to physical
 ///   page layout run-to-run.
+/// * `remote_read/non_cached` / `remote_read/faulty_path_off` — per-edge
+///   transfer loop on the same read path; measured same-code run-to-run
+///   swing on the single-core container is 20-30% (an A/B against the
+///   pre-robustness tree under matched load showed the code itself neutral).
 /// * `intersect/parallel/` — multi-threaded section; CI runners share cores,
 ///   so thread wake latency dominates small-sample medians.
 /// * `intersect/costmodel/hybrid_calibrated` — re-fits its profile from live
@@ -40,6 +44,8 @@ const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 const PER_BENCH_THRESHOLD_PCT: &[(&str, f64)] = &[
     ("remote_read/cached_hit", 40.0),
     ("remote_read/cached_cold", 25.0),
+    ("remote_read/non_cached", 25.0),
+    ("remote_read/faulty_path_off", 25.0),
     ("intersect/parallel/", 25.0),
     ("intersect/costmodel/hybrid_calibrated", 60.0),
 ];

@@ -117,6 +117,13 @@ impl<T: Clone> Clampi<T> {
     /// miss the caller is expected to perform the real RMA get and then call
     /// [`Clampi::insert`].
     pub fn lookup(&mut self, key: EntryKey) -> Option<Arc<[T]>> {
+        self.lookup_entry(key).map(|(data, _checksum)| data)
+    }
+
+    /// Like [`Clampi::lookup`], but also returns the integrity stamp recorded
+    /// at insert time (if any) so the caller can verify the data before
+    /// serving it — the hook of the self-healing cached read path.
+    pub fn lookup_entry(&mut self, key: EntryKey) -> Option<(Arc<[T]>, Option<u64>)> {
         self.clock += 1;
         self.adaptive.record_access();
         let clock = self.clock;
@@ -126,12 +133,12 @@ impl<T: Clone> Clampi<T> {
             if let Some(entry) = &mut self.slots[slot] {
                 if entry.key == key {
                     entry.last_access = clock;
-                    hit = Some(Arc::clone(&entry.data));
+                    hit = Some((Arc::clone(&entry.data), entry.checksum));
                     break;
                 }
             }
         }
-        if let Some(data) = &hit {
+        if let Some((data, _)) = &hit {
             self.stats.hits += 1;
             self.stats.bytes_from_cache += (data.len() * std::mem::size_of::<T>()) as u64;
         } else {
@@ -155,6 +162,20 @@ impl<T: Clone> Clampi<T> {
         key: EntryKey,
         data: impl Into<Arc<[T]>>,
         user_score: f64,
+    ) -> CacheInsertOutcome {
+        self.insert_with_checksum(key, data, user_score, None)
+    }
+
+    /// Like [`Clampi::insert`], additionally recording an integrity stamp the
+    /// caller computed over the clean transfer; later hits hand it back via
+    /// [`Clampi::lookup_entry`] for verification. `None` (the fault-free path)
+    /// disables verification for this entry.
+    pub fn insert_with_checksum(
+        &mut self,
+        key: EntryKey,
+        data: impl Into<Arc<[T]>>,
+        user_score: f64,
+        checksum: Option<u64>,
     ) -> CacheInsertOutcome {
         let data: Arc<[T]> = data.into();
         let bytes = data.len() * std::mem::size_of::<T>();
@@ -180,6 +201,7 @@ impl<T: Clone> Clampi<T> {
                     resident.data = data;
                     resident.last_access = self.clock;
                     resident.user_score = user_score;
+                    resident.checksum = checksum;
                     return CacheInsertOutcome::Inserted;
                 }
                 None if slot.is_none() => slot = Some(s),
@@ -247,6 +269,7 @@ impl<T: Clone> Clampi<T> {
             last_access: self.clock,
             user_score,
             slot,
+            checksum,
         });
         self.occupied += 1;
         self.occupied_bytes += bytes;
@@ -255,6 +278,22 @@ impl<T: Clone> Clampi<T> {
         } else {
             CacheInsertOutcome::InsertedAfterEvicting(evicted)
         }
+    }
+
+    /// Removes the entry for `key`, if resident, counting an invalidation.
+    /// Used by the self-healing read path when a hit fails checksum
+    /// verification: the rotten entry is dropped so the next read refetches.
+    /// Returns whether an entry was removed.
+    pub fn invalidate(&mut self, key: EntryKey) -> bool {
+        let (probes, ways) = self.probe_slots(&key);
+        for &slot in &probes[..ways] {
+            if self.slots[slot].as_ref().is_some_and(|e| e.key == key) {
+                self.evict_slot(slot);
+                self.stats.invalidations += 1;
+                return true;
+            }
+        }
+        false
     }
 
     /// Removes every entry (the cache flush CLaMPI performs at epoch closures in
@@ -375,6 +414,27 @@ impl<T: Clone> Clampi<T> {
             }
             None => {}
         }
+    }
+
+    /// Fault injection: replaces the resident entry's data for `key` with a
+    /// byte-flipped copy (the stamp recorded at insert time is left alone, so
+    /// verification will catch the rot). The shared buffer handed out to
+    /// earlier readers is never mutated — corruption builds a fresh `Arc`.
+    /// Returns whether a non-empty entry was corrupted.
+    pub fn corrupt_entry(&mut self, key: EntryKey, salt: u64) -> bool
+    where
+        T: Copy,
+    {
+        let (probes, ways) = self.probe_slots(&key);
+        for &slot in &probes[..ways] {
+            if let Some(entry) = &mut self.slots[slot] {
+                if entry.key == key && !entry.data.is_empty() {
+                    entry.data = rmatc_rma::fault::corrupt_copy(&entry.data, salt);
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// xorshift64* — deterministic, cheap, good enough for victim sampling.
@@ -623,6 +683,50 @@ mod tests {
         let _ = c.lookup(key(0, 4));
         assert_eq!(c.stats().bytes_from_network, 16);
         assert_eq!(c.stats().bytes_from_cache, 16);
+    }
+
+    #[test]
+    fn checksummed_inserts_roundtrip_their_stamp() {
+        let mut c = cache(1024, 16);
+        c.insert_with_checksum(key(0, 2), vec![1, 2], 0.0, Some(0xfeed));
+        c.insert(key(2, 2), vec![3, 4], 0.0);
+        assert_eq!(
+            c.lookup_entry(key(0, 2)),
+            Some((Arc::from(vec![1u32, 2]), Some(0xfeed)))
+        );
+        assert_eq!(
+            c.lookup_entry(key(2, 2)),
+            Some((Arc::from(vec![3u32, 4]), None))
+        );
+        assert!(c.lookup_entry(key(4, 2)).is_none());
+    }
+
+    #[test]
+    fn invalidate_removes_the_entry_and_counts() {
+        let mut c = cache(1024, 16);
+        c.insert(key(0, 2), vec![1, 2], 0.0);
+        assert!(c.invalidate(key(0, 2)));
+        assert!(!c.invalidate(key(0, 2)), "already gone");
+        assert!(c.is_empty());
+        assert_eq!(c.occupied_bytes(), 0);
+        assert_eq!(c.stats().invalidations, 1);
+        assert!(c.lookup(key(0, 2)).is_none());
+    }
+
+    #[test]
+    fn corrupt_entry_replaces_data_without_mutating_shared_buffers() {
+        let mut c = cache(1024, 16);
+        let stamp = rmatc_rma::fault::checksum(&[1u32, 2]);
+        c.insert_with_checksum(key(0, 2), vec![1, 2], 0.0, Some(stamp));
+        let before = c.lookup(key(0, 2)).expect("resident");
+        assert!(c.corrupt_entry(key(0, 2), 99));
+        let (after, checksum) = c.lookup_entry(key(0, 2)).expect("still resident");
+        assert!(!Arc::ptr_eq(&before, &after), "corruption must not alias");
+        assert_eq!(&*before, &[1, 2], "handed-out buffers stay clean");
+        assert_ne!(&*after, &[1, 2]);
+        assert_eq!(checksum, Some(stamp), "the stamp stays, exposing the rot");
+        assert_ne!(rmatc_rma::fault::checksum(&after), stamp);
+        assert!(!c.corrupt_entry(key(50, 2), 1), "absent keys are a no-op");
     }
 
     #[test]

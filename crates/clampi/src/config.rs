@@ -79,6 +79,11 @@ pub struct ClampiConfig {
     pub user_weight: f64,
     /// Adaptive tuning; `None` disables it.
     pub adaptive: Option<AdaptiveConfig>,
+    /// Number of checksum-failed (corrupted) entries after which the cache is
+    /// quarantined: it stops serving and storing entries, and every read falls
+    /// back to the plain RMA path — the paper's non-cached baseline — instead
+    /// of risking wrong answers. Only reachable under fault injection.
+    pub quarantine_threshold: u32,
 }
 
 impl ClampiConfig {
@@ -93,7 +98,14 @@ impl ClampiConfig {
             positional_weight: 0.5,
             user_weight: 2.0,
             adaptive: None,
+            quarantine_threshold: 3,
         }
+    }
+
+    /// Sets the corruption count at which the cache quarantines itself.
+    pub fn with_quarantine_threshold(mut self, threshold: u32) -> Self {
+        self.quarantine_threshold = threshold.max(1);
+        self
     }
 
     /// Switches victim selection to application-defined scores (degree centrality in

@@ -67,6 +67,10 @@ pub struct Entry<T> {
     pub user_score: f64,
     /// Hash-table slot occupied by this entry.
     pub slot: usize,
+    /// Integrity stamp of the transfer this entry retains, computed at the
+    /// source window when fault injection is enabled; `None` on fault-free
+    /// runs (verification is skipped entirely).
+    pub checksum: Option<u64>,
 }
 
 #[cfg(test)]

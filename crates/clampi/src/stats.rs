@@ -28,6 +28,8 @@ pub struct CacheStats {
     pub table_resizes: u64,
     /// Number of adaptive resizes of the memory buffer.
     pub capacity_resizes: u64,
+    /// Entries removed because their data failed checksum verification.
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -82,6 +84,7 @@ impl CacheStats {
         self.flushes += other.flushes;
         self.table_resizes += other.table_resizes;
         self.capacity_resizes += other.capacity_resizes;
+        self.invalidations += other.invalidations;
     }
 }
 

@@ -58,7 +58,10 @@ proptest! {
         ep.lock_all();
         for (i, (offset, len)) in accesses.into_iter().enumerate() {
             let offset = offset.min(128 - len.min(128));
-            let got = cached.get_scored(&mut ep, 1, offset, len, len as f64).to_vec();
+            let got = cached
+                .get_scored(&mut ep, 1, offset, len, len as f64)
+                .expect("no faults injected")
+                .to_vec();
             let expected: Vec<u32> = (offset..offset + len).map(|x| x as u32 * 7).collect();
             prop_assert_eq!(got, expected, "access {}", i);
             if i % 17 == 0 {
@@ -85,7 +88,7 @@ proptest! {
         let mut ep = Endpoint::new(0, 2, NetworkModel::zero());
         ep.lock_all();
         for offset in accesses {
-            let got = cached.get(&mut ep, 1, offset, 1);
+            let got = cached.get(&mut ep, 1, offset, 1).expect("no faults injected");
             prop_assert_eq!(got[0], offset as u32);
         }
         ep.unlock_all();

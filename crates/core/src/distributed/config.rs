@@ -4,7 +4,7 @@
 use crate::intersect::{CostModel, IntersectMethod};
 use rmatc_clampi::ClampiConfig;
 use rmatc_graph::partition::PartitionScheme;
-use rmatc_rma::NetworkModel;
+use rmatc_rma::{FaultPlan, NetworkModel, RetryPolicy};
 
 /// Which eviction score the adjacency cache uses (Figure 8's comparison).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -153,6 +153,13 @@ pub struct DistConfig {
     pub cache: Option<CacheSpec>,
     /// Eviction score mode for the adjacency cache.
     pub score_mode: ScoreMode,
+    /// Retry policy of the self-healing remote-read path: attempt budget,
+    /// exponential backoff and completion timeout, all charged through the
+    /// cost accounting.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection; `None` (the default) runs the reliable
+    /// network with zero overhead (no checksums computed).
+    pub faults: Option<FaultPlan>,
 }
 
 impl DistConfig {
@@ -167,6 +174,8 @@ impl DistConfig {
             double_buffering: true,
             cache: None,
             score_mode: ScoreMode::Lru,
+            retry: RetryPolicy::default(),
+            faults: None,
         }
     }
 
@@ -188,6 +197,21 @@ impl DistConfig {
     /// resolution on every rank.
     pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
         self.cost_model = cost_model;
+        self
+    }
+
+    /// Same configuration with a different retry policy for the self-healing
+    /// read path.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables deterministic fault injection per `plan` (chaos testing). Use
+    /// [`crate::DistLcc::try_run`] to observe unrecoverable plans as errors
+    /// instead of panics.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -255,5 +279,11 @@ mod tests {
         assert_eq!(c.score_mode, ScoreMode::DegreeCentrality);
         let nc = DistConfig::non_cached(4);
         assert!(nc.cache.is_none());
+        assert!(nc.faults.is_none(), "faults are opt-in");
+        let faulted = nc
+            .with_faults(FaultPlan::light(9))
+            .with_retry(RetryPolicy::no_retries());
+        assert_eq!(faulted.faults, Some(FaultPlan::light(9)));
+        assert_eq!(faulted.retry.max_attempts, 1);
     }
 }

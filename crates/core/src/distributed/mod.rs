@@ -58,7 +58,7 @@ pub use windows::GraphWindows;
 
 use rmatc_graph::partition::PartitionedGraph;
 use rmatc_graph::CsrGraph;
-use rmatc_rma::run_ranks;
+use rmatc_rma::{run_ranks, RmaError};
 
 /// Distributed LCC/TC runner.
 #[derive(Debug, Clone)]
@@ -79,21 +79,46 @@ impl DistLcc {
 
     /// Partitions `g`, runs the asynchronous distributed computation and assembles
     /// the global result.
+    ///
+    /// Panics if a rank exhausts its retry budget — only reachable under an
+    /// unrecoverable [`rmatc_rma::FaultPlan`]; use [`DistLcc::try_run`] to
+    /// observe that as an error instead.
     pub fn run(&self, g: &CsrGraph) -> DistResult {
-        let pg = PartitionedGraph::from_global(g, self.config.scheme, self.config.ranks)
-            .expect("invalid rank count for this graph");
-        self.run_partitioned(&pg)
+        self.try_run(g)
+            .expect("a rank exhausted its remote-read retry budget")
     }
 
     /// Runs on an already partitioned graph (setup/distribution time is excluded
-    /// from all measurements, as in the paper).
+    /// from all measurements, as in the paper). Panics like [`DistLcc::run`]
+    /// when a rank exhausts its retry budget.
     pub fn run_partitioned(&self, pg: &PartitionedGraph) -> DistResult {
+        self.try_run_partitioned(pg)
+            .expect("a rank exhausted its remote-read retry budget")
+    }
+
+    /// Fallible variant of [`DistLcc::run`]: under fault injection, a rank
+    /// that exhausts its retry budget surfaces the first failure as
+    /// [`RmaError`] (typically [`RmaError::RetriesExhausted`]) instead of
+    /// panicking. Fault-free runs never error.
+    pub fn try_run(&self, g: &CsrGraph) -> Result<DistResult, RmaError> {
+        let pg = PartitionedGraph::from_global(g, self.config.scheme, self.config.ranks)
+            .expect("invalid rank count for this graph");
+        self.try_run_partitioned(&pg)
+    }
+
+    /// Fallible variant of [`DistLcc::run_partitioned`] (see
+    /// [`DistLcc::try_run`]).
+    pub fn try_run_partitioned(&self, pg: &PartitionedGraph) -> Result<DistResult, RmaError> {
         let windows = GraphWindows::build(pg);
         let cfg = &self.config;
         let outputs = run_ranks(cfg.ranks, |rank| {
             worker::run_worker(rank, pg, &windows, cfg)
-        });
-        report::assemble(pg, cfg, outputs)
+        })
+        .into_iter()
+        // Lowest failing rank wins: rank order, not completion order, keeps
+        // the surfaced error deterministic.
+        .collect::<Result<Vec<_>, _>>()?;
+        Ok(report::assemble(pg, cfg, outputs))
     }
 }
 
@@ -121,6 +146,8 @@ mod tests {
             double_buffering: true,
             cache: None,
             score_mode: ScoreMode::Lru,
+            retry: rmatc_rma::RetryPolicy::default(),
+            faults: None,
         }
     }
 
@@ -231,6 +258,38 @@ mod tests {
         }
         assert!(result.max_rank_time_ns() >= result.ranks[0].timing.total_ns() - 1e-9);
         assert!(result.remote_edge_fraction > 0.0);
+    }
+
+    #[test]
+    fn recoverable_faults_leave_results_bit_identical() {
+        let g = small_graph();
+        let clean = DistLcc::new(base_config(4)).run(&g);
+        let mut cfg = base_config(4);
+        cfg.faults = Some(rmatc_rma::FaultPlan::light(42));
+        cfg.retry = rmatc_rma::RetryPolicy {
+            max_attempts: 16,
+            ..Default::default()
+        };
+        let faulted = DistLcc::new(cfg)
+            .try_run(&g)
+            .expect("light faults are recoverable");
+        assert_eq!(faulted.triangle_count, clean.triangle_count);
+        assert_eq!(faulted.per_vertex_triangles, clean.per_vertex_triangles);
+        assert!(
+            faulted.total_fault_events() > 0,
+            "the light plan must actually inject faults"
+        );
+        assert_eq!(clean.total_fault_events(), 0);
+    }
+
+    #[test]
+    fn unrecoverable_plans_surface_a_clean_error() {
+        let g = small_graph();
+        let mut cfg = base_config(2);
+        cfg.faults = Some(rmatc_rma::FaultPlan::unrecoverable(7));
+        cfg.retry = rmatc_rma::RetryPolicy::no_retries();
+        let err = DistLcc::new(cfg).try_run(&g).unwrap_err();
+        assert!(matches!(err, rmatc_rma::RmaError::RetriesExhausted { .. }));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::intersect::{fused, IntersectMethod, ParallelIntersector};
 use crate::local::count_closing_at;
 use rmatc_clampi::{CacheStats, CachedWindow, RowRef};
 use rmatc_graph::types::{Direction, VertexId};
-use rmatc_rma::Endpoint;
+use rmatc_rma::{Endpoint, RmaError};
 use std::sync::Arc;
 
 /// Per-rank reader of remote adjacency lists.
@@ -58,20 +58,24 @@ impl RemoteReader {
 
     /// First get of the protocol: the `(start, end)` offsets pair of the row of
     /// `local_idx` on `target` (cache-intercepted when `C_offsets` is enabled).
+    /// Every path is self-healing: transient failures and corrupted transfers
+    /// retry per the endpoint's [`rmatc_rma::RetryPolicy`].
     fn read_offsets(
         &mut self,
         ep: &mut Endpoint,
         target: usize,
         local_idx: usize,
-    ) -> (usize, usize) {
+    ) -> Result<(usize, usize), RmaError> {
         let row = match &mut self.offsets_cache {
-            Some(cache) => cache.get(ep, target, local_idx, 2),
+            Some(cache) => cache.get(ep, target, local_idx, 2)?,
             None if target == ep.rank() => {
                 RowRef::Window(ep.local_read(&self.offsets_plain, local_idx, 2))
             }
-            None => RowRef::Fetched(ep.get(&self.offsets_plain, target, local_idx, 2).wait(ep)),
+            None => {
+                RowRef::Fetched(ep.get_with_retry(&self.offsets_plain, target, local_idx, 2)?)
+            }
         };
-        (row[0] as usize, row[1] as usize)
+        Ok((row[0] as usize, row[1] as usize))
     }
 
     /// The application-defined eviction score of an adjacency row of `len`
@@ -94,19 +98,24 @@ impl RemoteReader {
         ep: &mut Endpoint,
         target: usize,
         local_idx: usize,
-    ) -> RowRef<'_, VertexId> {
-        let (start, end) = self.read_offsets(ep, target, local_idx);
+    ) -> Result<RowRef<'_, VertexId>, RmaError> {
+        let (start, end) = self.read_offsets(ep, target, local_idx)?;
         let len = end - start;
         if len == 0 {
-            return RowRef::Window(&[]);
+            return Ok(RowRef::Window(&[]));
         }
         let score = self.score_for(len);
         match &mut self.adj_cache {
             Some(cache) => cache.get_scored(ep, target, start, len, score),
             None if target == ep.rank() => {
-                RowRef::Window(ep.local_read(&self.adj_plain, start, len))
+                Ok(RowRef::Window(ep.local_read(&self.adj_plain, start, len)))
             }
-            None => RowRef::Fetched(ep.get(&self.adj_plain, target, start, len).wait(ep)),
+            None => Ok(RowRef::Fetched(ep.get_with_retry(
+                &self.adj_plain,
+                target,
+                start,
+                len,
+            )?)),
         }
     }
 
@@ -135,11 +144,11 @@ impl RemoteReader {
         v: VertexId,
         neighbour_idx: usize,
         intersector: &ParallelIntersector,
-    ) -> u64 {
-        let (start, end) = self.read_offsets(ep, target, local_idx);
+    ) -> Result<u64, RmaError> {
+        let (start, end) = self.read_offsets(ep, target, local_idx)?;
         let len = end - start;
         if len == 0 {
-            return 0;
+            return Ok(0);
         }
         let score = self.score_for(len);
         match &mut self.adj_cache {
@@ -154,14 +163,21 @@ impl RemoteReader {
             ),
             None if target == ep.rank() => {
                 let row = ep.local_read(&self.adj_plain, start, len);
-                count_closing_at(direction, adj_u, row, v, neighbour_idx, intersector)
+                Ok(count_closing_at(
+                    direction,
+                    adj_u,
+                    row,
+                    v,
+                    neighbour_idx,
+                    intersector,
+                ))
             }
             None => {
-                let (pending, count) = ep.get_map(&self.adj_plain, target, start, len, |src| {
-                    transfer_count_closing(direction, adj_u, v, neighbour_idx, intersector, src)
-                });
-                pending.wait(ep);
-                count
+                let (_data, count) =
+                    ep.get_map_with_retry(&self.adj_plain, target, start, len, |src| {
+                        transfer_count_closing(direction, adj_u, v, neighbour_idx, intersector, src)
+                    })?;
+                Ok(count)
             }
         }
     }
@@ -228,6 +244,8 @@ mod tests {
             double_buffering: false,
             cache: None,
             score_mode: ScoreMode::DegreeCentrality,
+            retry: rmatc_rma::RetryPolicy::default(),
+            faults: None,
         };
         (pg, windows, config)
     }
@@ -240,7 +258,7 @@ mod tests {
         ep.lock_all();
         let remote = &pg.partitions[1];
         for (local_idx, _) in remote.global_ids.iter().enumerate().take(20) {
-            let got = reader.read_adjacency(&mut ep, 1, local_idx);
+            let got = reader.read_adjacency(&mut ep, 1, local_idx).unwrap();
             assert_eq!(got.as_slice(), remote.neighbours_of_local(local_idx));
         }
         ep.unlock_all();
@@ -259,7 +277,7 @@ mod tests {
         let remote = &pg.partitions[1];
         for round in 0..2 {
             for (local_idx, _) in remote.global_ids.iter().enumerate().take(10) {
-                let got = reader.read_adjacency(&mut ep, 1, local_idx);
+                let got = reader.read_adjacency(&mut ep, 1, local_idx).unwrap();
                 assert_eq!(
                     got.as_slice(),
                     remote.neighbours_of_local(local_idx),
@@ -296,7 +314,7 @@ mod tests {
         ep.lock_all();
         // Vertex 6 lives on rank 1 (block [4..8)) and has no neighbours.
         let local_idx = pg.partitioner.local_index(6);
-        let got = reader.read_adjacency(&mut ep, 1, local_idx);
+        let got = reader.read_adjacency(&mut ep, 1, local_idx).unwrap();
         assert!(got.is_empty());
         assert_eq!(ep.stats().gets, 1);
         ep.unlock_all();
@@ -331,17 +349,22 @@ mod tests {
                             continue;
                         }
                         let v_local = pg.partitioner.local_index(v);
-                        let got = fused_reader.count_closing_remote(
-                            &mut ep_a,
-                            1,
-                            v_local,
-                            pg.direction,
-                            adj_u,
-                            v,
-                            k,
-                            &intersector,
-                        );
-                        let row = plain_reader.read_adjacency(&mut ep_b, 1, v_local).to_vec();
+                        let got = fused_reader
+                            .count_closing_remote(
+                                &mut ep_a,
+                                1,
+                                v_local,
+                                pg.direction,
+                                adj_u,
+                                v,
+                                k,
+                                &intersector,
+                            )
+                            .unwrap();
+                        let row = plain_reader
+                            .read_adjacency(&mut ep_b, 1, v_local)
+                            .unwrap()
+                            .to_vec();
                         let expected =
                             count_closing_at(pg.direction, adj_u, &row, v, k, &intersector);
                         assert_eq!(got, expected, "cached={cached} u_local={local_idx} v={v}");

@@ -116,6 +116,14 @@ impl DistResult {
         self.ranks.iter().map(|r| r.rma.bytes).sum()
     }
 
+    /// Total injected-fault events observed across ranks (retries, transient
+    /// failures, timeouts, checksum failures, delays, cache invalidations/
+    /// rejections/bypasses). Zero on fault-free runs — the chaos suite uses
+    /// this to prove counters fire exactly when faults are injected.
+    pub fn total_fault_events(&self) -> u64 {
+        self.ranks.iter().map(|r| r.rma.fault_events()).sum()
+    }
+
     /// Total cache hits (both caches, all ranks).
     pub fn cache_hits(&self) -> u64 {
         self.ranks

@@ -9,7 +9,7 @@ use crate::intersect::ParallelIntersector;
 use crate::local::count_closing_at;
 use rmatc_clampi::CacheStats;
 use rmatc_graph::partition::PartitionedGraph;
-use rmatc_rma::{Endpoint, RankStats, ThreadTimer};
+use rmatc_rma::{Endpoint, RankStats, RmaError, ThreadTimer};
 
 /// Everything a rank produces: its local triangle counts plus the statistics the
 /// evaluation aggregates.
@@ -35,12 +35,17 @@ pub struct WorkerOutput {
 }
 
 /// Runs one rank of the asynchronous distributed LCC computation.
+///
+/// Remote reads go through the self-healing path: transient failures,
+/// corrupted transfers and stragglers past the timeout retry up to
+/// [`DistConfig::retry`]'s budget. `Err` means the budget was exhausted —
+/// only reachable under an unrecoverable fault plan.
 pub fn run_worker(
     rank: usize,
     pg: &PartitionedGraph,
     windows: &GraphWindows,
     config: &DistConfig,
-) -> WorkerOutput {
+) -> Result<WorkerOutput, RmaError> {
     let part = &pg.partitions[rank];
     let n_global = pg.global_vertex_count();
     let caches = match &config.cache {
@@ -51,7 +56,10 @@ pub fn run_worker(
         },
     };
     let mut reader = RemoteReader::new(windows, &caches, config);
-    let mut ep = Endpoint::new(rank, config.ranks, config.network);
+    let mut ep = Endpoint::new(rank, config.ranks, config.network).with_retry(config.retry);
+    if let Some(plan) = config.faults {
+        ep = ep.with_faults(plan.injector(rank));
+    }
     // The intersection inside one rank is sequential: the paper's shared-memory
     // parallelism is a separate axis (Figure 6) from the distributed one, and the
     // distributed experiments map one MPI task per core.
@@ -88,7 +96,7 @@ pub fn run_worker(
                 // it lives (cache entry on a hit) or in the same pass that
                 // lands it in the cache (miss) — no per-edge buffer is built.
                 let compute_start = timer.elapsed_ns();
-                let c = reader.count_closing_remote(
+                let c = match reader.count_closing_remote(
                     &mut ep,
                     owner,
                     v_local,
@@ -97,7 +105,15 @@ pub fn run_worker(
                     v,
                     k,
                     &intersector,
-                );
+                ) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        // Close the epoch before surfacing the error so the
+                        // endpoint is left in a consistent state.
+                        ep.unlock_all();
+                        return Err(e);
+                    }
+                };
                 if config.double_buffering {
                     // Double buffering: the computation of this edge overlaps the
                     // communication of the next one, so bank its duration as overlap
@@ -118,7 +134,7 @@ pub fn run_worker(
     let compute_ns = timer.elapsed_ns();
     ep.unlock_all();
 
-    WorkerOutput {
+    Ok(WorkerOutput {
         rank,
         local_triangles,
         offsets_cache: reader.offsets_cache_stats(),
@@ -127,7 +143,7 @@ pub fn run_worker(
         compute_ns,
         edges_processed,
         remote_edges,
-    }
+    })
 }
 
 fn triangles_for_edge(
@@ -164,6 +180,8 @@ mod tests {
             double_buffering: false,
             cache: None,
             score_mode: ScoreMode::Lru,
+            retry: rmatc_rma::RetryPolicy::default(),
+            faults: None,
         };
         (pg, windows, config)
     }
@@ -174,7 +192,7 @@ mod tests {
         let g = pg.reassemble();
         let expected = reference::per_vertex_triangles(&g);
         for rank in 0..2 {
-            let out = run_worker(rank, &pg, &windows, &config);
+            let out = run_worker(rank, &pg, &windows, &config).unwrap();
             for (local_idx, &gv) in pg.partitions[rank].global_ids.iter().enumerate() {
                 assert_eq!(
                     out.local_triangles[local_idx], expected[gv as usize],
@@ -187,7 +205,7 @@ mod tests {
     #[test]
     fn remote_edges_are_counted() {
         let (pg, windows, config) = setup(4);
-        let out = run_worker(0, &pg, &windows, &config);
+        let out = run_worker(0, &pg, &windows, &config).unwrap();
         assert!(out.remote_edges > 0);
         assert!(out.remote_edges <= out.edges_processed);
         // Non-cached: every remote edge issues exactly two gets (offsets + list),
@@ -201,7 +219,7 @@ mod tests {
         let (pg, windows, mut config) = setup(2);
         config.cache = Some(CacheSpec::paper(1 << 20));
         config.score_mode = ScoreMode::DegreeCentrality;
-        let out = run_worker(0, &pg, &windows, &config);
+        let out = run_worker(0, &pg, &windows, &config).unwrap();
         let adj = out.adjacency_cache.expect("adjacency cache enabled");
         assert!(adj.lookups() > 0);
         assert!(out.offsets_cache.is_some());
@@ -217,9 +235,9 @@ mod tests {
             local_read_ns: 10.0,
             injection_scale: 0.0,
         };
-        let without = run_worker(0, &pg, &windows, &config);
+        let without = run_worker(0, &pg, &windows, &config).unwrap();
         config.double_buffering = true;
-        let with = run_worker(0, &pg, &windows, &config);
+        let with = run_worker(0, &pg, &windows, &config).unwrap();
         assert!(
             with.rma.comm_time_ns <= without.rma.comm_time_ns,
             "overlap credit must never increase charged communication time"

@@ -19,7 +19,7 @@ use crate::intersect::Intersector;
 use rmatc_graph::partition::PartitionedGraph;
 use rmatc_graph::types::VertexId;
 use rmatc_graph::CsrGraph;
-use rmatc_rma::{run_ranks, Endpoint, RankStats, ThreadTimer};
+use rmatc_rma::{run_ranks, Endpoint, RankStats, RmaError, ThreadTimer};
 
 /// Similarity score of one directed edge.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -94,14 +94,34 @@ impl DistJaccard {
     }
 
     /// Partitions `g` and computes the similarity of every directed edge.
+    ///
+    /// Panics if a rank exhausts its remote-read retry budget — only reachable
+    /// under an unrecoverable [`rmatc_rma::FaultPlan`]; use
+    /// [`DistJaccard::try_run`] to observe that as an error instead.
     pub fn run(&self, g: &CsrGraph) -> JaccardResult {
-        let pg = PartitionedGraph::from_global(g, self.config.scheme, self.config.ranks)
-            .expect("invalid rank count for this graph");
-        self.run_partitioned(&pg)
+        self.try_run(g)
+            .expect("a rank exhausted its remote-read retry budget")
     }
 
-    /// Runs on an already partitioned graph.
+    /// Runs on an already partitioned graph. Panics like [`DistJaccard::run`]
+    /// when a rank exhausts its retry budget.
     pub fn run_partitioned(&self, pg: &PartitionedGraph) -> JaccardResult {
+        self.try_run_partitioned(pg)
+            .expect("a rank exhausted its remote-read retry budget")
+    }
+
+    /// Fallible variant of [`DistJaccard::run`]: under fault injection, an
+    /// exhausted retry budget surfaces as [`RmaError`] instead of panicking.
+    /// Fault-free runs never error.
+    pub fn try_run(&self, g: &CsrGraph) -> Result<JaccardResult, RmaError> {
+        let pg = PartitionedGraph::from_global(g, self.config.scheme, self.config.ranks)
+            .expect("invalid rank count for this graph");
+        self.try_run_partitioned(&pg)
+    }
+
+    /// Fallible variant of [`DistJaccard::run_partitioned`] (see
+    /// [`DistJaccard::try_run`]).
+    pub fn try_run_partitioned(&self, pg: &PartitionedGraph) -> Result<JaccardResult, RmaError> {
         let windows = GraphWindows::build(pg);
         let cfg = &self.config;
         let caches = match &cfg.cache {
@@ -111,7 +131,9 @@ impl DistJaccard {
                 adjacencies: None,
             },
         };
-        let outputs = run_ranks(cfg.ranks, |rank| run_rank(rank, pg, &windows, cfg, &caches));
+        let outputs = run_ranks(cfg.ranks, |rank| run_rank(rank, pg, &windows, cfg, &caches))
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         let mut edges = Vec::new();
         let mut rank_stats = Vec::with_capacity(cfg.ranks);
         let mut compute_ns = Vec::with_capacity(cfg.ranks);
@@ -121,11 +143,11 @@ impl DistJaccard {
             compute_ns.push(out.compute_ns);
         }
         edges.sort_by_key(|e| (e.source, e.destination));
-        JaccardResult {
+        Ok(JaccardResult {
             edges,
             rank_stats,
             compute_ns,
-        }
+        })
     }
 }
 
@@ -141,10 +163,13 @@ fn run_rank(
     windows: &GraphWindows,
     cfg: &DistConfig,
     caches: &ResolvedCaches,
-) -> RankJaccard {
+) -> Result<RankJaccard, RmaError> {
     let part = &pg.partitions[rank];
     let mut reader = RemoteReader::new(windows, caches, cfg);
-    let mut ep = Endpoint::new(rank, cfg.ranks, cfg.network);
+    let mut ep = Endpoint::new(rank, cfg.ranks, cfg.network).with_retry(cfg.retry);
+    if let Some(plan) = cfg.faults {
+        ep = ep.with_faults(plan.injector(rank));
+    }
     let intersector = Intersector::new(cfg.method).with_cost_model(cfg.cost_model);
     let mut edges = Vec::new();
     ep.lock_all();
@@ -159,7 +184,15 @@ fn run_rank(
                 let adj_v = part.neighbours_of_local(v_local);
                 (intersector.count(adj_u, adj_v), adj_v.len())
             } else {
-                let adj_v = reader.read_adjacency(&mut ep, owner, v_local);
+                let adj_v = match reader.read_adjacency(&mut ep, owner, v_local) {
+                    Ok(row) => row,
+                    Err(e) => {
+                        // Close the epoch before surfacing the error so the
+                        // endpoint is left in a consistent state.
+                        ep.unlock_all();
+                        return Err(e);
+                    }
+                };
                 (intersector.count(adj_u, &adj_v), adj_v.len())
             };
             let union = adj_u.len() as u64 + degree_v as u64 - common;
@@ -178,11 +211,11 @@ fn run_rank(
     }
     let compute_ns = timer.elapsed_ns();
     ep.unlock_all();
-    RankJaccard {
+    Ok(RankJaccard {
         edges,
         stats: ep.into_stats(),
         compute_ns,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -266,6 +299,31 @@ mod tests {
         if let Some(best) = top.first() {
             assert!(best.jaccard >= mean);
         }
+    }
+
+    #[test]
+    fn faulted_runs_with_retries_match_fault_free_scores() {
+        let g = RmatGenerator::paper(8, 8).generate_cleaned(29).into_csr();
+        let clean = DistJaccard::new(DistConfig::non_cached(3)).run(&g);
+        let cfg = DistConfig::non_cached(3)
+            .with_faults(rmatc_rma::FaultPlan::light(11))
+            .with_retry(rmatc_rma::RetryPolicy {
+                max_attempts: 16,
+                ..Default::default()
+            });
+        let faulted = DistJaccard::new(cfg)
+            .try_run(&g)
+            .expect("light faults are recoverable");
+        assert_eq!(clean.edges, faulted.edges);
+        assert!(
+            faulted
+                .rank_stats
+                .iter()
+                .map(|s| s.fault_events())
+                .sum::<u64>()
+                > 0,
+            "the light plan must actually inject faults"
+        );
     }
 
     #[test]

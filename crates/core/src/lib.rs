@@ -46,3 +46,4 @@ pub use distributed::{
 pub use intersect::{CostModel, CostProfile, IntersectMethod, Intersector};
 pub use jaccard::{DistJaccard, JaccardResult};
 pub use local::{LocalConfig, LocalLcc, LocalParallelism, LocalResult, RangeSchedule};
+pub use rmatc_rma::{FaultPlan, RetryPolicy, RmaError};

@@ -111,7 +111,7 @@ mod tests {
             }
             acc
         });
-        let busy = handle.join().unwrap();
+        let busy = handle.join().expect("busy-loop helper thread panicked");
         std::hint::black_box(busy);
         // The spawned thread's work must not appear in this thread's CPU time; allow
         // a generous margin for the join bookkeeping itself.

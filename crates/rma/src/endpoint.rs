@@ -1,6 +1,20 @@
 //! Per-rank RMA access endpoint: epochs, one-sided gets, flush semantics and the
 //! overlap (double-buffering) credit used by the asynchronous algorithm.
+//!
+//! Since the robustness layer landed, remote reads are *fallible*: under an
+//! attached [`FaultInjector`] a get can fail at issue time, land a corrupted
+//! buffer (detected by the [`crate::fault::checksum`] stamped at the source
+//! window), or straggle past the [`RetryPolicy`] timeout. [`Endpoint::get`] /
+//! [`Endpoint::get_map`] therefore return `Result`, and the
+//! [`Endpoint::get_with_retry`] / [`Endpoint::get_map_with_retry`] wrappers
+//! implement the self-healing path: exponential backoff between attempts,
+//! every retry and backoff nanosecond charged through the same α+βs cost
+//! accounting as ordinary traffic. Epoch misuse remains a panic — that is a
+//! programming error, the moral equivalent of an `MPI_ERR_RMA_SYNC` abort.
+//! Without an injector the fault machinery is entirely skipped (no checksum
+//! is computed), so the fault-off hot path is unchanged.
 
+use crate::fault::{self, FaultInjector, RetryPolicy, RmaError};
 use crate::network::NetworkModel;
 use crate::stats::RankStats;
 use crate::window::Window;
@@ -20,22 +34,67 @@ pub struct PendingGet<T> {
     data: Arc<[T]>,
     cost_ns: f64,
     epoch: u64,
+    target: usize,
+    /// Checksum of the clean source region, stamped at issue time when fault
+    /// injection is enabled; verified against the landed buffer on completion.
+    expected_checksum: Option<u64>,
+    /// Injected straggler multiplier on the completion cost (≥ 1), if any.
+    delay_factor: Option<f64>,
 }
 
-impl<T> PendingGet<T> {
+impl<T: Copy> PendingGet<T> {
     /// Completes this get (an `MPI_Win_flush` scoped to the operation), charging its
     /// modeled cost to the endpoint, and returns the transferred data.
-    pub fn wait(self, ep: &mut Endpoint) -> Arc<[T]> {
+    ///
+    /// # Errors
+    ///
+    /// [`RmaError::Timeout`] if an injected straggler delay pushes the modeled
+    /// completion past the endpoint's [`RetryPolicy::timeout_ns`] (the full
+    /// timeout is charged as waited time), and [`RmaError::ChecksumMismatch`]
+    /// if the landed buffer fails verification against the source stamp (the
+    /// transfer cost is still charged — the bytes did cross the wire).
+    #[inline]
+    pub fn wait(self, ep: &mut Endpoint) -> Result<Arc<[T]>, RmaError> {
         assert_eq!(
             self.epoch, ep.epoch_counter,
             "PendingGet completed in a different access epoch than it was issued in"
         );
-        ep.charge(self.cost_ns);
+        // The base cost was added to `outstanding_ns` at issue time; completing
+        // the get individually removes it from the outstanding pool.
+        ep.outstanding_ns = (ep.outstanding_ns - self.cost_ns).max(0.0);
         ep.stats.flushes += 1;
-        ep.network.maybe_inject(self.cost_ns);
-        self.data
+        let factor = self.delay_factor.unwrap_or(1.0);
+        let total_ns = self.cost_ns * factor;
+        if self.cost_ns > 0.0 && factor > 1.0 {
+            if let Some(timeout_ns) = ep.retry.timeout_ns {
+                if total_ns > timeout_ns {
+                    // The caller waited out the whole timeout before giving up.
+                    ep.charge_raw(timeout_ns);
+                    ep.stats.timeouts += 1;
+                    return Err(RmaError::Timeout {
+                        target: self.target,
+                        waited_ns: total_ns,
+                        timeout_ns,
+                    });
+                }
+            }
+            ep.stats.delayed_gets += 1;
+        }
+        ep.charge_raw(total_ns);
+        ep.network.maybe_inject(total_ns);
+        if let Some(expected) = self.expected_checksum {
+            if fault::checksum(&self.data) != expected {
+                ep.stats.checksum_failures += 1;
+                return Err(RmaError::ChecksumMismatch {
+                    target: self.target,
+                });
+            }
+        }
+        Ok(self.data)
     }
+}
 
+impl<T> PendingGet<T> {
     /// The modeled cost of this get, in nanoseconds (available before completion so
     /// callers can reason about prefetch depth).
     pub fn cost_ns(&self) -> f64 {
@@ -68,11 +127,13 @@ pub struct Endpoint {
     epoch_counter: u64,
     overlap_credit_ns: f64,
     outstanding_ns: f64,
+    retry: RetryPolicy,
+    faults: Option<FaultInjector>,
 }
 
 impl Endpoint {
     /// Creates the endpoint of `rank` out of `ranks` total, using the given network
-    /// model.
+    /// model. No faults are injected and the default [`RetryPolicy`] applies.
     pub fn new(rank: usize, ranks: usize, network: NetworkModel) -> Self {
         Self {
             rank,
@@ -83,7 +144,23 @@ impl Endpoint {
             epoch_counter: 0,
             overlap_credit_ns: 0.0,
             outstanding_ns: 0.0,
+            retry: RetryPolicy::default(),
+            faults: None,
         }
+    }
+
+    /// Sets the retry policy governing backoff and completion timeouts.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Attaches a fault injector: remote gets become fallible and transfers are
+    /// checksummed. The injector should come from
+    /// [`crate::fault::FaultPlan::injector`] for this endpoint's rank.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// This endpoint's rank.
@@ -99,6 +176,16 @@ impl Endpoint {
     /// The network model in use.
     pub fn network(&self) -> &NetworkModel {
         &self.network
+    }
+
+    /// The retry policy in use.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Whether a fault injector is attached (and transfers are checksummed).
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// Starts a passive-target access epoch (`MPI_Win_lock_all`). Not a lock and not
@@ -130,16 +217,25 @@ impl Endpoint {
     /// handle must be completed with [`PendingGet::wait`] before the data is used.
     ///
     /// A get targeting the caller's own rank is still legal in MPI; it is counted as
-    /// a local read and charged the local access cost, not the network cost.
+    /// a local read and charged the local access cost, not the network cost. Local
+    /// gets never fault — only the network is unreliable.
+    ///
+    /// # Errors
+    ///
+    /// [`RmaError::Transient`] if the attached fault injector drops the message
+    /// at issue time; the failed attempt still pays the per-message setup
+    /// latency α. Infallible without an injector.
+    #[inline]
     pub fn get<T: Copy + Send + Sync>(
         &mut self,
         window: &Window<T>,
         target: usize,
         offset: usize,
         len: usize,
-    ) -> PendingGet<T> {
-        self.get_map(window, target, offset, len, |src| (Arc::from(src), ()))
-            .0
+    ) -> Result<PendingGet<T>, RmaError> {
+        Ok(self
+            .get_map(window, target, offset, len, |src| (Arc::from(src), ()))?
+            .0)
     }
 
     /// Issues a one-sided get whose data transfer is performed by `transfer`:
@@ -150,6 +246,16 @@ impl Endpoint {
     /// in the same pass that lands the remote row in the cache buffer —
     /// without giving callers unmetered access to remote memory. Cost
     /// accounting, epochs and statistics are identical to [`Endpoint::get`].
+    ///
+    /// Under fault injection a corrupted transfer runs `transfer` over the
+    /// corrupted bytes — the auxiliary result is poisoned along with the
+    /// buffer, exactly as a fused kernel reading a corrupted wire would be —
+    /// and the corruption is caught by [`PendingGet::wait`]'s checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`RmaError::Transient`] as for [`Endpoint::get`].
+    #[inline]
     pub fn get_map<T: Copy + Send + Sync, R>(
         &mut self,
         window: &Window<T>,
@@ -157,30 +263,120 @@ impl Endpoint {
         offset: usize,
         len: usize,
         transfer: impl FnOnce(&[T]) -> (Arc<[T]>, R),
-    ) -> (PendingGet<T>, R) {
+    ) -> Result<(PendingGet<T>, R), RmaError> {
         assert!(self.epoch_open, "RMA get issued outside an access epoch");
-        let (data, result) = transfer(window.exposed(target, offset, len));
+        let src = window.exposed(target, offset, len);
+        let remote = target != self.rank;
+        let mut expected_checksum = None;
+        let mut delay_factor = None;
+        let mut corruption = None;
+        if remote {
+            if let Some(inj) = self.faults.as_mut() {
+                if inj.get_failed() {
+                    // The message was dropped: the setup latency α was spent,
+                    // no bytes moved.
+                    self.stats.transient_failures += 1;
+                    self.stats.record_completion(self.network.alpha_ns, 0.0);
+                    return Err(RmaError::Transient { target });
+                }
+                expected_checksum = Some(fault::checksum(src));
+                corruption = inj.transfer_corruption();
+                delay_factor = inj.completion_delay();
+            }
+        }
+        let (data, result) = match corruption {
+            Some(salt) => {
+                let corrupted = fault::corrupt_copy(src, salt);
+                transfer(&corrupted)
+            }
+            None => transfer(src),
+        };
         // A hard check, not a debug assertion: a short or long landed buffer
         // would be cached under this get's key and served as wrong-length
         // "hits" forever after — silent corruption in release builds.
         assert_eq!(data.len(), len, "transfer must land the full region");
         let bytes = len * window.element_size();
-        let cost_ns = if target == self.rank {
-            self.stats.record_local(self.network.local_cost_ns(bytes));
-            0.0
-        } else {
+        let cost_ns = if remote {
             self.stats.record_get(target, bytes);
             self.network.remote_cost_ns(bytes)
+        } else {
+            self.stats.record_local(self.network.local_cost_ns(bytes));
+            0.0
         };
         self.outstanding_ns += cost_ns;
-        (
+        Ok((
             PendingGet {
                 data,
                 cost_ns,
                 epoch: self.epoch_counter,
+                target,
+                expected_checksum,
+                delay_factor,
             },
             result,
-        )
+        ))
+    }
+
+    /// A self-healing [`Endpoint::get`]: retries transient failures, timeouts
+    /// and checksum mismatches with exponential backoff per the endpoint's
+    /// [`RetryPolicy`], charging every attempt and every backoff through the
+    /// cost accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`RmaError::RetriesExhausted`] when every allowed attempt failed.
+    pub fn get_with_retry<T: Copy + Send + Sync>(
+        &mut self,
+        window: &Window<T>,
+        target: usize,
+        offset: usize,
+        len: usize,
+    ) -> Result<Arc<[T]>, RmaError> {
+        self.get_map_with_retry(window, target, offset, len, |src| (Arc::from(src), ()))
+            .map(|(data, ())| data)
+    }
+
+    /// A self-healing [`Endpoint::get_map`] (see [`Endpoint::get_with_retry`]).
+    /// `transfer` is `FnMut` because a corrupted or failed attempt discards its
+    /// auxiliary result and re-runs the transfer on retry — the returned value
+    /// is always computed from a verified-clean buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`RmaError::RetriesExhausted`] when every allowed attempt failed.
+    #[inline]
+    pub fn get_map_with_retry<T: Copy + Send + Sync, R>(
+        &mut self,
+        window: &Window<T>,
+        target: usize,
+        offset: usize,
+        len: usize,
+        mut transfer: impl FnMut(&[T]) -> (Arc<[T]>, R),
+    ) -> Result<(Arc<[T]>, R), RmaError> {
+        let attempts = self.retry.max_attempts.max(1);
+        let mut last: Option<RmaError> = None;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                // Exponential backoff before each retry: an idle stall, charged
+                // as communication time without consuming overlap credit.
+                let backoff = self.retry.backoff_ns(attempt - 1);
+                self.stats.retries += 1;
+                self.stats.backoff_ns += backoff;
+                self.stats.record_completion(backoff, 0.0);
+            }
+            match self
+                .get_map(window, target, offset, len, &mut transfer)
+                .and_then(|(pending, aux)| Ok((pending.wait(self)?, aux)))
+            {
+                Ok(out) => return Ok(out),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(RmaError::RetriesExhausted {
+            target,
+            attempts,
+            last: Box::new(last.expect("at least one attempt always runs")),
+        })
     }
 
     /// Reads the caller's own exposed region directly (no get, no charge beyond the
@@ -218,12 +414,36 @@ impl Endpoint {
         self.stats.record_local(self.network.local_cost_ns(bytes));
     }
 
-    /// Charges the cost of one completed get, consuming overlap credit first.
-    fn charge(&mut self, cost_ns: f64) {
-        // The cost was added to `outstanding_ns` when the get was issued; completing
-        // it individually removes it from the outstanding pool.
-        self.outstanding_ns = (self.outstanding_ns - cost_ns).max(0.0);
-        self.charge_raw(cost_ns);
+    /// Injector decision: does the cache refuse the next insert? Always `false`
+    /// without an attached injector.
+    pub fn fault_roll_cache_reject(&mut self) -> bool {
+        self.faults
+            .as_mut()
+            .is_some_and(FaultInjector::cache_reject)
+    }
+
+    /// Injector decision: does the entry served by the next cache lookup rot?
+    /// Returns the corruption salt if so; always `None` without an injector.
+    pub fn fault_roll_cache_corrupt(&mut self) -> Option<u64> {
+        self.faults
+            .as_mut()
+            .and_then(FaultInjector::cache_corruption)
+    }
+
+    /// Records a cache entry invalidated after failing checksum verification.
+    pub fn record_cache_invalidation(&mut self) {
+        self.stats.cache_invalidations += 1;
+    }
+
+    /// Records a cache insert refused by an injected rejection.
+    pub fn record_cache_rejection(&mut self) {
+        self.stats.cache_rejections += 1;
+    }
+
+    /// Records a read served by the plain two-get path because the cache was
+    /// quarantined.
+    pub fn record_cache_bypass_read(&mut self) {
+        self.stats.cache_bypass_reads += 1;
     }
 
     fn charge_raw(&mut self, cost_ns: f64) -> f64 {
@@ -249,6 +469,7 @@ impl Endpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     fn window2() -> Window<u32> {
         Window::from_parts(vec![vec![1, 2, 3, 4], vec![10, 20, 30, 40, 50]])
@@ -259,9 +480,9 @@ mod tests {
         let w = window2();
         let mut ep = Endpoint::new(0, 2, NetworkModel::aries());
         ep.lock_all();
-        let pending = ep.get(&w, 1, 1, 3);
+        let pending = ep.get(&w, 1, 1, 3).unwrap();
         assert_eq!(pending.len(), 3);
-        let data = pending.wait(&mut ep);
+        let data = pending.wait(&mut ep).unwrap();
         assert_eq!(&*data, &[20, 30, 40]);
         assert_eq!(ep.stats().gets, 1);
         assert_eq!(ep.stats().bytes, 12);
@@ -283,7 +504,7 @@ mod tests {
         let w = window2();
         let mut ep = Endpoint::new(0, 2, NetworkModel::aries());
         ep.lock_all();
-        let _pending = ep.get(&w, 1, 0, 1);
+        let _pending = ep.get(&w, 1, 0, 1).unwrap();
         ep.unlock_all();
     }
 
@@ -292,7 +513,7 @@ mod tests {
         let w = window2();
         let mut ep = Endpoint::new(1, 2, NetworkModel::aries());
         ep.lock_all();
-        let data = ep.get(&w, 1, 0, 2).wait(&mut ep);
+        let data = ep.get(&w, 1, 0, 2).unwrap().wait(&mut ep).unwrap();
         assert_eq!(&*data, &[10, 20]);
         assert_eq!(ep.stats().gets, 0);
         assert_eq!(ep.stats().local_reads, 1);
@@ -314,11 +535,13 @@ mod tests {
         let mut ep = Endpoint::new(0, 2, NetworkModel::aries());
         ep.lock_all();
         // A fused transfer: land the region and compute a sum in the same pass.
-        let (pending, sum) = ep.get_map(&w, 1, 1, 3, |src| {
-            (Arc::from(src), src.iter().copied().sum::<u32>())
-        });
+        let (pending, sum) = ep
+            .get_map(&w, 1, 1, 3, |src| {
+                (Arc::from(src), src.iter().copied().sum::<u32>())
+            })
+            .unwrap();
         assert_eq!(sum, 20 + 30 + 40);
-        let data = pending.wait(&mut ep);
+        let data = pending.wait(&mut ep).unwrap();
         assert_eq!(&*data, &[20, 30, 40]);
         // Identical accounting to a plain get.
         assert_eq!(ep.stats().gets, 1);
@@ -333,10 +556,10 @@ mod tests {
         let cost = net.remote_cost_ns(4 * 4);
         let mut ep = Endpoint::new(0, 2, net);
         ep.lock_all();
-        let pending = ep.get(&w, 1, 0, 4);
+        let pending = ep.get(&w, 1, 0, 4).unwrap();
         // Pretend we computed longer than the get takes.
         ep.note_compute_ns(cost * 2.0);
-        let _ = pending.wait(&mut ep);
+        let _ = pending.wait(&mut ep).unwrap();
         assert_eq!(ep.stats().comm_time_ns, 0.0);
         assert!((ep.stats().overlapped_ns - cost).abs() < 1e-9);
         ep.unlock_all();
@@ -344,7 +567,7 @@ mod tests {
         // Without credit the same get is charged in full.
         let mut ep2 = Endpoint::new(0, 2, NetworkModel::aries());
         ep2.lock_all();
-        let _ = ep2.get(&w, 1, 0, 4).wait(&mut ep2);
+        let _ = ep2.get(&w, 1, 0, 4).unwrap().wait(&mut ep2).unwrap();
         assert!((ep2.stats().comm_time_ns - cost).abs() < 1e-9);
         ep2.unlock_all();
     }
@@ -356,9 +579,9 @@ mod tests {
         let cost = net.remote_cost_ns(4 * 4);
         let mut ep = Endpoint::new(0, 2, net);
         ep.lock_all();
-        let pending = ep.get(&w, 1, 0, 4);
+        let pending = ep.get(&w, 1, 0, 4).unwrap();
         ep.note_compute_ns(cost / 2.0);
-        let _ = pending.wait(&mut ep);
+        let _ = pending.wait(&mut ep).unwrap();
         assert!((ep.stats().comm_time_ns - cost / 2.0).abs() < 1e-6);
         ep.unlock_all();
     }
@@ -368,15 +591,15 @@ mod tests {
         let w = window2();
         let mut ep = Endpoint::new(0, 2, NetworkModel::aries());
         ep.lock_all();
-        let a = ep.get(&w, 1, 0, 1);
-        let b = ep.get(&w, 1, 1, 1);
+        let a = ep.get(&w, 1, 0, 1).unwrap();
+        let b = ep.get(&w, 1, 1, 1).unwrap();
         let charged = ep.flush_all();
         assert!(charged > 0.0);
         // The handles were issued in this epoch; waiting after flush_all charges
         // nothing extra because their cost was already drained from outstanding.
         let before = ep.stats().comm_time_ns;
-        let _ = a.wait(&mut ep);
-        let _ = b.wait(&mut ep);
+        let _ = a.wait(&mut ep).unwrap();
+        let _ = b.wait(&mut ep).unwrap();
         // Each wait re-charges its own cost — callers should use one style or the
         // other; here we only assert monotonicity.
         assert!(ep.stats().comm_time_ns >= before);
@@ -389,7 +612,7 @@ mod tests {
         let w = window2();
         let mut ep = Endpoint::new(0, 2, NetworkModel::zero());
         ep.lock_all();
-        let pending = ep.get(&w, 1, 0, 1);
+        let pending = ep.get(&w, 1, 0, 1).unwrap();
         ep.flush_all();
         ep.unlock_all();
         ep.lock_all();
@@ -401,11 +624,240 @@ mod tests {
         let w = Window::from_parts(vec![vec![0u32; 8], vec![0u32; 8], vec![0u32; 8]]);
         let mut ep = Endpoint::new(0, 3, NetworkModel::zero());
         ep.lock_all();
-        let _ = ep.get(&w, 1, 0, 4).wait(&mut ep);
-        let _ = ep.get(&w, 2, 0, 2).wait(&mut ep);
-        let _ = ep.get(&w, 2, 2, 2).wait(&mut ep);
+        let _ = ep.get(&w, 1, 0, 4).unwrap().wait(&mut ep).unwrap();
+        let _ = ep.get(&w, 2, 0, 2).unwrap().wait(&mut ep).unwrap();
+        let _ = ep.get(&w, 2, 2, 2).unwrap().wait(&mut ep).unwrap();
         ep.unlock_all();
         assert_eq!(ep.stats().gets_per_target, vec![0, 1, 2]);
         assert_eq!(ep.stats().bytes_per_target, vec![0, 16, 16]);
+    }
+
+    #[test]
+    fn without_faults_no_checksum_is_stamped() {
+        let w = window2();
+        let mut ep = Endpoint::new(0, 2, NetworkModel::aries());
+        ep.lock_all();
+        let pending = ep.get(&w, 1, 0, 2).unwrap();
+        assert!(pending.expected_checksum.is_none());
+        let _ = pending.wait(&mut ep).unwrap();
+        ep.unlock_all();
+        assert_eq!(ep.stats().fault_events(), 0);
+    }
+
+    #[test]
+    fn transient_failure_charges_alpha_and_errors() {
+        let w = window2();
+        let net = NetworkModel::aries();
+        let mut ep = Endpoint::new(0, 2, net).with_faults(FaultPlan::unrecoverable(1).injector(0));
+        ep.lock_all();
+        let err = ep.get(&w, 1, 0, 2).unwrap_err();
+        assert_eq!(err, RmaError::Transient { target: 1 });
+        assert_eq!(ep.stats().transient_failures, 1);
+        assert_eq!(ep.stats().gets, 0, "a dropped message moves no bytes");
+        assert!((ep.stats().comm_time_ns - net.alpha_ns).abs() < 1e-9);
+        ep.unlock_all();
+    }
+
+    #[test]
+    fn local_gets_never_fault() {
+        let w = window2();
+        let mut ep = Endpoint::new(1, 2, NetworkModel::aries())
+            .with_faults(FaultPlan::unrecoverable(1).injector(1));
+        ep.lock_all();
+        for _ in 0..50 {
+            let data = ep.get(&w, 1, 0, 2).unwrap().wait(&mut ep).unwrap();
+            assert_eq!(&*data, &[10, 20]);
+        }
+        ep.unlock_all();
+        assert_eq!(ep.stats().fault_events(), 0);
+    }
+
+    #[test]
+    fn corrupted_transfer_is_detected_and_charged() {
+        let w = window2();
+        let plan = FaultPlan {
+            corrupt_p: 1.0,
+            ..FaultPlan::reliable(3)
+        };
+        let net = NetworkModel::aries();
+        let cost = net.remote_cost_ns(2 * 4);
+        let mut ep = Endpoint::new(0, 2, net).with_faults(plan.injector(0));
+        ep.lock_all();
+        let err = ep.get(&w, 1, 0, 2).unwrap().wait(&mut ep).unwrap_err();
+        assert_eq!(err, RmaError::ChecksumMismatch { target: 1 });
+        assert_eq!(ep.stats().checksum_failures, 1);
+        // The corrupted bytes did cross the wire: full cost charged.
+        assert!((ep.stats().comm_time_ns - cost).abs() < 1e-9);
+        ep.unlock_all();
+    }
+
+    #[test]
+    fn corrupted_get_map_poisons_the_fused_result_too() {
+        let w = window2();
+        let plan = FaultPlan {
+            corrupt_p: 1.0,
+            ..FaultPlan::reliable(3)
+        };
+        let mut ep = Endpoint::new(0, 2, NetworkModel::zero()).with_faults(plan.injector(0));
+        ep.lock_all();
+        let (pending, sum) = ep
+            .get_map(&w, 1, 1, 3, |src| {
+                (Arc::from(src), src.iter().copied().sum::<u32>())
+            })
+            .unwrap();
+        // The fused computation saw the corrupted wire, not the clean source.
+        assert_ne!(sum, 20 + 30 + 40);
+        assert!(pending.wait(&mut ep).is_err());
+        ep.unlock_all();
+    }
+
+    #[test]
+    fn straggler_delay_multiplies_the_charge() {
+        let w = window2();
+        let plan = FaultPlan {
+            delay_p: 1.0,
+            delay_factor: 10.0,
+            ..FaultPlan::reliable(4)
+        };
+        let net = NetworkModel::aries();
+        let cost = net.remote_cost_ns(2 * 4);
+        let mut ep = Endpoint::new(0, 2, net).with_faults(plan.injector(0));
+        ep.lock_all();
+        let data = ep.get(&w, 1, 0, 2).unwrap().wait(&mut ep).unwrap();
+        assert_eq!(&*data, &[10, 20]);
+        assert_eq!(ep.stats().delayed_gets, 1);
+        assert!((ep.stats().comm_time_ns - cost * 10.0).abs() < 1e-6);
+        ep.unlock_all();
+    }
+
+    #[test]
+    fn straggler_past_the_timeout_errors_and_charges_the_wait() {
+        let w = window2();
+        let plan = FaultPlan {
+            delay_p: 1.0,
+            delay_factor: 100.0,
+            ..FaultPlan::reliable(4)
+        };
+        let net = NetworkModel::aries();
+        let cost = net.remote_cost_ns(2 * 4);
+        let retry = RetryPolicy {
+            timeout_ns: Some(cost * 2.0),
+            ..RetryPolicy::default()
+        };
+        let mut ep = Endpoint::new(0, 2, net)
+            .with_retry(retry)
+            .with_faults(plan.injector(0));
+        ep.lock_all();
+        let err = ep.get(&w, 1, 0, 2).unwrap().wait(&mut ep).unwrap_err();
+        assert!(matches!(err, RmaError::Timeout { target: 1, .. }));
+        assert_eq!(ep.stats().timeouts, 1);
+        // The caller waited out the full timeout, no more.
+        assert!((ep.stats().comm_time_ns - cost * 2.0).abs() < 1e-6);
+        ep.unlock_all();
+    }
+
+    #[test]
+    fn retry_heals_transient_failures_and_charges_backoff() {
+        let w = window2();
+        // Fails often but recoverably; a generous attempt budget always heals.
+        let plan = FaultPlan {
+            get_failure_p: 0.5,
+            ..FaultPlan::reliable(5)
+        };
+        let retry = RetryPolicy {
+            max_attempts: 64,
+            base_backoff_ns: 100.0,
+            backoff_multiplier: 2.0,
+            timeout_ns: None,
+        };
+        let mut ep = Endpoint::new(0, 2, NetworkModel::aries())
+            .with_retry(retry)
+            .with_faults(plan.injector(0));
+        ep.lock_all();
+        let mut saw_retry = false;
+        for _ in 0..50 {
+            let data = ep.get_with_retry(&w, 1, 0, 3).unwrap();
+            assert_eq!(&*data, &[10, 20, 30]);
+            saw_retry |= ep.stats().retries > 0;
+        }
+        ep.unlock_all();
+        assert!(saw_retry, "p=0.5 over 50 reads must retry at least once");
+        assert_eq!(ep.stats().retries, ep.stats().transient_failures);
+        assert!(ep.stats().backoff_ns > 0.0);
+    }
+
+    #[test]
+    fn retry_recomputes_the_fused_result_on_clean_data() {
+        let w = window2();
+        let plan = FaultPlan {
+            corrupt_p: 0.5,
+            ..FaultPlan::reliable(6)
+        };
+        let retry = RetryPolicy {
+            max_attempts: 64,
+            ..RetryPolicy::default()
+        };
+        let mut ep = Endpoint::new(0, 2, NetworkModel::zero())
+            .with_retry(retry)
+            .with_faults(plan.injector(0));
+        ep.lock_all();
+        for _ in 0..30 {
+            let (data, sum) = ep
+                .get_map_with_retry(&w, 1, 1, 3, |src| {
+                    (Arc::from(src), src.iter().copied().sum::<u32>())
+                })
+                .unwrap();
+            // However many corrupted attempts preceded it, the returned pair
+            // always comes from a verified-clean transfer.
+            assert_eq!(&*data, &[20, 30, 40]);
+            assert_eq!(sum, 20 + 30 + 40);
+        }
+        ep.unlock_all();
+        assert!(ep.stats().checksum_failures > 0, "p=0.5 must corrupt some");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_chained_error() {
+        let w = window2();
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut ep = Endpoint::new(0, 2, NetworkModel::aries())
+            .with_retry(retry)
+            .with_faults(FaultPlan::unrecoverable(7).injector(0));
+        ep.lock_all();
+        let err = ep.get_with_retry(&w, 1, 0, 2).unwrap_err();
+        match err {
+            RmaError::RetriesExhausted {
+                target: 1,
+                attempts: 3,
+                last,
+            } => assert_eq!(*last, RmaError::Transient { target: 1 }),
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(ep.stats().transient_failures, 3);
+        assert_eq!(ep.stats().retries, 2);
+        // Epoch hygiene: failed attempts leave nothing outstanding.
+        ep.unlock_all();
+    }
+
+    #[test]
+    fn reliable_injector_changes_nothing_but_stamps_checksums() {
+        let w = window2();
+        let mut plain = Endpoint::new(0, 2, NetworkModel::aries());
+        let mut faulted = Endpoint::new(0, 2, NetworkModel::aries())
+            .with_faults(FaultPlan::reliable(8).injector(0));
+        plain.lock_all();
+        faulted.lock_all();
+        for _ in 0..10 {
+            let a = plain.get_with_retry(&w, 1, 0, 4).unwrap();
+            let b = faulted.get_with_retry(&w, 1, 0, 4).unwrap();
+            assert_eq!(&*a, &*b);
+        }
+        plain.unlock_all();
+        faulted.unlock_all();
+        assert_eq!(plain.stats(), faulted.stats());
+        assert_eq!(faulted.stats().fault_events(), 0);
     }
 }

@@ -49,9 +49,11 @@
 //! | [`runner`] | §IV-A | One thread per MPI rank, plus the barrier used only by the TriC baseline |
 //! | [`stats`] | §IV-D | Per-rank gets/bytes/virtual-time counters the figures aggregate |
 //! | [`cputime`] | §IV-C | Per-thread CPU time so oversubscribed hosts do not inflate compute |
+//! | [`fault`] | — (robustness layer) | Seeded fault injection, retries with backoff, checksummed transfers; a sick cache degrades to the paper's non-cached baseline |
 
 pub mod cputime;
 pub mod endpoint;
+pub mod fault;
 pub mod network;
 pub mod runner;
 pub mod stats;
@@ -59,6 +61,7 @@ pub mod window;
 
 pub use cputime::ThreadTimer;
 pub use endpoint::{Endpoint, PendingGet};
+pub use fault::{FaultInjector, FaultPlan, RetryPolicy, RmaError};
 pub use network::NetworkModel;
 pub use runner::{run_ranks, SimBarrier};
 pub use stats::{CommStats, RankStats};

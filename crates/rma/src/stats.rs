@@ -26,6 +26,28 @@ pub struct RankStats {
     pub gets_per_target: Vec<u64>,
     /// Bytes per target rank.
     pub bytes_per_target: Vec<u64>,
+    /// Get attempts that were retried after a fault.
+    pub retries: u64,
+    /// Get attempts that failed at issue time (dropped/NACKed messages).
+    pub transient_failures: u64,
+    /// Get completions that exceeded the retry policy's timeout (stragglers
+    /// that were reissued).
+    pub timeouts: u64,
+    /// Transfers (or cache hits) whose checksum did not match the source stamp.
+    pub checksum_failures: u64,
+    /// Get completions that were slowed by an injected straggler delay but
+    /// finished within the timeout.
+    pub delayed_gets: u64,
+    /// Modeled nanoseconds spent in retry backoff (charged to `comm_time_ns`
+    /// as well; tracked separately so reports can attribute it).
+    pub backoff_ns: f64,
+    /// Cache entries invalidated after failing checksum verification.
+    pub cache_invalidations: u64,
+    /// Cache inserts refused by an injected rejection.
+    pub cache_rejections: u64,
+    /// Reads served by the plain two-get path because the cache was
+    /// quarantined (degraded, non-cached mode).
+    pub cache_bypass_reads: u64,
 }
 
 impl RankStats {
@@ -60,6 +82,18 @@ impl RankStats {
         self.local_time_ns += cost_ns;
     }
 
+    /// Total fault events this rank observed (zero on a fault-free run).
+    pub fn fault_events(&self) -> u64 {
+        self.retries
+            + self.transient_failures
+            + self.timeouts
+            + self.checksum_failures
+            + self.delayed_gets
+            + self.cache_invalidations
+            + self.cache_rejections
+            + self.cache_bypass_reads
+    }
+
     /// Merges another rank's statistics into this one (used for aggregation).
     pub fn merge(&mut self, other: &RankStats) {
         self.gets += other.gets;
@@ -69,6 +103,15 @@ impl RankStats {
         self.flushes += other.flushes;
         self.local_reads += other.local_reads;
         self.local_time_ns += other.local_time_ns;
+        self.retries += other.retries;
+        self.transient_failures += other.transient_failures;
+        self.timeouts += other.timeouts;
+        self.checksum_failures += other.checksum_failures;
+        self.delayed_gets += other.delayed_gets;
+        self.backoff_ns += other.backoff_ns;
+        self.cache_invalidations += other.cache_invalidations;
+        self.cache_rejections += other.cache_rejections;
+        self.cache_bypass_reads += other.cache_bypass_reads;
         if self.gets_per_target.len() < other.gets_per_target.len() {
             self.gets_per_target.resize(other.gets_per_target.len(), 0);
             self.bytes_per_target
@@ -132,6 +175,11 @@ impl CommStats {
     /// Total local (cache-served) reads across ranks.
     pub fn total_local_reads(&self) -> u64 {
         self.per_rank.iter().map(|r| r.local_reads).sum()
+    }
+
+    /// Total fault events across ranks (zero on a fault-free run).
+    pub fn total_fault_events(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.fault_events()).sum()
     }
 
     /// Folds all ranks into a single [`RankStats`].
@@ -201,6 +249,29 @@ mod tests {
         b.record_get(2, 8);
         a.merge(&b);
         assert_eq!(a.gets_per_target, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn fault_counters_merge_and_aggregate() {
+        let mut a = RankStats::new(2);
+        a.retries = 2;
+        a.transient_failures = 1;
+        a.backoff_ns = 3_000.0;
+        let mut b = RankStats::new(2);
+        b.timeouts = 1;
+        b.checksum_failures = 4;
+        b.delayed_gets = 2;
+        b.cache_invalidations = 1;
+        b.cache_rejections = 3;
+        b.cache_bypass_reads = 5;
+        assert_eq!(a.fault_events(), 3);
+        assert_eq!(b.fault_events(), 16);
+        let cs = CommStats::new(vec![a.clone(), b.clone()]);
+        assert_eq!(cs.total_fault_events(), 19);
+        a.merge(&b);
+        assert_eq!(a.fault_events(), 19);
+        assert_eq!(a.backoff_ns, 3_000.0);
+        assert_eq!(RankStats::new(2).fault_events(), 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! TriC configuration.
 
 use rmatc_graph::partition::PartitionScheme;
-use rmatc_rma::NetworkModel;
+use rmatc_rma::{FaultPlan, NetworkModel};
 
 /// Configuration of a TriC run.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -18,6 +18,12 @@ pub struct TricConfig {
     /// `None` reproduces plain TriC (unbounded buffers, single exchange round),
     /// `Some(b)` reproduces TriC Buffered.
     pub buffer_entries: Option<usize>,
+    /// Deterministic fault injection. TriC's collectives are reliable-completion
+    /// (a blocking all-to-all either finishes or the job aborts), so only
+    /// straggler delays apply: a delayed exchange multiplies that rank's modeled
+    /// collective cost — and, through the bulk-synchronous barrier, stretches
+    /// everyone's wait. `None` (the default) runs fault-free.
+    pub faults: Option<FaultPlan>,
 }
 
 impl TricConfig {
@@ -28,6 +34,7 @@ impl TricConfig {
             scheme: PartitionScheme::Cyclic,
             network: NetworkModel::aries(),
             buffer_entries: None,
+            faults: None,
         }
     }
 
@@ -46,6 +53,12 @@ impl TricConfig {
             buffer_entries: Some(buffer_entries.max(1)),
             ..Self::plain(ranks)
         }
+    }
+
+    /// Enables deterministic straggler injection per `plan` (chaos testing).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 }
 
@@ -67,5 +80,12 @@ mod tests {
     #[test]
     fn explicit_buffer_is_clamped_to_at_least_one() {
         assert_eq!(TricConfig::buffered_with(2, 0).buffer_entries, Some(1));
+    }
+
+    #[test]
+    fn faults_are_opt_in() {
+        assert_eq!(TricConfig::plain(4).faults, None);
+        let c = TricConfig::plain(4).with_faults(FaultPlan::light(3));
+        assert_eq!(c.faults, Some(FaultPlan::light(3)));
     }
 }

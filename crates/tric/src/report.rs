@@ -25,6 +25,9 @@ pub struct TricRankReport {
     pub compute_ns: f64,
     /// Modeled communication time of the all-to-all exchanges, ns.
     pub comm_ns: f64,
+    /// Exchanges whose completion was slowed by an injected straggler delay
+    /// (zero on fault-free runs).
+    pub delayed_exchanges: u64,
     /// Time spent waiting at the blocking collectives, modeled as this rank's
     /// compute-time gap to the slowest rank (bulk-synchronous load imbalance), ns.
     pub sync_ns: f64,
@@ -92,6 +95,12 @@ impl TricResult {
     pub fn rounds(&self) -> u64 {
         self.ranks.iter().map(|r| r.rounds).max().unwrap_or(0)
     }
+
+    /// Total straggler-delayed exchanges across ranks — zero exactly when no
+    /// faults were injected.
+    pub fn total_delayed_exchanges(&self) -> u64 {
+        self.ranks.iter().map(|r| r.delayed_exchanges).sum()
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +119,7 @@ mod tests {
             peak_buffered_queries: 10,
             compute_ns: compute,
             comm_ns: comm,
+            delayed_exchanges: 0,
             sync_ns: sync,
         }
     }

@@ -80,6 +80,22 @@ fn run_rank(
     let mut responses_received = 0u64;
     let mut bytes_sent = 0u64;
     let mut rounds = 0u64;
+    let mut delayed_exchanges = 0u64;
+    // TriC's blocking collectives are reliable-completion, so of the fault
+    // classes only straggler delays apply: a delayed exchange multiplies this
+    // rank's modeled collective cost. Decisions are drawn per rank from the
+    // plan's seed, so they are reproducible across thread interleavings.
+    let mut injector = cfg.faults.map(|plan| plan.injector(rank));
+    let mut charge_exchange = |cost: f64, comm_ns: &mut f64, delayed: &mut u64| match injector
+        .as_mut()
+        .and_then(|inj| inj.completion_delay())
+    {
+        Some(factor) if cost > 0.0 => {
+            *comm_ns += cost * factor;
+            *delayed += 1;
+        }
+        _ => *comm_ns += cost,
+    };
 
     // --- Phase 1: local counting and query generation -------------------------
     // Per-thread CPU time: rank threads share the simulator host's cores, so wall
@@ -135,7 +151,7 @@ fn run_rank(
     };
     global_rounds.fetch_max(my_rounds, Ordering::SeqCst);
     let (_, align_cost) = query_mail.alltoall(rank, vec![Vec::new(); ranks]);
-    comm_ns += align_cost;
+    charge_exchange(align_cost, &mut comm_ns, &mut delayed_exchanges);
     let agreed_rounds = global_rounds.load(Ordering::SeqCst);
 
     // --- Phase 2..n: bulk-synchronous query/response rounds -------------------
@@ -163,7 +179,7 @@ fn run_rank(
 
         // Exchange queries (blocking all-to-all).
         let (incoming_queries, cost_q) = query_mail.alltoall(rank, outgoing);
-        comm_ns += cost_q;
+        charge_exchange(cost_q, &mut comm_ns, &mut delayed_exchanges);
 
         // Answer the queries addressed to this rank.
         compute_marker = timer.elapsed_ns();
@@ -186,7 +202,7 @@ fn run_rank(
 
         // Exchange responses (second blocking all-to-all of the round).
         let (incoming_responses, cost_r) = response_mail.alltoall(rank, responses);
-        comm_ns += cost_r;
+        charge_exchange(cost_r, &mut comm_ns, &mut delayed_exchanges);
 
         // Accumulate positive answers into the per-vertex counts.
         compute_marker = timer.elapsed_ns();
@@ -213,6 +229,7 @@ fn run_rank(
             peak_buffered_queries,
             compute_ns,
             comm_ns,
+            delayed_exchanges,
             // Filled in by `assemble`: the time this rank waits for the slowest rank
             // at the blocking collectives is modeled as the compute imbalance.
             sync_ns: 0.0,
@@ -342,6 +359,26 @@ mod tests {
         let result = Tric::new(TricConfig::plain(1)).run(&g);
         assert_eq!(result.total_queries(), 0);
         assert_eq!(result.triangle_count, reference::count_triangles(&g));
+    }
+
+    #[test]
+    fn straggler_faults_stretch_time_but_never_change_counts() {
+        let g = small_graph();
+        let clean = Tric::new(TricConfig::plain(4)).run(&g);
+        let plan = rmatc_rma::FaultPlan::heavy(31);
+        let faulted = Tric::new(TricConfig::plain(4).with_faults(plan)).run(&g);
+        assert_eq!(clean.triangle_count, faulted.triangle_count);
+        assert_eq!(clean.lcc, faulted.lcc);
+        assert!(
+            faulted.total_delayed_exchanges() > 0,
+            "the heavy plan must delay some exchanges"
+        );
+        assert_eq!(clean.total_delayed_exchanges(), 0);
+        let comm = |r: &TricResult| r.ranks.iter().map(|x| x.comm_ns).sum::<f64>();
+        assert!(
+            comm(&faulted) > comm(&clean),
+            "delays must show up in the modeled communication time"
+        );
     }
 
     #[test]

@@ -44,6 +44,11 @@ fn main() {
         double_buffering: true,
         cache: Some(CacheSpec::paper(budget)),
         score_mode: ScoreMode::DegreeCentrality,
+        // The self-healing read path: up to 4 attempts per get with exponential
+        // backoff. With `faults: None` no fault is ever injected and the policy
+        // is never exercised — it exists so chaos tests can flip it on.
+        retry: rmatc::prelude::RetryPolicy::default(),
+        faults: None,
     };
 
     // -- Run ---------------------------------------------------------------

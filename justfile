@@ -36,6 +36,19 @@ docs:
 calibrate:
     cargo run --release -p rmatc-bench --bin rmatc-calibrate
 
+# The chaos suite on its pinned seed matrix plus one extra seed (random by
+# default: `just chaos`, or pinned: `just chaos 12345` to replay a failure
+# from a CI artifact name). See docs/ROBUSTNESS.md.
+chaos seed="random":
+    #!/usr/bin/env bash
+    set -euo pipefail
+    seed="{{seed}}"
+    if [ "$seed" = "random" ]; then
+        seed=$(od -An -N8 -tu8 /dev/urandom | tr -d ' ')
+    fi
+    echo "chaos seed: $seed"
+    RMATC_CHAOS_SEED="$seed" cargo test -q --test chaos
+
 # The bench-smoke job: JSON snapshots plus an appended bench-history record,
 # then the regression gate (median regression past the per-benchmark
 # threshold fails; default 15%).

@@ -78,6 +78,8 @@ fn base_config(ranks: usize) -> DistConfig {
         double_buffering: false,
         cache: None,
         score_mode: ScoreMode::DegreeCentrality,
+        retry: rmatc::rma::RetryPolicy::default(),
+        faults: None,
     }
 }
 
@@ -121,7 +123,10 @@ fn materializing_worker(
                 let adj_v = part.neighbours_of_local(v_local);
                 count_closing_at(direction, adj_u, adj_v, v, k, &intersector)
             } else {
-                let adj_v = reader.read_adjacency(&mut ep, owner, v_local).to_vec();
+                let adj_v = reader
+                    .read_adjacency(&mut ep, owner, v_local)
+                    .expect("no faults injected")
+                    .to_vec();
                 count_closing_at(direction, adj_u, &adj_v, v, k, &intersector)
             };
         }
@@ -156,7 +161,7 @@ fn fused_worker_is_observationally_identical_to_materializing_reads() {
         let mut config = base_config(ranks);
         config.cache = cache;
         for rank in 0..ranks {
-            let fused = run_worker(rank, &pg, &windows, &config);
+            let fused = run_worker(rank, &pg, &windows, &config).expect("no faults injected");
             let (triangles, offsets_stats, adj_stats, rma) =
                 materializing_worker(rank, &pg, &windows, &config);
             assert_eq!(
@@ -210,13 +215,13 @@ fn cache_hits_and_local_reads_allocate_nothing() {
     let reads = pg.partitions[1].local_vertex_count().min(40);
     // Warm: fetch and cache every row (allocations expected here).
     for idx in 0..reads {
-        let _ = reader.read_adjacency(&mut ep, 1, idx);
+        let _ = reader.read_adjacency(&mut ep, 1, idx).unwrap();
     }
     // Measure: remote reads served from the cache.
     let before = allocations_on_this_thread();
     let mut checksum = 0u64;
     for idx in 0..reads {
-        let row = reader.read_adjacency(&mut ep, 1, idx);
+        let row = reader.read_adjacency(&mut ep, 1, idx).unwrap();
         checksum += row.iter().map(|&v| v as u64).sum::<u64>();
     }
     assert_eq!(
@@ -228,7 +233,7 @@ fn cache_hits_and_local_reads_allocate_nothing() {
     let local_reads = pg.partitions[0].local_vertex_count().min(40);
     let before = allocations_on_this_thread();
     for idx in 0..local_reads {
-        let row = reader.read_adjacency(&mut ep, 0, idx);
+        let row = reader.read_adjacency(&mut ep, 0, idx).unwrap();
         assert!(row.is_borrowed(), "local reads must borrow the window");
         checksum += row.len() as u64;
     }
@@ -277,16 +282,9 @@ fn fused_hit_path_allocates_nothing() {
         let mut total = 0;
         for &(local_idx, k, v, v_local) in &edges {
             let adj_u = part.neighbours_of_local(local_idx);
-            total += reader.count_closing_remote(
-                ep,
-                1,
-                v_local,
-                pg.direction,
-                adj_u,
-                v,
-                k,
-                &intersector,
-            );
+            total += reader
+                .count_closing_remote(ep, 1, v_local, pg.direction, adj_u, v, k, &intersector)
+                .unwrap();
         }
         total
     };
@@ -316,11 +314,11 @@ fn miss_buffer_is_shared_with_the_cache_not_copied() {
     let idx = (0..pg.partitions[1].local_vertex_count())
         .find(|&i| !pg.partitions[1].neighbours_of_local(i).is_empty())
         .expect("some remote row is non-empty");
-    let fetched: Arc<[u32]> = match reader.read_adjacency(&mut ep, 1, idx) {
+    let fetched: Arc<[u32]> = match reader.read_adjacency(&mut ep, 1, idx).unwrap() {
         RowRef::Fetched(arc) => arc,
         other => panic!("first read must miss, got {other:?}"),
     };
-    let cached: Arc<[u32]> = match reader.read_adjacency(&mut ep, 1, idx) {
+    let cached: Arc<[u32]> = match reader.read_adjacency(&mut ep, 1, idx).unwrap() {
         RowRef::Cached(arc) => arc,
         other => panic!("second read must hit, got {other:?}"),
     };
@@ -358,7 +356,9 @@ proptest! {
         for (target, idx) in accesses {
             let part = &pg.partitions[target];
             let idx = idx % part.local_vertex_count();
-            let row = reader.read_adjacency(&mut ep, target, idx);
+            let row = reader
+                .read_adjacency(&mut ep, target, idx)
+                .expect("no faults injected");
             prop_assert_eq!(row.as_slice(), part.neighbours_of_local(idx),
                 "target {} idx {}", target, idx);
             if target == 0 {

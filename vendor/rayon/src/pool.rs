@@ -85,6 +85,29 @@ pub fn threads_spawned() -> usize {
     THREADS_SPAWNED.load(Ordering::Acquire)
 }
 
+/// Parses one thread-count environment value. `None` means "no usable
+/// override" — unset is silent, but a set-yet-invalid value (unparseable,
+/// zero, or absurdly large) earns a warning on stderr instead of being
+/// silently ignored: a typo'd `RMATC_THREADS=1o` that quietly runs on all
+/// cores is exactly the kind of mis-sized run that wastes an allocation.
+fn parse_threads(var: &str, raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => {
+            eprintln!("warning: {var}=0 is not a valid thread count; using the core count");
+            None
+        }
+        Ok(n) if n > 1024 => {
+            eprintln!("warning: {var}={n} exceeds the 1024-thread cap; using the core count");
+            None
+        }
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("warning: {var}={raw:?} is not a thread count; using the core count");
+            None
+        }
+    }
+}
+
 /// Environment override, read once: `effective_parallelism` runs on every
 /// parallel-region entry, and `env::var` + `available_parallelism` are
 /// lock/syscall-priced — paying them per intersection would swamp the very
@@ -94,8 +117,7 @@ fn env_threads() -> Option<usize> {
     *ENV_THREADS.get_or_init(|| {
         ["RMATC_THREADS", "RAYON_NUM_THREADS"]
             .iter()
-            .find_map(|var| std::env::var(var).ok()?.parse::<usize>().ok())
-            .filter(|&n| n > 0)
+            .find_map(|var| parse_threads(var, &std::env::var(var).ok()?))
     })
 }
 
@@ -412,6 +434,27 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_counts() {
+        assert_eq!(parse_threads("RMATC_THREADS", "1"), Some(1));
+        assert_eq!(parse_threads("RMATC_THREADS", "16"), Some(16));
+        assert_eq!(parse_threads("RAYON_NUM_THREADS", " 8 "), Some(8));
+        assert_eq!(parse_threads("RMATC_THREADS", "1024"), Some(1024));
+    }
+
+    #[test]
+    fn parse_threads_rejects_invalid_values() {
+        // Zero, garbage, negatives, and counts beyond the pool cap all fall
+        // back to the core count (None) instead of panicking or sticking.
+        assert_eq!(parse_threads("RMATC_THREADS", "0"), None);
+        assert_eq!(parse_threads("RMATC_THREADS", ""), None);
+        assert_eq!(parse_threads("RMATC_THREADS", "1o"), None);
+        assert_eq!(parse_threads("RMATC_THREADS", "-4"), None);
+        assert_eq!(parse_threads("RMATC_THREADS", "4.0"), None);
+        assert_eq!(parse_threads("RAYON_NUM_THREADS", "all"), None);
+        assert_eq!(parse_threads("RMATC_THREADS", "1025"), None);
     }
 
     #[test]
