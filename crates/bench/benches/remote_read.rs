@@ -66,6 +66,7 @@ fn bench_remote_read(c: &mut Criterion) {
         cache_offsets: true,
         cache_adjacencies: true,
         adaptive: false,
+        policy: Default::default(),
     };
     let edges = remote_edges(&pg, 2_048);
     assert!(!edges.is_empty(), "the partition must have remote edges");

@@ -30,6 +30,10 @@ pub struct BenchRecord {
     pub group: String,
     pub bench: String,
     pub median_ns: f64,
+    /// Run-to-run spread of the per-repeat medians (percent) when the run
+    /// was recorded with `--repeat N`; `0.0` for single runs and for history
+    /// lines written before the field existed (it parses as optional).
+    pub spread_pct: f64,
 }
 
 impl BenchRecord {
@@ -58,6 +62,9 @@ pub struct Delta {
     pub key: String,
     pub old_median_ns: f64,
     pub new_median_ns: f64,
+    /// Spread of the newest run's repeats (percent) — context for judging
+    /// whether a flagged change is signal or measurement noise.
+    pub new_spread_pct: f64,
 }
 
 impl Delta {
@@ -128,6 +135,7 @@ pub fn compare_latest(runs: &[HistoryRun]) -> Option<Comparison> {
                 key: record.key(),
                 old_median_ns: old_record.median_ns,
                 new_median_ns: record.median_ns,
+                new_spread_pct: record.spread_pct,
             })
         })
         .collect();
@@ -151,6 +159,7 @@ fn parse_run(line: &str) -> Option<HistoryRun> {
                 group: r.get("group")?.as_str()?.to_string(),
                 bench: r.get("bench")?.as_str()?.to_string(),
                 median_ns: r.get("median_ns")?.as_f64()?,
+                spread_pct: r.get("spread_pct").and_then(|v| v.as_f64()).unwrap_or(0.0),
             })
         })
         .collect::<Option<Vec<_>>>()?;
@@ -257,6 +266,23 @@ mod tests {
         let runs = parse_history(&content);
         assert_eq!(runs.len(), 1);
         assert_eq!(runs[0].commit, "ok");
+    }
+
+    #[test]
+    fn spread_parses_and_defaults_for_old_lines() {
+        // A pre-`--repeat` line (no spread_pct field) parses with 0.0 ...
+        let old_format = line("aaa", 4, &[("k", 100.0)]);
+        assert_eq!(parse_history(&old_format)[0].records[0].spread_pct, 0.0);
+        // ... and a new-format line carries its spread into the delta.
+        let new_format = "{\"commit\": \"bbb\", \"timestamp\": 1700000001, \
+             \"host\": {\"cpus\": 4, \"arch\": \"x86_64\", \"os\": \"linux\"}, \
+             \"records\": [{\"group\": \"g\", \"bench\": \"k\", \"median_ns\": 110.0, \
+             \"mean_ns\": 110.0, \"samples\": 10, \"iters_per_sample\": 1, \
+             \"throughput_elems\": null, \"elems_per_us\": null, \"spread_pct\": 7.25}]}";
+        let content = format!("{old_format}\n{new_format}\n");
+        let comparison = compare_latest(&parse_history(&content)).unwrap();
+        assert_eq!(comparison.deltas.len(), 1);
+        assert!((comparison.deltas[0].new_spread_pct - 7.25).abs() < 1e-12);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The CLaMPI cache proper: slot-indexed variable-size entries over a managed memory
-//! buffer, with weighted-score victim selection and optional adaptive resizing.
+//! buffer, with pluggable victim selection (see [`crate::policy`]) and optional
+//! adaptive resizing.
 
 use crate::adaptive::{AdaptiveAction, AdaptiveState};
-use crate::config::{ClampiConfig, ConsistencyMode, ScorePolicy};
+use crate::config::{ClampiConfig, ConsistencyMode};
 use crate::entry::{Entry, EntryKey};
 use crate::freelist::FreeList;
+use crate::policy::{EntryView, EvictionPolicy, EvictionPolicyKind, PolicyContext};
 use crate::stats::CacheStats;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -47,6 +49,11 @@ pub struct Clampi<T> {
     max_user_score: f64,
     /// Deterministic internal RNG state for sampled victim selection.
     rng_state: u64,
+    /// The active eviction policy, built from [`ClampiConfig::policy`]. Every
+    /// victim score, admission decision and eviction notification goes
+    /// through it; the default [`PaperScore`](crate::policy::PaperScore)
+    /// reproduces the paper's behaviour bit-for-bit.
+    policy: Box<dyn EvictionPolicy>,
 }
 
 impl<T: Clone> Clampi<T> {
@@ -65,8 +72,14 @@ impl<T: Clone> Clampi<T> {
             occupied_bytes: 0,
             max_user_score: 0.0,
             rng_state: 0x9e37_79b9_7f4a_7c15,
+            policy: config.policy.build(),
             config,
         }
+    }
+
+    /// Which eviction-policy family this cache runs.
+    pub fn policy_kind(&self) -> EvictionPolicyKind {
+        self.policy.kind()
     }
 
     /// The active configuration (capacity and table size reflect adaptive resizes).
@@ -133,6 +146,14 @@ impl<T: Clone> Clampi<T> {
             if let Some(entry) = &mut self.slots[slot] {
                 if entry.key == key {
                     entry.last_access = clock;
+                    entry.hits += 1;
+                    let ctx = PolicyContext {
+                        clock,
+                        max_user_score: self.max_user_score,
+                        config: &self.config,
+                        freelist: &self.freelist,
+                    };
+                    entry.priority = self.policy.priority_on_hit(entry.view(), &ctx);
                     hit = Some((Arc::clone(&entry.data), entry.checksum));
                     break;
                 }
@@ -196,12 +217,21 @@ impl<T: Clone> Clampi<T> {
             match &self.slots[s] {
                 Some(resident) if resident.key == key => {
                     // Re-inserting an already-cached key (e.g. after a racing fetch):
-                    // refresh the data in place.
+                    // refresh the data in place. The refresh counts as an access for
+                    // frequency-aware policies.
                     let resident = self.slots[s].as_mut().expect("checked above");
                     resident.data = data;
                     resident.last_access = self.clock;
                     resident.user_score = user_score;
                     resident.checksum = checksum;
+                    resident.hits += 1;
+                    let ctx = PolicyContext {
+                        clock: self.clock,
+                        max_user_score: self.max_user_score,
+                        config: &self.config,
+                        freelist: &self.freelist,
+                    };
+                    resident.priority = self.policy.priority_on_hit(resident.view(), &ctx);
                     return CacheInsertOutcome::Inserted;
                 }
                 None if slot.is_none() => slot = Some(s),
@@ -221,7 +251,7 @@ impl<T: Clone> Clampi<T> {
                         sa.partial_cmp(&sb).expect("scores are not NaN")
                     })
                     .expect("probe sequence is never empty");
-                self.evict_slot(victim);
+                self.evict_chosen_victim(victim);
                 self.stats.conflict_evictions += 1;
                 self.adaptive.record_conflict();
                 evicted += 1;
@@ -235,22 +265,27 @@ impl<T: Clone> Clampi<T> {
             }
             match self.pick_victim_slot(slot) {
                 Some(victim_slot) => {
-                    // Admission control under application-defined scores: the point of
-                    // the paper's extension is to "avoid storing a high number of
-                    // low-degree vertices" — so a new entry whose score is lower than
-                    // the prospective victim's is not admitted at all, instead of
-                    // churning the cache.
-                    if self.config.scoring == ScorePolicy::ApplicationScore {
-                        let victim_score = self.slots[victim_slot]
-                            .as_ref()
-                            .map(|e| e.user_score)
-                            .unwrap_or(0.0);
-                        if user_score < victim_score {
-                            self.stats.uncacheable += 1;
-                            return CacheInsertOutcome::NotCached;
-                        }
+                    // Admission control: the policy may refuse to displace the
+                    // prospective victim (PaperScore under application-defined
+                    // scores rejects entries scoring below the victim, to "avoid
+                    // storing a high number of low-degree vertices" instead of
+                    // churning the cache).
+                    let victim_view = self.slots[victim_slot]
+                        .as_ref()
+                        .map(|e| e.view())
+                        .expect("pick_victim_slot only returns occupied slots");
+                    let ctx = PolicyContext {
+                        clock: self.clock,
+                        max_user_score: self.max_user_score,
+                        config: &self.config,
+                        freelist: &self.freelist,
+                    };
+                    if !self.policy.admits(user_score, bytes, victim_view, &ctx) {
+                        self.stats.uncacheable += 1;
+                        self.stats.admission_rejections += 1;
+                        return CacheInsertOutcome::NotCached;
                     }
-                    self.evict_slot(victim_slot);
+                    self.evict_chosen_victim(victim_slot);
                     self.stats.capacity_evictions += 1;
                     self.adaptive.record_space_eviction();
                     evicted += 1;
@@ -261,6 +296,21 @@ impl<T: Clone> Clampi<T> {
                 }
             }
         };
+        let view = EntryView {
+            bytes,
+            addr,
+            last_access: self.clock,
+            user_score,
+            hits: 1,
+            priority: 0.0,
+        };
+        let ctx = PolicyContext {
+            clock: self.clock,
+            max_user_score: self.max_user_score,
+            config: &self.config,
+            freelist: &self.freelist,
+        };
+        let priority = self.policy.priority_on_insert(view, &ctx);
         self.slots[slot] = Some(Entry {
             key,
             data,
@@ -270,6 +320,8 @@ impl<T: Clone> Clampi<T> {
             user_score,
             slot,
             checksum,
+            hits: 1,
+            priority,
         });
         self.occupied += 1;
         self.occupied_bytes += bytes;
@@ -304,6 +356,7 @@ impl<T: Clone> Clampi<T> {
                 self.evict_slot(slot);
             }
         }
+        self.policy.on_flush();
         self.stats.flushes += 1;
     }
 
@@ -315,25 +368,16 @@ impl<T: Clone> Clampi<T> {
         }
     }
 
-    /// Victim score of an entry: larger means more evictable.
+    /// Victim score of an entry, as judged by the active policy: larger means
+    /// more evictable.
     fn victim_score(&self, entry: &Entry<T>) -> f64 {
-        let age =
-            (self.clock.saturating_sub(entry.last_access)) as f64 / (self.clock.max(1)) as f64;
-        match self.config.scoring {
-            ScorePolicy::LruPositional => {
-                let (before, after) = self.freelist.adjacency_to_free(entry.addr, entry.bytes);
-                let positional = (before as u8 + after as u8) as f64 / 2.0;
-                self.config.lru_weight * age + self.config.positional_weight * positional
-            }
-            ScorePolicy::ApplicationScore => {
-                let norm = if self.max_user_score > 0.0 {
-                    entry.user_score / self.max_user_score
-                } else {
-                    0.0
-                };
-                self.config.lru_weight * age - self.config.user_weight * norm
-            }
-        }
+        let ctx = PolicyContext {
+            clock: self.clock,
+            max_user_score: self.max_user_score,
+            config: &self.config,
+            freelist: &self.freelist,
+        };
+        self.policy.victim_score(entry.view(), &ctx)
     }
 
     /// Chooses a victim among occupied slots, excluding `protect` (the slot about to
@@ -380,6 +424,19 @@ impl<T: Clone> Clampi<T> {
             }
         }
         best.map(|(idx, _)| idx)
+    }
+
+    /// Evicts a slot the policy *chose* (conflict or capacity victim): the
+    /// policy is notified and the freed bytes are attributed to it. Flushes
+    /// and invalidations are not victim selections and go through
+    /// [`Clampi::evict_slot`] directly.
+    fn evict_chosen_victim(&mut self, slot: usize) {
+        if let Some(entry) = &self.slots[slot] {
+            let view = entry.view();
+            self.stats.evicted_bytes += view.bytes as u64;
+            self.policy.on_evict(view);
+        }
+        self.evict_slot(slot);
     }
 
     fn evict_slot(&mut self, slot: usize) {
@@ -579,6 +636,80 @@ mod tests {
             CacheInsertOutcome::InsertedAfterEvicting(_)
         ));
         assert!(c.lookup(key(12, 4)).is_some());
+    }
+
+    #[test]
+    fn admission_rejections_are_counted_separately() {
+        let cfg = ClampiConfig::always_cache(32, 64).with_application_scores();
+        let mut c: Clampi<u32> = Clampi::new(cfg);
+        c.insert(key(0, 4), vec![0; 4], 500.0);
+        c.insert(key(4, 4), vec![1; 4], 400.0);
+        assert_eq!(
+            c.insert(key(8, 4), vec![2; 4], 3.0),
+            CacheInsertOutcome::NotCached
+        );
+        assert_eq!(c.stats().admission_rejections, 1);
+        assert_eq!(c.stats().uncacheable, 1);
+        // An entry larger than the whole buffer is uncacheable but not an
+        // admission rejection — no victim was ever consulted.
+        let _ = c.insert(key(50, 100), vec![0u32; 100], 900.0);
+        assert_eq!(c.stats().admission_rejections, 1);
+        assert_eq!(c.stats().uncacheable, 2);
+    }
+
+    #[test]
+    fn evicted_bytes_attributed_to_policy_victims_only() {
+        let mut c = cache(32, 64);
+        c.insert(key(0, 4), vec![0; 4], 0.0); // 16 B
+        c.insert(key(4, 4), vec![1; 4], 0.0); // 16 B
+        c.insert(key(8, 4), vec![2; 4], 0.0); // evicts one 16 B victim
+        assert_eq!(c.stats().evicted_bytes, 16);
+        // Flush frees everything but chose no victims: counter unchanged.
+        c.flush();
+        assert_eq!(c.stats().evicted_bytes, 16);
+        // Invalidation likewise.
+        c.insert(key(12, 4), vec![3; 4], 0.0);
+        assert!(c.invalidate(key(12, 4)));
+        assert_eq!(c.stats().evicted_bytes, 16);
+    }
+
+    #[test]
+    fn lfu_policy_protects_frequent_entries_over_recent_ones() {
+        let cfg = ClampiConfig::always_cache(32, 64).with_policy(EvictionPolicyKind::Lfu);
+        let mut c: Clampi<u32> = Clampi::new(cfg);
+        assert_eq!(c.policy_kind(), EvictionPolicyKind::Lfu);
+        c.insert(key(0, 4), vec![0; 4], 0.0);
+        c.insert(key(4, 4), vec![1; 4], 0.0);
+        // Make the first entry frequent, then touch the second once so it is
+        // the more *recent* one: LFU must still evict it.
+        for _ in 0..10 {
+            assert!(c.lookup(key(0, 4)).is_some());
+        }
+        assert!(c.lookup(key(4, 4)).is_some());
+        c.insert(key(8, 4), vec![2; 4], 0.0);
+        assert!(c.lookup(key(0, 4)).is_some(), "frequent entry must survive");
+    }
+
+    #[test]
+    fn gdsf_policy_prefers_keeping_small_frequent_entries() {
+        // Buffer fits one 24-element entry or several 2-element ones.
+        let cfg = ClampiConfig::always_cache(96, 64).with_policy(EvictionPolicyKind::Gdsf);
+        let mut c: Clampi<u32> = Clampi::new(cfg);
+        assert_eq!(c.policy_kind(), EvictionPolicyKind::Gdsf);
+        // Two small entries, re-hit to earn priority.
+        c.insert(key(0, 2), vec![0; 2], 0.0);
+        c.insert(key(2, 2), vec![1; 2], 0.0);
+        for _ in 0..5 {
+            assert!(c.lookup(key(0, 2)).is_some());
+            assert!(c.lookup(key(2, 2)).is_some());
+        }
+        // One big cold entry fills most of the buffer...
+        c.insert(key(100, 20), vec![9; 20], 0.0);
+        // ...and a new entry forces an eviction: the big cold entry must go.
+        c.insert(key(200, 2), vec![7; 2], 0.0);
+        assert!(c.lookup(key(0, 2)).is_some(), "small hot entries survive");
+        assert!(c.lookup(key(2, 2)).is_some(), "small hot entries survive");
+        assert!(c.lookup(key(100, 20)).is_none(), "big cold entry evicted");
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! CLaMPI configuration: buffer capacity, hash-table size, consistency mode,
 //! victim-selection policy and adaptive-tuning parameters.
 
+use crate::policy::EvictionPolicyKind;
+
 /// Consistency modes offered by CLaMPI (Section II-F of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ConsistencyMode {
@@ -69,7 +71,12 @@ pub struct ClampiConfig {
     pub table_slots: usize,
     /// Consistency mode.
     pub mode: ConsistencyMode,
-    /// Victim-selection policy.
+    /// Victim-selection policy family. [`EvictionPolicyKind::PaperScore`]
+    /// (the default) reproduces the paper's weighted-score selection and is
+    /// the only kind that reads the [`ClampiConfig::scoring`] field; the
+    /// other kinds (LRU, LFU, GDSF) ignore it.
+    pub policy: EvictionPolicyKind,
+    /// Score variant used by the [`EvictionPolicyKind::PaperScore`] policy.
     pub scoring: ScorePolicy,
     /// Weight of the recency component in victim selection.
     pub lru_weight: f64,
@@ -93,6 +100,7 @@ impl ClampiConfig {
             capacity_bytes,
             table_slots: table_slots.max(1),
             mode: ConsistencyMode::AlwaysCache,
+            policy: EvictionPolicyKind::PaperScore,
             scoring: ScorePolicy::LruPositional,
             lru_weight: 1.0,
             positional_weight: 0.5,
@@ -112,6 +120,12 @@ impl ClampiConfig {
     /// the paper's LCC use case).
     pub fn with_application_scores(mut self) -> Self {
         self.scoring = ScorePolicy::ApplicationScore;
+        self
+    }
+
+    /// Selects the eviction-policy family (see [`crate::policy`]).
+    pub fn with_policy(mut self, policy: EvictionPolicyKind) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -164,6 +178,14 @@ mod tests {
             .with_adaptive();
         assert_eq!(c.scoring, ScorePolicy::ApplicationScore);
         assert!(c.adaptive.is_some());
+    }
+
+    #[test]
+    fn policy_defaults_to_paper_score_and_is_selectable() {
+        let c = ClampiConfig::always_cache(1024, 64);
+        assert_eq!(c.policy, EvictionPolicyKind::PaperScore);
+        let c = c.with_policy(EvictionPolicyKind::Gdsf);
+        assert_eq!(c.policy, EvictionPolicyKind::Gdsf);
     }
 
     #[test]

@@ -71,6 +71,27 @@ pub struct Entry<T> {
     /// source window when fault injection is enabled; `None` on fault-free
     /// runs (verification is skipped entirely).
     pub checksum: Option<u64>,
+    /// Number of accesses this entry has served, counting the insert itself
+    /// (the frequency term of the LFU and GDSF eviction policies).
+    pub hits: u64,
+    /// Policy-private scalar maintained by the active
+    /// [`EvictionPolicy`](crate::policy::EvictionPolicy) (GDSF stores its
+    /// priority `H` here); `0.0` for policies that do not use it.
+    pub priority: f64,
+}
+
+impl<T> Entry<T> {
+    /// Borrow-free snapshot of the fields eviction policies may consult.
+    pub fn view(&self) -> crate::policy::EntryView {
+        crate::policy::EntryView {
+            bytes: self.bytes,
+            addr: self.addr,
+            last_access: self.last_access,
+            user_score: self.user_score,
+            hits: self.hits,
+            priority: self.priority,
+        }
+    }
 }
 
 #[cfg(test)]

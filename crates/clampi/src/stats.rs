@@ -30,6 +30,15 @@ pub struct CacheStats {
     pub capacity_resizes: u64,
     /// Entries removed because their data failed checksum verification.
     pub invalidations: u64,
+    /// Bytes freed by policy-chosen evictions (capacity and conflict victims;
+    /// flushes and invalidations are not victim selections and do not count).
+    /// Together with `bytes_from_network` this attributes byte churn to the
+    /// active eviction policy in the policy-shootout bench.
+    pub evicted_bytes: u64,
+    /// Inserts the eviction policy refused to admit (the paper-score
+    /// admission rule, counted within `uncacheable`, which keeps its
+    /// pre-policy-layer meaning of "miss whose data was not stored").
+    pub admission_rejections: u64,
 }
 
 impl CacheStats {
@@ -85,6 +94,8 @@ impl CacheStats {
         self.table_resizes += other.table_resizes;
         self.capacity_resizes += other.capacity_resizes;
         self.invalidations += other.invalidations;
+        self.evicted_bytes += other.evicted_bytes;
+        self.admission_rejections += other.admission_rejections;
     }
 }
 
@@ -136,6 +147,8 @@ mod tests {
             misses: 1,
             bytes_from_network: 3,
             flushes: 1,
+            evicted_bytes: 7,
+            admission_rejections: 2,
             ..Default::default()
         };
         a.merge(&b);
@@ -144,5 +157,7 @@ mod tests {
         assert_eq!(a.bytes_from_cache, 10);
         assert_eq!(a.bytes_from_network, 3);
         assert_eq!(a.flushes, 1);
+        assert_eq!(a.evicted_bytes, 7);
+        assert_eq!(a.admission_rejections, 2);
     }
 }

@@ -2,7 +2,7 @@
 //! method, network model, double buffering, and the CLaMPI cache budget split.
 
 use crate::intersect::{CostModel, IntersectMethod};
-use rmatc_clampi::ClampiConfig;
+use rmatc_clampi::{ClampiConfig, EvictionPolicyKind};
 use rmatc_graph::partition::PartitionScheme;
 use rmatc_rma::{FaultPlan, NetworkModel, RetryPolicy};
 
@@ -31,6 +31,10 @@ pub struct CacheSpec {
     pub cache_adjacencies: bool,
     /// Enable CLaMPI's adaptive resizing heuristic.
     pub adaptive: bool,
+    /// Eviction-policy family both windows' caches run. The default,
+    /// [`EvictionPolicyKind::PaperScore`], reproduces the paper exactly;
+    /// [`ScoreMode`] then selects which score variant it computes.
+    pub policy: EvictionPolicyKind,
 }
 
 impl CacheSpec {
@@ -43,6 +47,7 @@ impl CacheSpec {
             cache_offsets: true,
             cache_adjacencies: true,
             adaptive: false,
+            policy: EvictionPolicyKind::PaperScore,
         }
     }
 
@@ -54,6 +59,7 @@ impl CacheSpec {
             cache_offsets: true,
             cache_adjacencies: false,
             adaptive: false,
+            policy: EvictionPolicyKind::PaperScore,
         }
     }
 
@@ -65,12 +71,20 @@ impl CacheSpec {
             cache_offsets: false,
             cache_adjacencies: true,
             adaptive: false,
+            policy: EvictionPolicyKind::PaperScore,
         }
     }
 
     /// Enables adaptive tuning.
     pub fn with_adaptive(mut self) -> Self {
         self.adaptive = true;
+        self
+    }
+
+    /// Selects the eviction-policy family for both windows' caches
+    /// (see [`rmatc_clampi::policy`]).
+    pub fn with_policy(mut self, policy: EvictionPolicyKind) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -91,7 +105,7 @@ impl CacheSpec {
                 .saturating_sub(if self.cache_offsets { offsets_bytes } else { 0 });
         let offsets_cfg = if self.cache_offsets && offsets_bytes > 0 {
             let slots = ClampiConfig::offsets_table_slots(offsets_bytes, 16);
-            let mut cfg = ClampiConfig::always_cache(offsets_bytes, slots);
+            let mut cfg = ClampiConfig::always_cache(offsets_bytes, slots).with_policy(self.policy);
             if self.adaptive {
                 cfg = cfg.with_adaptive();
             }
@@ -106,7 +120,7 @@ impl CacheSpec {
                 (adj_bytes as f64 / graph_adj_bytes as f64).min(1.0)
             };
             let slots = ClampiConfig::adjacency_table_slots(n_global, fraction);
-            let mut cfg = ClampiConfig::always_cache(adj_bytes, slots);
+            let mut cfg = ClampiConfig::always_cache(adj_bytes, slots).with_policy(self.policy);
             if self.adaptive {
                 cfg = cfg.with_adaptive();
             }
@@ -193,6 +207,15 @@ impl DistConfig {
         self
     }
 
+    /// Selects the eviction-policy family both windows' caches run. A no-op
+    /// on the non-cached configuration (there is no cache to configure).
+    pub fn with_eviction_policy(mut self, policy: EvictionPolicyKind) -> Self {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.policy = policy;
+        }
+        self
+    }
+
     /// Same configuration with a different cost model for `Hybrid`
     /// resolution on every rank.
     pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
@@ -269,6 +292,26 @@ mod tests {
         // the adjacency cache gets nothing.
         assert_eq!(resolved.offsets.unwrap().capacity_bytes, 1_000);
         assert!(resolved.adjacencies.is_none());
+    }
+
+    #[test]
+    fn eviction_policy_threads_through_resolve() {
+        let spec = CacheSpec::paper(1 << 20);
+        assert_eq!(spec.policy, EvictionPolicyKind::PaperScore);
+        let resolved = spec
+            .with_policy(EvictionPolicyKind::Gdsf)
+            .resolve(100_000, 10 << 20);
+        assert_eq!(resolved.offsets.unwrap().policy, EvictionPolicyKind::Gdsf);
+        assert_eq!(
+            resolved.adjacencies.unwrap().policy,
+            EvictionPolicyKind::Gdsf
+        );
+        // And via the DistConfig builder.
+        let c = DistConfig::cached(4, 1 << 20).with_eviction_policy(EvictionPolicyKind::Lfu);
+        assert_eq!(c.cache.unwrap().policy, EvictionPolicyKind::Lfu);
+        // No cache, no-op.
+        let nc = DistConfig::non_cached(4).with_eviction_policy(EvictionPolicyKind::Lfu);
+        assert!(nc.cache.is_none());
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub use rmatc_tric as tric;
 
 /// Convenience prelude with the types most applications need.
 pub mod prelude {
-    pub use rmatc_clampi::{ClampiConfig, ConsistencyMode, ScorePolicy};
+    pub use rmatc_clampi::{
+        ClampiConfig, ConsistencyMode, EvictionPolicyKind, ScorePolicy, ShardedClampi,
+    };
     pub use rmatc_core::{
         CacheSpec, CostModel, CostProfile, DistConfig, DistJaccard, DistLcc, DistResult,
         IntersectMethod, JaccardResult, LocalConfig, LocalLcc, LocalParallelism, RangeSchedule,

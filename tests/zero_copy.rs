@@ -208,6 +208,7 @@ fn cache_hits_and_local_reads_allocate_nothing() {
         cache_offsets: true,
         cache_adjacencies: true,
         adaptive: false,
+        policy: Default::default(),
     });
     let mut reader = build_reader(&pg, &windows, &config);
     let mut ep = Endpoint::new(0, 2, config.network);
@@ -258,6 +259,7 @@ fn fused_hit_path_allocates_nothing() {
         cache_offsets: true,
         cache_adjacencies: true,
         adaptive: false,
+        policy: Default::default(),
     });
     let mut reader = build_reader(&pg, &windows, &config);
     let mut ep = Endpoint::new(0, 2, config.network);

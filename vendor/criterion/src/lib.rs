@@ -77,6 +77,11 @@ pub struct Record {
     pub samples: usize,
     pub iters_per_sample: u64,
     pub throughput_elems: Option<u64>,
+    /// Relative spread of the per-repeat medians when `--repeat N` ran the
+    /// measurement more than once: `(max − min) / median × 100`. `0.0` for
+    /// single runs and reported metrics — a large value flags a noisy
+    /// record that a regression gate should not trust blindly.
+    pub spread_pct: f64,
 }
 
 impl Record {
@@ -100,6 +105,7 @@ pub struct Criterion {
     measurement_time: Duration,
     records: Vec<Record>,
     filter: Option<String>,
+    repeat: usize,
 }
 
 impl Default for Criterion {
@@ -110,6 +116,7 @@ impl Default for Criterion {
             measurement_time: Duration::from_millis(240),
             records: Vec::new(),
             filter: parse_filter(),
+            repeat: parse_repeat(),
         }
     }
 }
@@ -127,6 +134,51 @@ impl Criterion {
 
     pub fn measurement_time(mut self, d: Duration) -> Self {
         self.measurement_time = d;
+        self
+    }
+
+    /// Runs every measurement `n` times and records the median of the
+    /// per-run medians plus their spread (also settable via `--repeat N`
+    /// after `--`). Repeats steady a regression gate: one noisy run cannot
+    /// move the recorded median to an extreme.
+    pub fn repeat(mut self, n: usize) -> Self {
+        self.repeat = n.max(1);
+        self
+    }
+
+    /// Records a non-timing metric (a hit rate in ppm, bytes moved, ...) as
+    /// an ordinary record — it prints with the table and lands in `--json` /
+    /// `--history` output, so downstream gates (`bench-diff`) can track it
+    /// exactly like a timing. The value is carried in `median_ns`.
+    pub fn report_metric(
+        &mut self,
+        group: impl Into<String>,
+        bench: impl Into<String>,
+        value: f64,
+    ) -> &mut Self {
+        let group = group.into();
+        let bench = bench.into();
+        let full = if group.is_empty() {
+            bench.clone()
+        } else {
+            format!("{group}/{bench}")
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        println!("{full:<56} metric {value:>14.1}");
+        self.records.push(Record {
+            group,
+            bench,
+            median_ns: value,
+            mean_ns: value,
+            samples: 1,
+            iters_per_sample: 1,
+            throughput_elems: None,
+            spread_pct: 0.0,
+        });
         self
     }
 
@@ -185,19 +237,39 @@ impl Criterion {
             (self.measurement_time.as_nanos() as f64 / sample_size as f64).max(50_000.0);
         let iters =
             (per_sample_budget / bencher.per_iter_estimate_ns.max(0.5)).clamp(1.0, 1e9) as u64;
-        bencher.mode = Mode::Measure {
-            samples: sample_size,
-            iters,
-        };
-        bencher.samples_ns.clear();
-        f(&mut bencher);
-        let mut samples = bencher.samples_ns;
-        if samples.is_empty() {
+        // `--repeat N` runs the whole measurement N times; the recorded
+        // median is the median of the per-run medians, and the run-to-run
+        // spread is kept alongside so gates can judge how noisy it was.
+        let mut run_medians = Vec::with_capacity(self.repeat);
+        let mut total_sum = 0.0;
+        let mut total_samples = 0usize;
+        for _ in 0..self.repeat {
+            bencher.mode = Mode::Measure {
+                samples: sample_size,
+                iters,
+            };
+            bencher.samples_ns.clear();
+            f(&mut bencher);
+            let mut samples = std::mem::take(&mut bencher.samples_ns);
+            if samples.is_empty() {
+                continue;
+            }
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+            run_medians.push(samples[samples.len() / 2]);
+            total_sum += samples.iter().sum::<f64>();
+            total_samples += samples.len();
+        }
+        if run_medians.is_empty() {
             return;
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
-        let median_ns = samples[samples.len() / 2];
-        let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        run_medians.sort_by(|a, b| a.partial_cmp(b).expect("medians are finite"));
+        let median_ns = run_medians[run_medians.len() / 2];
+        let spread_pct = if run_medians.len() > 1 && median_ns > 0.0 {
+            (run_medians[run_medians.len() - 1] - run_medians[0]) / median_ns * 100.0
+        } else {
+            0.0
+        };
+        let mean_ns = total_sum / total_samples as f64;
         let throughput_elems = match throughput {
             Some(Throughput::Elements(e)) => Some(e),
             _ => None,
@@ -207,16 +279,29 @@ impl Criterion {
             bench: bench.to_string(),
             median_ns,
             mean_ns,
-            samples: samples.len(),
+            samples: total_samples,
             iters_per_sample: iters,
             throughput_elems,
+            spread_pct,
+        };
+        let spread = if record.spread_pct > 0.0 {
+            format!(
+                "  (±{:.1}% over {} runs)",
+                record.spread_pct,
+                run_medians.len()
+            )
+        } else {
+            String::new()
         };
         match record.elems_per_us() {
             Some(rate) => println!(
-                "{full:<56} median {:>12} /iter  ({rate:.1} elems/us)",
+                "{full:<56} median {:>12} /iter  ({rate:.1} elems/us){spread}",
                 fmt_ns(record.median_ns)
             ),
-            None => println!("{full:<56} median {:>12} /iter", fmt_ns(record.median_ns)),
+            None => println!(
+                "{full:<56} median {:>12} /iter{spread}",
+                fmt_ns(record.median_ns)
+            ),
         }
         self.records.push(record);
     }
@@ -268,13 +353,31 @@ fn resolve_output_path(path: String) -> String {
         .unwrap_or(path)
 }
 
+/// The operand of `--repeat`, clamped to at least 1; absent or malformed
+/// operands fall back to a single run.
+fn parse_repeat() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--repeat" {
+            return match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("--repeat requires a positive integer operand; ignoring");
+                    1
+                }
+            };
+        }
+    }
+    1
+}
+
 /// First positional CLI argument = substring filter on benchmark names
-/// (mirrors criterion/libtest). `--json <path>`, `--history <path>` and other
-/// flags are skipped.
+/// (mirrors criterion/libtest). `--json <path>`, `--history <path>`,
+/// `--repeat <n>` and other flags are skipped.
 fn parse_filter() -> Option<String> {
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
-        if arg == "--json" || arg == "--history" {
+        if arg == "--json" || arg == "--history" || arg == "--repeat" {
             if args.peek().is_some_and(|next| !next.starts_with('-')) {
                 args.next();
             }
@@ -442,7 +545,7 @@ fn record_json(r: &Record) -> String {
     format!(
         "{{\"group\": {:?}, \"bench\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
          \"samples\": {}, \"iters_per_sample\": {}, \"throughput_elems\": {}, \
-         \"elems_per_us\": {}}}",
+         \"elems_per_us\": {}, \"spread_pct\": {:.2}}}",
         r.group,
         r.bench,
         r.median_ns,
@@ -451,6 +554,7 @@ fn record_json(r: &Record) -> String {
         r.iters_per_sample,
         throughput,
         elems_per_us,
+        r.spread_pct,
     )
 }
 
@@ -578,5 +682,35 @@ mod tests {
     fn benchmark_id_formats_parameter() {
         let id = BenchmarkId::new("hybrid", 8);
         assert_eq!(id.id, "hybrid/8");
+    }
+
+    #[test]
+    fn repeat_records_median_of_medians_with_spread() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .repeat(3);
+        c.benchmark_group("g")
+            .bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let records = c.into_records();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].median_ns > 0.0);
+        assert!(records[0].spread_pct >= 0.0);
+        assert_eq!(records[0].samples, 9, "3 repeats × 3 samples");
+    }
+
+    #[test]
+    fn reported_metrics_become_records() {
+        let mut c = Criterion::default();
+        c.report_metric("cache_policy", "gdsf/missrate_ppm", 123456.0);
+        let records = c.into_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].group, "cache_policy");
+        assert_eq!(records[0].bench, "gdsf/missrate_ppm");
+        assert_eq!(records[0].median_ns, 123456.0);
+        assert_eq!(records[0].spread_pct, 0.0);
+        let json = record_json(&records[0]);
+        assert!(json.contains("\"spread_pct\": 0.00"), "{json}");
     }
 }
