@@ -10,6 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rmatc_core::distributed::reader::RemoteReader;
+use rmatc_core::distributed::worker::run_worker;
 use rmatc_core::distributed::{CacheSpec, DistConfig, GraphWindows};
 use rmatc_core::intersect::ParallelIntersector;
 use rmatc_graph::gen::{GraphGenerator, RmatGenerator};
@@ -155,9 +156,47 @@ fn bench_remote_read(c: &mut Criterion) {
     group.finish();
 }
 
+/// The overlap benches: a full rank-0 LCC worker pass under latency
+/// *injection* (`NetworkModel::with_injection`), so the modeled Aries α/β
+/// really is spun for in wall time. The non-overlapped loop pays every spin
+/// back-to-back; the pipelined loop issues gets early enough that their
+/// modeled latency elapses while it computes, and the intra-rank threads add
+/// the second overlap axis (Figure 6). Run under `RMATC_THREADS≥2` (the
+/// justfile does) so the thread variants actually get a pool to spread over.
+fn bench_overlap(c: &mut Criterion) {
+    let g = RmatGenerator::paper(8, 16).generate_cleaned(11).into_csr();
+    let mut config = DistConfig::non_cached(2).with_degree_scores();
+    config.network = rmatc_rma::NetworkModel::aries().with_injection(0.2);
+    let pg = PartitionedGraph::from_global(&g, config.scheme, config.ranks)
+        .expect("two ranks divide the vertex count");
+    let windows = GraphWindows::build(&pg);
+
+    let mut group = c.benchmark_group("remote_read");
+    group.sample_size(20);
+
+    // Baseline: the sequential worker waits out every injected latency.
+    group.bench_function("non_overlapped_injected", |b| {
+        b.iter(|| run_worker(0, &pg, &windows, &config).expect("no faults injected"))
+    });
+
+    // The acceptance configuration: pipeline depth 8 × 2 intra-rank threads.
+    group.bench_function("pipelined", |b| {
+        let cfg = config.with_pipeline_depth(8).with_intra_threads(2);
+        b.iter(|| run_worker(0, &pg, &windows, &cfg).expect("no faults injected"))
+    });
+
+    // Intra-rank scaling entry: same depth, twice the threads.
+    group.bench_function("pipelined_threads4", |b| {
+        let cfg = config.with_pipeline_depth(8).with_intra_threads(4);
+        b.iter(|| run_worker(0, &pg, &windows, &cfg).expect("no faults injected"))
+    });
+
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_remote_read
+    targets = bench_remote_read, bench_overlap
 }
 criterion_main!(benches);

@@ -28,7 +28,8 @@ const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 /// Rationale per entry — keep this comment honest when editing:
 /// * `remote_read/cached_hit` — ~100 ns of pure cache-probe; a scheduler
 ///   hiccup during its short sample window shifts the median by tens of
-///   percent.
+///   percent (an A/B of identical code on the single-core container
+///   measured a ±31% run-to-run spread, so the band must clear that).
 /// * `remote_read/cached_cold` — eviction-heavy loop, sensitive to physical
 ///   page layout run-to-run.
 /// * `remote_read/non_cached` / `remote_read/faulty_path_off` — per-edge
@@ -47,11 +48,18 @@ const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 ///   `net_bytes_per_lookup` *metric* records from the same bench are fully
 ///   deterministic and deliberately NOT listed: any drift there is a real
 ///   policy-behaviour change and should trip the default gate.
+/// * `remote_read/non_overlapped_injected` / `remote_read/pipelined` — spin
+///   for injected Aries latencies in wall time, so absolute medians track
+///   the host's timer/scheduler as much as the code; the overlap *ratio*
+///   between them is the guarded property (see `docs/OVERLAP.md`), and a
+///   real loss of overlap moves `pipelined` far beyond this band anyway.
 const PER_BENCH_THRESHOLD_PCT: &[(&str, f64)] = &[
-    ("remote_read/cached_hit", 40.0),
+    ("remote_read/cached_hit", 50.0),
     ("remote_read/cached_cold", 25.0),
     ("remote_read/non_cached", 25.0),
     ("remote_read/faulty_path_off", 25.0),
+    ("remote_read/non_overlapped_injected", 30.0),
+    ("remote_read/pipelined", 30.0),
     ("intersect/parallel/", 25.0),
     ("intersect/costmodel/hybrid_calibrated", 60.0),
     ("cache_policy/replay/", 30.0),

@@ -45,7 +45,8 @@
 //! | [`cached_window`] | Fig. 3 steps 5–6; §II-F | Get interception: lookup before the network, insert after the miss |
 //! | [`cache`] | §III-B | The cache proper: slot index, weighted victim selection, admission control |
 //! | [`policy`] | §III-B (generalized) | Pluggable eviction policies: the paper's score rule plus LRU/LFU/GDSF |
-//! | [`sharded`] | beyond the paper | Lock-sharded concurrent cache for future multi-threaded ranks |
+//! | [`sharded`] | beyond the paper | Lock-sharded concurrent cache backing multi-threaded ranks |
+//! | [`sharded_window`] | beyond the paper | Concurrent get interception shared by a rank's worker threads, with split probe/admit reads for the pipelined path |
 //! | [`entry`] | §III-B1 | `(window, target, offset, len)` keys and the slot hash |
 //! | [`freelist`] | §II-F / §III-B | Variable-size entry storage with first-fit allocation and coalescing |
 //! | [`config`] | §II-F, §III-B1 | Consistency modes, score policies, and the hash-table sizing rules |
@@ -62,6 +63,7 @@ pub mod freelist;
 pub mod policy;
 pub mod row;
 pub mod sharded;
+pub mod sharded_window;
 pub mod stats;
 
 pub use cache::{CacheInsertOutcome, Clampi};
@@ -71,4 +73,5 @@ pub use entry::EntryKey;
 pub use policy::{EntryView, EvictionPolicy, EvictionPolicyKind, PolicyContext};
 pub use row::RowRef;
 pub use sharded::ShardedClampi;
+pub use sharded_window::{CacheProbe, ShardedCachedWindow};
 pub use stats::CacheStats;

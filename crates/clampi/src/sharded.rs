@@ -102,6 +102,16 @@ impl<T: Clone> ShardedClampi<T> {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
+    /// Runs `f` with the shard owning `key` locked for the whole call. This
+    /// is the coalescing primitive for concurrent misses on the *same* key:
+    /// holding the shard across lookup → fetch → insert makes the second
+    /// thread block on the shard mutex and then find a hit, instead of both
+    /// fetching. Keys on other shards proceed in parallel throughout. Do not
+    /// call [`ShardedClampi`] methods for the same shard from inside `f`.
+    pub fn with_shard<R>(&self, key: &EntryKey, f: impl FnOnce(&mut Clampi<T>) -> R) -> R {
+        f(&mut self.lock(self.shard_for(key)))
+    }
+
     /// Looks up a region in its shard. See [`Clampi::lookup`].
     pub fn lookup(&self, key: EntryKey) -> Option<Arc<[T]>> {
         self.lock(self.shard_for(&key)).lookup(key)

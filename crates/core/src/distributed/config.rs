@@ -174,6 +174,18 @@ pub struct DistConfig {
     /// Deterministic fault injection; `None` (the default) runs the reliable
     /// network with zero overhead (no checksums computed).
     pub faults: Option<FaultPlan>,
+    /// Software-pipelining depth of the overlapped worker loop: how many
+    /// remote adjacency gets are kept in flight ahead of the computation.
+    /// `0` or `1` runs the classic issue-wait-compute loop; `D ≥ 2` issues up
+    /// to `D` gets before draining the oldest, overlapping their modeled
+    /// latency with the intersections of already-landed rows (see
+    /// `docs/OVERLAP.md`).
+    pub pipeline_depth: usize,
+    /// Worker threads *inside* each rank. `1` (the default) keeps the rank
+    /// single-threaded; `T ≥ 2` splits the rank's local vertices across `T`
+    /// pool tasks, each with its own RMA endpoint, sharing one lock-sharded
+    /// CLaMPI cache ([`rmatc_clampi::ShardedClampi`]).
+    pub intra_threads: usize,
 }
 
 impl DistConfig {
@@ -190,6 +202,8 @@ impl DistConfig {
             score_mode: ScoreMode::Lru,
             retry: RetryPolicy::default(),
             faults: None,
+            pipeline_depth: 1,
+            intra_threads: 1,
         }
     }
 
@@ -236,6 +250,36 @@ impl DistConfig {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Sets the software-pipelining depth of the overlapped worker loop
+    /// (`0` and `1` both mean "no pipelining").
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Sets the number of worker threads inside each rank (`0` and `1` both
+    /// mean "single-threaded rank").
+    pub fn with_intra_threads(mut self, threads: usize) -> Self {
+        self.intra_threads = threads;
+        self
+    }
+
+    /// The effective pipeline depth (`max(depth, 1)`).
+    pub fn effective_pipeline_depth(&self) -> usize {
+        self.pipeline_depth.max(1)
+    }
+
+    /// The effective intra-rank thread count (`max(threads, 1)`).
+    pub fn effective_intra_threads(&self) -> usize {
+        self.intra_threads.max(1)
+    }
+
+    /// Whether this configuration takes the overlapped (pipelined and/or
+    /// intra-rank-threaded) worker path instead of the classic sequential one.
+    pub fn overlapped(&self) -> bool {
+        self.effective_pipeline_depth() > 1 || self.effective_intra_threads() > 1
     }
 }
 
@@ -328,5 +372,23 @@ mod tests {
             .with_retry(RetryPolicy::no_retries());
         assert_eq!(faulted.faults, Some(FaultPlan::light(9)));
         assert_eq!(faulted.retry.max_attempts, 1);
+    }
+
+    #[test]
+    fn overlap_knobs_default_off_and_normalize() {
+        let c = DistConfig::non_cached(2);
+        assert_eq!(c.pipeline_depth, 1);
+        assert_eq!(c.intra_threads, 1);
+        assert!(!c.overlapped());
+        // 0 and 1 both mean "off" for either knob.
+        assert!(!c.with_pipeline_depth(0).overlapped());
+        assert_eq!(c.with_pipeline_depth(0).effective_pipeline_depth(), 1);
+        assert_eq!(c.with_intra_threads(0).effective_intra_threads(), 1);
+        let p = c.with_pipeline_depth(4);
+        assert!(p.overlapped());
+        assert_eq!(p.effective_pipeline_depth(), 4);
+        let t = c.with_intra_threads(3);
+        assert!(t.overlapped());
+        assert_eq!(t.effective_intra_threads(), 3);
     }
 }

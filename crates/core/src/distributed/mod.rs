@@ -32,6 +32,7 @@
 //! | 5 | Get the adjacency list from `w_adj`, cache-intercepted | [`reader`] + `rmatc_clampi` |
 //! | 6 | Intersect, accumulate per-vertex closed triplets | [`worker`] + [`crate::intersect`] |
 //! | — | Assemble LCC scores and per-rank reports | [`report`] |
+//! | — | Overlapped worker: pipelined gets + intra-rank threads (Fig. 6 axis) | [`pipeline`] |
 //!
 //! # Zero-copy reads
 //!
@@ -47,6 +48,7 @@
 //! allocations; a miss performs exactly one.
 
 pub mod config;
+pub mod pipeline;
 pub mod reader;
 pub mod report;
 pub mod windows;
@@ -148,6 +150,8 @@ mod tests {
             score_mode: ScoreMode::Lru,
             retry: rmatc_rma::RetryPolicy::default(),
             faults: None,
+            pipeline_depth: 1,
+            intra_threads: 1,
         }
     }
 

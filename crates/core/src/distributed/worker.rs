@@ -46,6 +46,12 @@ pub fn run_worker(
     windows: &GraphWindows,
     config: &DistConfig,
 ) -> Result<WorkerOutput, RmaError> {
+    if config.overlapped() {
+        // Pipeline depth or intra-rank threads requested: run the overlapped
+        // worker (same output, same error semantics — `tests/equivalence.rs`
+        // holds it to this loop's results).
+        return super::pipeline::run_worker_overlapped(rank, pg, windows, config);
+    }
     let part = &pg.partitions[rank];
     let n_global = pg.global_vertex_count();
     let caches = match &config.cache {
@@ -182,6 +188,8 @@ mod tests {
             score_mode: ScoreMode::Lru,
             retry: rmatc_rma::RetryPolicy::default(),
             faults: None,
+            pipeline_depth: 1,
+            intra_threads: 1,
         };
         (pg, windows, config)
     }

@@ -13,13 +13,18 @@
 //! beyond triangle counting.
 
 use crate::distributed::config::{DistConfig, ResolvedCaches};
+use crate::distributed::pipeline::{self, Deferred, SharedReader, Started};
 use crate::distributed::reader::RemoteReader;
 use crate::distributed::windows::GraphWindows;
 use crate::intersect::Intersector;
+use rayon::prelude::*;
 use rmatc_graph::partition::PartitionedGraph;
 use rmatc_graph::types::VertexId;
 use rmatc_graph::CsrGraph;
 use rmatc_rma::{run_ranks, Endpoint, RankStats, RmaError, ThreadTimer};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// Similarity score of one directed edge.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -157,6 +162,29 @@ struct RankJaccard {
     compute_ns: u64,
 }
 
+/// Builds one edge's similarity record from the endpoint degrees and the
+/// common-neighbour count.
+fn edge_similarity(
+    source: VertexId,
+    destination: VertexId,
+    degree_u: usize,
+    degree_v: usize,
+    common: u64,
+) -> EdgeSimilarity {
+    let union = degree_u as u64 + degree_v as u64 - common;
+    let jaccard = if union == 0 {
+        0.0
+    } else {
+        common as f64 / union as f64
+    };
+    EdgeSimilarity {
+        source,
+        destination,
+        common_neighbours: common,
+        jaccard,
+    }
+}
+
 fn run_rank(
     rank: usize,
     pg: &PartitionedGraph,
@@ -164,6 +192,12 @@ fn run_rank(
     cfg: &DistConfig,
     caches: &ResolvedCaches,
 ) -> Result<RankJaccard, RmaError> {
+    if cfg.overlapped() {
+        // Pipeline depth or intra-rank threads requested: same access
+        // pattern, overlapped worker (the global edge sort in
+        // `try_run_partitioned` absorbs the completion-order reshuffle).
+        return run_rank_overlapped(rank, pg, windows, cfg, caches);
+    }
     let part = &pg.partitions[rank];
     let mut reader = RemoteReader::new(windows, caches, cfg);
     let mut ep = Endpoint::new(rank, cfg.ranks, cfg.network).with_retry(cfg.retry);
@@ -216,6 +250,200 @@ fn run_rank(
         stats: ep.into_stats(),
         compute_ns,
     })
+}
+
+/// One Jaccard adjacency get in flight: the deferred read plus the edge
+/// context needed to finish the similarity record at completion.
+struct JacSlot<'a> {
+    deferred: Deferred<u64>,
+    source: VertexId,
+    destination: VertexId,
+    adj_u: &'a [VertexId],
+    degree_v: usize,
+}
+
+/// The overlapped counterpart of [`run_rank`]: pipelined adjacency gets and
+/// optional intra-rank threads, sharing the LCC pipeline machinery
+/// ([`crate::distributed::pipeline`]) with the Jaccard kernel swapped in.
+fn run_rank_overlapped(
+    rank: usize,
+    pg: &PartitionedGraph,
+    windows: &GraphWindows,
+    cfg: &DistConfig,
+    caches: &ResolvedCaches,
+) -> Result<RankJaccard, RmaError> {
+    let part = &pg.partitions[rank];
+    let n_local = part.local_vertex_count();
+    let workers = pipeline::worker_count(cfg, n_local);
+    let reader = SharedReader::new(windows, caches, cfg, workers);
+    let intersector = Intersector::new(cfg.method).with_cost_model(cfg.cost_model);
+    let chunk = pipeline::chunk_size(n_local, workers);
+
+    let outs: Vec<Result<RankJaccard, RmaError>> = (0..workers)
+        .into_par_iter()
+        .map(|t| {
+            let lo = (t * chunk).min(n_local);
+            let hi = ((t + 1) * chunk).min(n_local);
+            jaccard_thread(rank, lo..hi, pg, &reader, cfg, &intersector)
+        })
+        .collect();
+    // Lowest failing thread wins, keeping the surfaced error deterministic.
+    let outs = outs.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    let mut edges = Vec::new();
+    let mut stats: Option<RankStats> = None;
+    let mut compute_ns = 0u64;
+    for out in outs {
+        edges.extend(out.edges);
+        match &mut stats {
+            Some(merged) => merged.merge(&out.stats),
+            None => stats = Some(out.stats),
+        }
+        compute_ns = compute_ns.max(out.compute_ns);
+    }
+    Ok(RankJaccard {
+        edges,
+        stats: stats.unwrap_or_else(|| RankStats::new(cfg.ranks)),
+        compute_ns,
+    })
+}
+
+/// One worker thread over a contiguous chunk of the rank's vertices.
+fn jaccard_thread(
+    rank: usize,
+    range: Range<usize>,
+    pg: &PartitionedGraph,
+    reader: &SharedReader,
+    cfg: &DistConfig,
+    intersector: &Intersector,
+) -> Result<RankJaccard, RmaError> {
+    let mut ep = Endpoint::new(rank, cfg.ranks, cfg.network).with_retry(cfg.retry);
+    if let Some(plan) = cfg.faults {
+        ep = ep.with_faults(plan.injector(rank));
+    }
+    let mut edges = Vec::new();
+    let mut fifo: VecDeque<JacSlot<'_>> = VecDeque::with_capacity(cfg.effective_pipeline_depth());
+    ep.lock_all();
+    let timer = ThreadTimer::start();
+    let outcome = jaccard_loop(
+        rank,
+        range,
+        pg,
+        reader,
+        cfg,
+        intersector,
+        &mut ep,
+        &mut fifo,
+        &mut edges,
+    );
+    match outcome {
+        Ok(()) => {
+            let compute_ns = timer.elapsed_ns();
+            ep.unlock_all();
+            Ok(RankJaccard {
+                edges,
+                stats: ep.into_stats(),
+                compute_ns,
+            })
+        }
+        Err(e) => {
+            // Drop the in-flight slots and charge their cost as a final
+            // flush, so the epoch closes cleanly.
+            fifo.clear();
+            ep.abandon_outstanding();
+            ep.unlock_all();
+            Err(e)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn jaccard_loop<'a>(
+    rank: usize,
+    range: Range<usize>,
+    pg: &'a PartitionedGraph,
+    reader: &SharedReader,
+    cfg: &DistConfig,
+    intersector: &Intersector,
+    ep: &mut Endpoint,
+    fifo: &mut VecDeque<JacSlot<'a>>,
+    edges: &mut Vec<EdgeSimilarity>,
+) -> Result<(), RmaError> {
+    let part = &pg.partitions[rank];
+    let depth = cfg.effective_pipeline_depth();
+    for local_idx in range {
+        let source = part.global_ids[local_idx];
+        let adj_u = part.neighbours_of_local(local_idx);
+        for &v in adj_u {
+            let owner = pg.partitioner.owner(v);
+            let v_local = pg.partitioner.local_index(v);
+            if owner == rank {
+                let adj_v = part.neighbours_of_local(v_local);
+                let common = intersector.count(adj_u, adj_v);
+                edges.push(edge_similarity(source, v, adj_u.len(), adj_v.len(), common));
+                continue;
+            }
+            let started = reader.start_remote(
+                ep,
+                owner,
+                v_local,
+                |row| intersector.count(adj_u, row),
+                |src| {
+                    let arc: Arc<[VertexId]> = Arc::from(src);
+                    let common = intersector.count(adj_u, &arc);
+                    (arc, common)
+                },
+            )?;
+            match started {
+                Started::Immediate { len, value } => {
+                    edges.push(edge_similarity(source, v, adj_u.len(), len, value));
+                }
+                Started::Deferred { len, deferred } => {
+                    if fifo.len() >= depth {
+                        let slot = fifo.pop_front().expect("fifo is non-empty at depth");
+                        complete_jaccard_slot(ep, reader, intersector, slot, edges)?;
+                    }
+                    fifo.push_back(JacSlot {
+                        deferred,
+                        source,
+                        destination: v,
+                        adj_u,
+                        degree_v: len,
+                    });
+                }
+            }
+        }
+    }
+    // Drain the tail in issue order.
+    while let Some(slot) = fifo.pop_front() {
+        complete_jaccard_slot(ep, reader, intersector, slot, edges)?;
+    }
+    Ok(())
+}
+
+fn complete_jaccard_slot(
+    ep: &mut Endpoint,
+    reader: &SharedReader,
+    intersector: &Intersector,
+    slot: JacSlot<'_>,
+    edges: &mut Vec<EdgeSimilarity>,
+) -> Result<(), RmaError> {
+    let JacSlot {
+        deferred,
+        source,
+        destination,
+        adj_u,
+        degree_v,
+    } = slot;
+    let common = reader.complete(ep, deferred, |row| intersector.count(adj_u, row))?;
+    edges.push(edge_similarity(
+        source,
+        destination,
+        adj_u.len(),
+        degree_v,
+        common,
+    ));
+    Ok(())
 }
 
 #[cfg(test)]
@@ -324,6 +552,57 @@ mod tests {
                 > 0,
             "the light plan must actually inject faults"
         );
+    }
+
+    #[test]
+    fn overlapped_runs_match_sequential_scores_exactly() {
+        let g = RmatGenerator::paper(8, 8).generate_cleaned(31).into_csr();
+        let baseline = DistJaccard::new(DistConfig::non_cached(2)).run(&g);
+        for (depth, threads) in [(4usize, 1usize), (1, 4), (8, 2)] {
+            let mut cfg = DistConfig::non_cached(2);
+            cfg.pipeline_depth = depth;
+            cfg.intra_threads = threads;
+            let out = DistJaccard::new(cfg).run(&g);
+            assert_eq!(
+                out.edges, baseline.edges,
+                "depth {depth}, threads {threads}"
+            );
+            // Non-cached: gets are per-edge deterministic however the
+            // overlapped loop interleaves them.
+            assert_eq!(out.total_gets(), baseline.total_gets());
+        }
+    }
+
+    #[test]
+    fn overlapped_cached_runs_match_sequential_scores_exactly() {
+        let g = RmatGenerator::paper(9, 16).generate_cleaned(19).into_csr();
+        let mut cfg = DistConfig::non_cached(4);
+        cfg.cache = Some(CacheSpec::paper(g.csr_size_bytes() as usize));
+        let cfg = cfg.with_degree_scores();
+        let baseline = DistJaccard::new(cfg).run(&g);
+        let mut piped = cfg;
+        piped.pipeline_depth = 6;
+        let out = DistJaccard::new(piped).run(&g);
+        assert_eq!(out.edges, baseline.edges);
+        // Get counts are only comparable over the *same* windows: the cache's
+        // slot hash keys on the window id, which `GraphWindows::build`
+        // allocates afresh per run. Over shared windows, single-threaded
+        // pipelining performs cache operations in issue order — the same
+        // sequence as the sequential rank, so the same hit pattern.
+        let pg = PartitionedGraph::from_global(&g, cfg.scheme, cfg.ranks).unwrap();
+        let windows = GraphWindows::build(&pg);
+        let caches = cfg
+            .cache
+            .as_ref()
+            .unwrap()
+            .resolve(pg.global_vertex_count(), windows.adjacency_bytes() as u64);
+        for rank in 0..cfg.ranks {
+            let seq = run_rank(rank, &pg, &windows, &cfg, &caches).unwrap();
+            let pip = run_rank(rank, &pg, &windows, &piped, &caches).unwrap();
+            assert_eq!(pip.stats.gets, seq.stats.gets, "rank {rank}");
+            assert_eq!(pip.stats.bytes, seq.stats.bytes, "rank {rank}");
+            assert_eq!(pip.stats.local_reads, seq.stats.local_reads, "rank {rank}");
+        }
     }
 
     #[test]

@@ -85,13 +85,19 @@ impl NetworkModel {
         rounds * self.alpha_ns
     }
 
-    /// Spins for `cost_ns * injection_scale` if injection is enabled.
-    pub(crate) fn maybe_inject(&self, cost_ns: f64) {
+    /// Spins until `cost_ns * injection_scale` of wall time has passed since
+    /// `issued` (since now, when `None`). A get whose modeled latency already
+    /// elapsed while the caller computed — the NIC moved the bytes in the
+    /// background, as real one-sided hardware does — costs no spin at all.
+    /// This is what makes the pipelined worker's communication/compute
+    /// overlap a *wall-clock* win under injection, not only a virtual-time
+    /// accounting win.
+    pub(crate) fn maybe_inject_since(&self, cost_ns: f64, issued: Option<std::time::Instant>) {
         if self.injection_scale <= 0.0 {
             return;
         }
         let target = std::time::Duration::from_nanos((cost_ns * self.injection_scale) as u64);
-        let start = std::time::Instant::now();
+        let start = issued.unwrap_or_else(std::time::Instant::now);
         while start.elapsed() < target {
             std::hint::spin_loop();
         }
@@ -154,7 +160,7 @@ mod tests {
     fn injection_spins_for_roughly_the_requested_time() {
         let m = NetworkModel::aries().with_injection(1.0);
         let start = std::time::Instant::now();
-        m.maybe_inject(2_000_000.0); // 2 ms
+        m.maybe_inject_since(2_000_000.0, None); // 2 ms
         assert!(start.elapsed() >= std::time::Duration::from_millis(1));
     }
 
@@ -162,7 +168,7 @@ mod tests {
     fn injection_disabled_returns_immediately() {
         let m = NetworkModel::aries();
         let start = std::time::Instant::now();
-        m.maybe_inject(1e12);
+        m.maybe_inject_since(1e12, None);
         assert!(start.elapsed() < std::time::Duration::from_millis(100));
     }
 }

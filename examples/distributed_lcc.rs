@@ -49,6 +49,8 @@ fn main() {
         // is never exercised — it exists so chaos tests can flip it on.
         retry: rmatc::prelude::RetryPolicy::default(),
         faults: None,
+        pipeline_depth: 1,
+        intra_threads: 1,
     };
 
     // -- Run ---------------------------------------------------------------

@@ -130,6 +130,168 @@ fn double_buffering_and_intersection_method_do_not_change_results() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Differential layer: the overlapped worker (pipeline depth ≥ 2 and/or
+// intra-rank threads ≥ 2) against the sequential worker, over random R-MAT
+// graphs × pipeline depths × thread counts × cache policies.
+//
+// Equivalence tiers (see `crates/core/src/distributed/pipeline.rs`):
+//
+// * Always: scores (triangles, LCC, Jaccard) are bit-identical, and per-rank
+//   cache lookup totals (hits + misses), edge counts and — for non-cached
+//   configurations — get/byte counters match exactly, because each is
+//   per-edge deterministic however the overlapped loop interleaves.
+// * One thread, shared windows: the *full* cache statistics and every
+//   integer RMA counter are bit-identical — cache operations happen at issue
+//   time in exactly the sequential order. (Hit/miss splits of cached runs
+//   are only comparable over the same windows: the slot hash keys on the
+//   window id, which `GraphWindows::build` allocates afresh per run.)
+// ---------------------------------------------------------------------------
+
+mod differential {
+    use super::*;
+    use proptest::prelude::*;
+    use rmatc::clampi::{CacheStats, EvictionPolicyKind};
+    use rmatc::core::distributed::windows::GraphWindows;
+    use rmatc::core::distributed::worker::run_worker;
+    use rmatc::core::CacheSpec;
+
+    /// `None` → non-cached; `Some` → the paper's cache under the given
+    /// eviction-policy family and score mode.
+    fn arb_cache() -> impl Strategy<Value = Option<(EvictionPolicyKind, ScoreMode)>> {
+        (0usize..5, any::<bool>()).prop_map(|(policy, degree_scores)| {
+            let mode = if degree_scores {
+                ScoreMode::DegreeCentrality
+            } else {
+                ScoreMode::Lru
+            };
+            match policy {
+                0 => None,
+                1 => Some((EvictionPolicyKind::PaperScore, mode)),
+                2 => Some((EvictionPolicyKind::Lru, mode)),
+                3 => Some((EvictionPolicyKind::Lfu, mode)),
+                _ => Some((EvictionPolicyKind::Gdsf, mode)),
+            }
+        })
+    }
+
+    fn config_for(
+        ranks: usize,
+        cache: Option<(EvictionPolicyKind, ScoreMode)>,
+        budget: usize,
+    ) -> DistConfig {
+        let mut cfg = DistConfig::non_cached(ranks);
+        if let Some((policy, mode)) = cache {
+            cfg.cache = Some(CacheSpec::paper(budget).with_policy(policy));
+            cfg.score_mode = mode;
+        }
+        cfg
+    }
+
+    fn lookups(stats: &Option<CacheStats>) -> u64 {
+        stats.as_ref().map(|s| s.lookups()).unwrap_or(0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// Public-API tier: any depth × thread count × cache policy produces
+        /// bit-identical scores and per-edge-deterministic counters.
+        #[test]
+        fn overlapped_lcc_matches_sequential_on_random_graphs(
+            (seed, scale, edge_factor) in (any::<u64>(), 5u32..8, 4u32..10),
+            ranks in 2usize..4,
+            (depth, threads) in (2usize..10, 1usize..5),
+            cache in arb_cache(),
+        ) {
+            let g = RmatGenerator::paper(scale, edge_factor)
+                .generate_cleaned(seed)
+                .into_csr();
+            let cfg = config_for(ranks, cache, 64 << 10);
+            let sequential = DistLcc::new(cfg).run(&g);
+            let overlapped = DistLcc::new(
+                cfg.with_pipeline_depth(depth).with_intra_threads(threads),
+            )
+            .run(&g);
+            prop_assert_eq!(overlapped.triangle_count, sequential.triangle_count);
+            prop_assert_eq!(
+                &overlapped.per_vertex_triangles,
+                &sequential.per_vertex_triangles
+            );
+            // LCC divides identical integers — bit-identical f64.
+            prop_assert_eq!(&overlapped.lcc, &sequential.lcc);
+            for (a, b) in overlapped.ranks.iter().zip(sequential.ranks.iter()) {
+                prop_assert_eq!(a.edges_processed, b.edges_processed);
+                prop_assert_eq!(a.remote_edges, b.remote_edges);
+                // Exactly one lookup per remote non-empty row read: the
+                // hit + miss total is deterministic however gets overlap.
+                prop_assert_eq!(
+                    lookups(&a.adjacency_cache),
+                    lookups(&b.adjacency_cache)
+                );
+                prop_assert_eq!(lookups(&a.offsets_cache), lookups(&b.offsets_cache));
+                if cache.is_none() {
+                    // Non-cached: every remote read goes to the wire, so the
+                    // get/byte counters are per-edge deterministic too.
+                    prop_assert_eq!(a.rma.gets, b.rma.gets);
+                    prop_assert_eq!(a.rma.bytes, b.rma.bytes);
+                    prop_assert_eq!(&a.rma.gets_per_target, &b.rma.gets_per_target);
+                    prop_assert_eq!(&a.rma.bytes_per_target, &b.rma.bytes_per_target);
+                }
+            }
+        }
+
+        /// Strong tier: one thread over shared windows — full cache statistics
+        /// and every integer RMA counter are bit-identical at any depth.
+        #[test]
+        fn single_thread_pipelining_is_bit_identical_per_rank(
+            seed in any::<u64>(),
+            depth in 2usize..12,
+            cache in arb_cache(),
+        ) {
+            let g = RmatGenerator::paper(6, 8).generate_cleaned(seed).into_csr();
+            let cfg = config_for(2, cache, 32 << 10);
+            let pg = PartitionedGraph::from_global(&g, cfg.scheme, cfg.ranks).unwrap();
+            let windows = GraphWindows::build(&pg);
+            for rank in 0..cfg.ranks {
+                let seq = run_worker(rank, &pg, &windows, &cfg).unwrap();
+                let pip = run_worker(rank, &pg, &windows, &cfg.with_pipeline_depth(depth)).unwrap();
+                prop_assert_eq!(&pip.local_triangles, &seq.local_triangles);
+                prop_assert_eq!(&pip.offsets_cache, &seq.offsets_cache);
+                prop_assert_eq!(&pip.adjacency_cache, &seq.adjacency_cache);
+                prop_assert_eq!(pip.edges_processed, seq.edges_processed);
+                prop_assert_eq!(pip.remote_edges, seq.remote_edges);
+                prop_assert_eq!(pip.rma.gets, seq.rma.gets);
+                prop_assert_eq!(pip.rma.bytes, seq.rma.bytes);
+                prop_assert_eq!(pip.rma.flushes, seq.rma.flushes);
+                prop_assert_eq!(pip.rma.local_reads, seq.rma.local_reads);
+                prop_assert_eq!(&pip.rma.gets_per_target, &seq.rma.gets_per_target);
+                prop_assert_eq!(&pip.rma.bytes_per_target, &seq.rma.bytes_per_target);
+            }
+        }
+
+        /// The Jaccard worker shares the pipeline machinery: its per-edge
+        /// similarities must be bit-identical under any overlap setting.
+        #[test]
+        fn overlapped_jaccard_matches_sequential_on_random_graphs(
+            seed in any::<u64>(),
+            depth in 2usize..10,
+            threads in 1usize..5,
+        ) {
+            let g = RmatGenerator::paper(6, 8).generate_cleaned(seed).into_csr();
+            let cfg = DistConfig::non_cached(3);
+            let sequential = DistJaccard::new(cfg).run(&g);
+            let overlapped = DistJaccard::new(
+                cfg.with_pipeline_depth(depth).with_intra_threads(threads),
+            )
+            .run(&g);
+            prop_assert_eq!(&overlapped.edges, &sequential.edges);
+            let gets = |r: &JaccardResult| r.rank_stats.iter().map(|s| s.gets).sum::<u64>();
+            prop_assert_eq!(gets(&overlapped), gets(&sequential));
+        }
+    }
+}
+
 #[test]
 fn relabeling_preserves_triangle_count_through_the_whole_pipeline() {
     let gen = RmatGenerator::paper(9, 8);

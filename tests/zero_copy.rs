@@ -80,6 +80,8 @@ fn base_config(ranks: usize) -> DistConfig {
         score_mode: ScoreMode::DegreeCentrality,
         retry: rmatc::rma::RetryPolicy::default(),
         faults: None,
+        pipeline_depth: 1,
+        intra_threads: 1,
     }
 }
 

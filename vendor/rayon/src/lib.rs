@@ -83,8 +83,10 @@ pub struct ParMap<F> {
 }
 
 /// Runs `per_chunk` over contiguous sub-ranges of `[start, end)` on the pool
-/// and returns the per-chunk results in range order. Sequential when the pool
-/// has a single worker or the call is nested inside a pool worker.
+/// and returns the per-chunk results in range order. Sequential only when the
+/// pool has a single worker; nested calls from inside a pool worker split
+/// onto the pool like any other (the worker pushes the sub-job to its own
+/// deque and helps — see `pool::run_tasks`).
 fn run_chunks<T, G>(start: usize, end: usize, per_chunk: G) -> Vec<T>
 where
     T: Send,
@@ -98,7 +100,7 @@ where
     // `effective_parallelism`) — on a narrower machine the region runs
     // inline, exactly like the previous stub's `cores.min(len)` fallback.
     let threads = pool::effective_parallelism();
-    if len == 1 || threads <= 1 || pool::in_worker() {
+    if len == 1 || threads <= 1 {
         return vec![per_chunk(start..end)];
     }
     let chunk = len.div_ceil((threads * CHUNKS_PER_WORKER).min(len));
@@ -251,7 +253,8 @@ mod tests {
     fn nested_parallel_calls_complete() {
         super::ensure_pool(4);
         // Outer parallel map whose chunks themselves issue parallel sums:
-        // inner calls run inline on workers, and must still be correct.
+        // inner calls split onto the pool from inside workers, and must
+        // still be correct.
         let totals: Vec<u64> = (0..8usize)
             .into_par_iter()
             .map(|_| (0..100usize).into_par_iter().map(|x| x as u64).sum::<u64>())

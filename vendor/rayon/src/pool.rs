@@ -17,9 +17,15 @@
 //! from the top. The job's `remaining` counter reaches zero exactly when every
 //! task index has executed, which unparks the submitting thread.
 //!
-//! Nested parallel calls from inside a worker run inline (sequentially) —
-//! the outer parallelism already owns the pool, and blocking a worker on a
-//! sub-job could deadlock a pool of one.
+//! Nested parallel calls from inside a worker split onto the pool too: the
+//! submitting worker pushes the sub-job onto its *own* deque (so idle workers
+//! can steal it) and then helps — popping its own deque first, then stealing,
+//! then draining the injector — until the sub-job's counter reaches zero. The
+//! helping loop never blocks indefinitely (`park_timeout` only), so a pool of
+//! one cannot deadlock: with a single worker the nested call simply runs
+//! inline, exactly as before. Panics raised inside a nested job unwind out of
+//! the nested `run_tasks`, are caught by the *outer* job's `catch_unwind`,
+//! and reach the original submitter.
 
 use crate::deque::{Deque, Task};
 use std::any::Any;
@@ -71,12 +77,17 @@ static POOL: OnceLock<&'static Pool> = OnceLock::new();
 static THREADS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
-    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
 /// Whether the current thread is one of the pool's workers.
 pub fn in_worker() -> bool {
-    IS_WORKER.with(Cell::get)
+    WORKER_INDEX.with(Cell::get).is_some()
+}
+
+/// The current thread's deque index, if it is a pool worker.
+fn worker_index() -> Option<usize> {
+    WORKER_INDEX.with(Cell::get)
 }
 
 /// Total OS threads the pool has ever spawned (0 before first parallel use;
@@ -199,18 +210,24 @@ fn pool_with_hint(hint: usize) -> &'static Pool {
 
 /// Executes `run(0..n)` across the pool, blocking until every index has run.
 /// Panics from tasks are rethrown here (first one wins). Calls from inside a
-/// pool worker run inline.
+/// pool worker split the sub-job onto the worker's own deque and help until it
+/// completes; a pool of one runs everything inline (nothing to split to).
 pub(crate) fn run_tasks<F: Fn(usize) + Sync>(n: usize, run: &F) {
     if n == 0 {
         return;
     }
-    if n == 1 || in_worker() {
+    let me = worker_index();
+    if n == 1 {
         for index in 0..n {
             run(index);
         }
         return;
     }
-    let pool = pool_with_hint(0);
+    // A worker never lazily *builds* the pool — it exists by definition.
+    let pool = match me {
+        Some(_) => POOL.get().expect("a worker implies a built pool"),
+        None => pool_with_hint(0),
+    };
     if pool.deques.len() <= 1 {
         for index in 0..n {
             run(index);
@@ -224,12 +241,26 @@ pub(crate) fn run_tasks<F: Fn(usize) + Sync>(n: usize, run: &F) {
         waiter: thread::current(),
         panic: Mutex::new(None),
     };
-    pool.inject(Task {
+    let task = Task {
         job: &job as *const JobCore as usize,
         lo: 0,
         hi: n,
-    });
-    pool.help_until_done(&job);
+    };
+    match me {
+        // Nested submit: the whole range goes to the submitter's own deque
+        // where idle workers can steal the top (largest) half while the
+        // submitter helps from the bottom. If the ring is full the sub-job
+        // runs through `execute` directly — same splitting, no queueing.
+        Some(index) => {
+            if pool.deques[index].push(task) {
+                pool.wake_sleepers();
+            } else {
+                pool.execute(me, task);
+            }
+        }
+        None => pool.inject(task),
+    }
+    pool.help_until_done(me, &job);
     let payload = job.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
     if let Some(payload) = payload {
         resume_unwind(payload);
@@ -237,7 +268,7 @@ pub(crate) fn run_tasks<F: Fn(usize) + Sync>(n: usize, run: &F) {
 }
 
 fn worker_loop(pool: &'static Pool, me: usize) {
-    IS_WORKER.with(|flag| flag.set(true));
+    WORKER_INDEX.with(|slot| slot.set(Some(me)));
     loop {
         if let Some(task) = pool.deques[me].pop() {
             pool.execute(Some(me), task);
@@ -364,12 +395,23 @@ impl Pool {
 
     /// The submitting thread's wait loop: execute available tasks (its own
     /// job's or anyone's — all help global progress) until the job completes.
-    fn help_until_done(&self, job: &JobCore) {
+    /// A nested submitter (`me = Some`) drains its own deque first — the
+    /// sub-job it just pushed sits at the bottom — then steals, then checks
+    /// the injector; an external submitter has no deque and works the other
+    /// way round. Never blocks unboundedly, so nesting cannot deadlock.
+    fn help_until_done(&self, me: Option<usize>, job: &JobCore) {
         let mut idle_rounds = 0u32;
         while job.remaining.load(Ordering::Acquire) > 0 {
-            match self.pop_injected().or_else(|| self.steal_any()) {
+            let task = match me {
+                Some(index) => self.deques[index]
+                    .pop()
+                    .or_else(|| self.steal(index))
+                    .or_else(|| self.pop_injected()),
+                None => self.pop_injected().or_else(|| self.steal_any()),
+            };
+            match task {
                 Some(task) => {
-                    self.execute(None, task);
+                    self.execute(me, task);
                     idle_rounds = 0;
                 }
                 None => {
@@ -455,6 +497,47 @@ mod tests {
         assert_eq!(parse_threads("RMATC_THREADS", "4.0"), None);
         assert_eq!(parse_threads("RAYON_NUM_THREADS", "all"), None);
         assert_eq!(parse_threads("RMATC_THREADS", "1025"), None);
+    }
+
+    #[test]
+    fn nested_run_tasks_complete_and_stay_correct() {
+        pool_size();
+        // Workers submitting sub-jobs split them onto the pool instead of
+        // running inline; at depth 3 every leaf must still run exactly once.
+        let hits: Vec<AtomicUsize> = (0..4 * 4 * 4).map(|_| AtomicUsize::new(0)).collect();
+        run_tasks(4, &|a| {
+            run_tasks(4, &|b| {
+                run_tasks(4, &|c| {
+                    hits[a * 16 + b * 4 + c].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(threads_spawned(), pool_size(), "nesting must not spawn");
+    }
+
+    #[test]
+    fn nested_panics_propagate_through_the_outer_job() {
+        pool_size();
+        let result = catch_unwind(|| {
+            run_tasks(4, &|a| {
+                run_tasks(4, &|b| {
+                    if a == 2 && b == 3 {
+                        panic!("nested boom");
+                    }
+                });
+            });
+        });
+        assert!(
+            result.is_err(),
+            "inner panic must reach the outer submitter"
+        );
+        // The pool must stay usable afterwards.
+        let total = AtomicUsize::new(0);
+        run_tasks(8, &|i| {
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 28);
     }
 
     #[test]
