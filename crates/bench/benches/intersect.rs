@@ -11,10 +11,12 @@ use rand::Rng;
 use rand::SeedableRng;
 use rmatc_core::intersect::calibrate::{calibrate, CalibrationConfig};
 use rmatc_core::intersect::{
-    binary_search_count, galloping_count, simd_count, ssi_count, CostModel, IntersectMethod,
+    binary_search_count, compressed_count_closing, compressed_scalar_count, compressed_simd_count,
+    compressed_skip_count, galloping_count, simd_count, ssi_count, CostModel, IntersectMethod,
     ParallelIntersector,
 };
 use rmatc_core::Intersector;
+use rmatc_graph::compressed::compress_row;
 
 fn sorted_random(rng: &mut impl Rng, len: usize, universe: u32) -> Vec<u32> {
     let mut v: Vec<u32> = (0..len).map(|_| rng.gen_range(0..universe)).collect();
@@ -120,9 +122,62 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fused decompress+intersect kernels against the plain-array hybrid on
+/// the same shapes: block-at-a-time scalar merge, the SIMD block decoder, and
+/// the skip-aware variant that prunes whole blocks via their header maxima.
+/// `plain_hybrid` is the reference the gate compares against — fusing the
+/// decode must stay within a small constant factor of intersecting the
+/// already-decoded rows.
+fn bench_compressed(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let shapes: Vec<(&str, Vec<u32>, Vec<u32>)> = vec![
+        (
+            "intersect/compressed/balanced",
+            sorted_random(&mut rng, 4_096, 1 << 20),
+            sorted_random(&mut rng, 4_096, 1 << 20),
+        ),
+        (
+            "intersect/compressed/hubleaf1024x",
+            sorted_random(&mut rng, 64, 1 << 20),
+            sorted_random(&mut rng, 65_536, 1 << 20),
+        ),
+        (
+            "intersect/compressed/skewed64x",
+            sorted_random(&mut rng, 1_024, 1 << 22),
+            sorted_random(&mut rng, 65_536, 1 << 22),
+        ),
+    ];
+    let model = CostModel::Analytic;
+    for (name, a, long) in &shapes {
+        let mut row = Vec::new();
+        compress_row(long, &mut row);
+        c.report_metric(
+            name.strip_prefix("intersect/").unwrap_or(name),
+            "compression_ratio_x1000",
+            (long.len() as f64 * 4.0 / (row.len() as f64 * 4.0) * 1e3).round(),
+        );
+        let mut group = c.benchmark_group(*name);
+        group.sample_size(20);
+        group.throughput(Throughput::Elements((a.len() + long.len()) as u64));
+        group.bench_function("scalar", |b| {
+            b.iter(|| compressed_scalar_count(a, &row, None))
+        });
+        group.bench_function("simd", |b| b.iter(|| compressed_simd_count(a, &row, None)));
+        group.bench_function("skip", |b| b.iter(|| compressed_skip_count(a, &row, None)));
+        group.bench_function("auto", |b| {
+            b.iter(|| compressed_count_closing(a, &row, None, &model))
+        });
+        group.bench_function("plain_hybrid", |b| {
+            let ix = Intersector::new(IntersectMethod::Hybrid);
+            b.iter(|| ix.count(a, long))
+        });
+        group.finish();
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_kernels
+    targets = bench_kernels, bench_compressed
 }
 criterion_main!(benches);

@@ -16,6 +16,7 @@ use rmatc_core::intersect::ParallelIntersector;
 use rmatc_graph::gen::{GraphGenerator, RmatGenerator};
 use rmatc_graph::partition::{PartitionScheme, PartitionedGraph};
 use rmatc_graph::types::VertexId;
+use rmatc_graph::GraphStorage;
 use rmatc_rma::Endpoint;
 
 /// One remote edge from rank 0's perspective: the owning vertex's local
@@ -107,9 +108,73 @@ fn bench_remote_read(c: &mut Criterion) {
         }
     };
 
+    // Compressed storage over the same protocol: the adjacency window
+    // carries delta/varint rows, hits decode-intersect in place and cold
+    // misses land compressed rows through the fused transfer kernel.
+    let cwindows = GraphWindows::build_with(&pg, GraphStorage::Compressed);
+    let cconfig = DistConfig::non_cached(2)
+        .with_degree_scores()
+        .with_storage(GraphStorage::Compressed);
+    let compressed_spec = CacheSpec {
+        total_bytes: offsets_budget + 2 * cwindows.adjacency_bytes(),
+        offsets_bytes: Some(offsets_budget),
+        cache_offsets: true,
+        cache_adjacencies: true,
+        adaptive: false,
+        policy: Default::default(),
+    };
+    let make_compressed_reader = || -> RemoteReader {
+        let caches =
+            compressed_spec.resolve(pg.global_vertex_count(), cwindows.adjacency_bytes() as u64);
+        RemoteReader::new(&cwindows, &caches, &cconfig)
+    };
+
+    // Deterministic metric rows first (recorded even when a `--filter` skips
+    // the timing functions): how much smaller the wire/stored footprint is,
+    // and stored bytes per adjacency read, from one warmed pass.
+    {
+        let mut reader = make_compressed_reader();
+        let mut ep = Endpoint::new(0, 2, cconfig.network);
+        ep.lock_all();
+        let _warm = run(&mut reader, &mut ep);
+        let stats = reader.adjacency_cache_stats().expect("adjacency cache on");
+        c.report_metric(
+            "remote_read",
+            "compressed/compression_ratio_x1000",
+            (stats.compression_ratio() * 1e3).round(),
+        );
+        c.report_metric(
+            "remote_read",
+            "compressed/stored_bytes_per_lookup",
+            (stats.stored_bytes as f64 / stats.lookups().max(1) as f64).round(),
+        );
+    }
+
     let mut group = c.benchmark_group("remote_read");
     group.throughput(Throughput::Elements(elements));
     group.sample_size(20);
+
+    // Hit-heavy compressed reads: the gate watches this against `cached_hit`
+    // — the in-place fused decode must not regress the zero-copy hit path.
+    group.bench_function("compressed_hit", |b| {
+        let mut reader = make_compressed_reader();
+        let mut ep = Endpoint::new(0, 2, cconfig.network);
+        ep.lock_all();
+        let _warm = run(&mut reader, &mut ep);
+        b.iter(|| run(&mut reader, &mut ep))
+    });
+
+    // Cold compressed misses: every read transfers and admits a compressed
+    // row, decode fused into the intersection.
+    group.bench_function("compressed_cold", |b| {
+        let mut ep = Endpoint::new(0, 2, cconfig.network);
+        ep.lock_all();
+        b.iter_batched(
+            make_compressed_reader,
+            |mut reader| run(&mut reader, &mut ep),
+            criterion::BatchSize::LargeInput,
+        )
+    });
 
     // Hit-heavy: the cache holds the whole remote partition, so after one
     // warm pass every read is served in place — the zero-copy win.

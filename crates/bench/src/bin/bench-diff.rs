@@ -53,9 +53,18 @@ const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 ///   the host's timer/scheduler as much as the code; the overlap *ratio*
 ///   between them is the guarded property (see `docs/OVERLAP.md`), and a
 ///   real loss of overlap moves `pipelined` far beyond this band anyway.
+/// * `remote_read/compressed_hit` / `remote_read/compressed_cold` — same
+///   short read loops as their plain counterparts (`cached_hit` /
+///   `cached_cold`) with the fused block decode on top, so they inherit the
+///   same run-to-run jitter bands. The paired `compressed/...` *metric*
+///   rows (compression ratio, stored bytes per lookup) are deterministic
+///   and deliberately NOT listed — drift there is a real codec or admission
+///   change and should trip the default gate.
 const PER_BENCH_THRESHOLD_PCT: &[(&str, f64)] = &[
     ("remote_read/cached_hit", 50.0),
     ("remote_read/cached_cold", 25.0),
+    ("remote_read/compressed_hit", 50.0),
+    ("remote_read/compressed_cold", 25.0),
     ("remote_read/non_cached", 25.0),
     ("remote_read/faulty_path_off", 25.0),
     ("remote_read/non_overlapped_injected", 30.0),

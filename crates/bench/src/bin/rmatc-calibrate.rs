@@ -119,6 +119,22 @@ fn print_report(calibration: &Calibration) {
             if probed.contains(&log_b) { "yes" } else { "-" }
         );
     }
+    println!("\ncompressed merge <-> skip crossover (fused kernels, same grid)");
+    let probed: Vec<u32> = calibration
+        .compressed_probes
+        .iter()
+        .map(|p| p.log_b)
+        .collect();
+    for (i, &threshold) in profile.compressed_merge_ratio.iter().enumerate() {
+        let log_b = LOG_B_MIN + i as u32;
+        println!(
+            "   {:>10} {:>14.2} {:>14.2} {:>10}",
+            1u64 << log_b,
+            threshold,
+            log_b as f64 - 1.0,
+            if probed.contains(&log_b) { "yes" } else { "-" }
+        );
+    }
     println!("\ngalloping vs binary search across the probed sweep");
     for s in &calibration.gallop_samples {
         println!(

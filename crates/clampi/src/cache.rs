@@ -92,6 +92,14 @@ impl<T: Clone> Clampi<T> {
         &self.stats
     }
 
+    /// Records one compressed row moving through this cache (`logical`
+    /// decoded bytes stored as `stored` compressed bytes). The cache is
+    /// format-agnostic, so the reader that knows the row encoding reports the
+    /// sizes (see [`CacheStats::logical_bytes`]).
+    pub fn record_compression(&mut self, logical: u64, stored: u64) {
+        self.stats.record_compression(logical, stored);
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.occupied

@@ -242,6 +242,13 @@ impl<T: Copy + Send + Sync> CachedWindow<T> {
         self.cache.insert_with_checksum(key, arc, score, checksum);
     }
 
+    /// Records one compressed row moving through the cache (`logical`
+    /// decoded bytes stored as `stored` compressed bytes); the caller that
+    /// knows the row encoding reports the sizes after a miss transfer.
+    pub fn record_compression(&mut self, logical: u64, stored: u64) {
+        self.cache.record_compression(logical, stored);
+    }
+
     /// Signals the closure of an access epoch to the cache (flushes in transparent
     /// mode only).
     pub fn end_epoch(&mut self) {

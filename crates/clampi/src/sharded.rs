@@ -167,6 +167,14 @@ impl<T: Clone> ShardedClampi<T> {
         }
     }
 
+    /// Records one compressed row moving through the cache on the shard that
+    /// owns `key` (`logical` decoded bytes stored as `stored` compressed
+    /// bytes). See [`Clampi::record_compression`].
+    pub fn record_compression(&self, key: &EntryKey, logical: u64, stored: u64) {
+        self.lock(self.shard_for(key))
+            .record_compression(logical, stored);
+    }
+
     /// Statistics merged across all shards.
     pub fn stats(&self) -> CacheStats {
         let mut merged = CacheStats::default();

@@ -350,6 +350,21 @@ impl<T: Copy + Send + Sync> ShardedCachedWindow<T> {
         false
     }
 
+    /// Records one compressed row moving through the cache (`logical`
+    /// decoded bytes stored as `stored` compressed bytes), attributed to the
+    /// shard that owns the `(target, offset, len)` region's key.
+    pub fn record_compression(
+        &self,
+        target: usize,
+        offset: usize,
+        len: usize,
+        logical: u64,
+        stored: u64,
+    ) {
+        let key = self.key_for(target, offset, len);
+        self.cache.record_compression(&key, logical, stored);
+    }
+
     /// Signals the closure of an access epoch to every shard (flushes in
     /// transparent mode only).
     pub fn end_epoch(&self) {

@@ -39,6 +39,16 @@ pub struct CacheStats {
     /// admission rule, counted within `uncacheable`, which keeps its
     /// pre-policy-layer meaning of "miss whose data was not stored").
     pub admission_rejections: u64,
+    /// Decoded (logical) bytes represented by the compressed rows transferred
+    /// on adjacency misses — what a plain-storage run would have moved for the
+    /// same reads. Zero unless the window stores compressed rows
+    /// (`GraphStorage::Compressed` in `rmatc-core`).
+    pub logical_bytes: u64,
+    /// Stored (compressed) bytes actually transferred and cached for those
+    /// same rows. Together with `logical_bytes` this measures the compression
+    /// win end to end: entries occupy `stored_bytes` of cache capacity while
+    /// standing in for `logical_bytes` of adjacency data.
+    pub stored_bytes: u64,
 }
 
 impl CacheStats {
@@ -80,6 +90,24 @@ impl CacheStats {
         self.capacity_evictions + self.conflict_evictions
     }
 
+    /// Logical-to-stored ratio of the compressed rows that moved through the
+    /// cache (`1.0` when nothing compressed was recorded — a plain-storage
+    /// run neither wins nor loses).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            1.0
+        } else {
+            self.logical_bytes as f64 / self.stored_bytes as f64
+        }
+    }
+
+    /// Records one compressed row moving through the cache: `logical` decoded
+    /// bytes stored as `stored` compressed bytes.
+    pub fn record_compression(&mut self, logical: u64, stored: u64) {
+        self.logical_bytes += logical;
+        self.stored_bytes += stored;
+    }
+
     /// Merges another set of counters into this one.
     pub fn merge(&mut self, other: &CacheStats) {
         self.hits += other.hits;
@@ -96,6 +124,8 @@ impl CacheStats {
         self.invalidations += other.invalidations;
         self.evicted_bytes += other.evicted_bytes;
         self.admission_rejections += other.admission_rejections;
+        self.logical_bytes += other.logical_bytes;
+        self.stored_bytes += other.stored_bytes;
     }
 }
 
@@ -159,5 +189,20 @@ mod tests {
         assert_eq!(a.flushes, 1);
         assert_eq!(a.evicted_bytes, 7);
         assert_eq!(a.admission_rejections, 2);
+    }
+
+    #[test]
+    fn compression_ratio_defaults_to_one_and_accumulates() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.compression_ratio(), 1.0, "plain runs record nothing");
+        s.record_compression(1024, 256);
+        s.record_compression(1024, 256);
+        assert_eq!(s.logical_bytes, 2048);
+        assert_eq!(s.stored_bytes, 512);
+        assert!((s.compression_ratio() - 4.0).abs() < 1e-12);
+        let mut merged = CacheStats::default();
+        merged.merge(&s);
+        assert_eq!(merged.logical_bytes, 2048);
+        assert_eq!(merged.stored_bytes, 512);
     }
 }

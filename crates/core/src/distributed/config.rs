@@ -4,6 +4,7 @@
 use crate::intersect::{CostModel, IntersectMethod};
 use rmatc_clampi::{ClampiConfig, EvictionPolicyKind};
 use rmatc_graph::partition::PartitionScheme;
+use rmatc_graph::GraphStorage;
 use rmatc_rma::{FaultPlan, NetworkModel, RetryPolicy};
 
 /// Which eviction score the adjacency cache uses (Figure 8's comparison).
@@ -186,6 +187,14 @@ pub struct DistConfig {
     /// pool tasks, each with its own RMA endpoint, sharing one lock-sharded
     /// CLaMPI cache ([`rmatc_clampi::ShardedClampi`]).
     pub intra_threads: usize,
+    /// Adjacency storage exposed in the RMA windows:
+    /// [`GraphStorage::Plain`] (the default) exposes raw CSR rows;
+    /// [`GraphStorage::Compressed`] exposes delta/varint-compressed rows
+    /// ([`rmatc_graph::compressed`]), transfers and caches them compressed,
+    /// and intersects through the fused decompress kernels
+    /// ([`crate::intersect::compressed`]). Scores are bit-identical either
+    /// way. The constructors honour `RMATC_STORAGE=compressed`.
+    pub storage: GraphStorage,
 }
 
 impl DistConfig {
@@ -204,6 +213,7 @@ impl DistConfig {
             faults: None,
             pipeline_depth: 1,
             intra_threads: 1,
+            storage: GraphStorage::from_env(),
         }
     }
 
@@ -263,6 +273,13 @@ impl DistConfig {
     /// mean "single-threaded rank").
     pub fn with_intra_threads(mut self, threads: usize) -> Self {
         self.intra_threads = threads;
+        self
+    }
+
+    /// Selects the adjacency storage mode exposed in the RMA windows (see
+    /// [`DistConfig::storage`]).
+    pub fn with_storage(mut self, storage: GraphStorage) -> Self {
+        self.storage = storage;
         self
     }
 

@@ -46,6 +46,17 @@
 //! intersection in the same SIMD block pass that lands the row in the buffer
 //! the cache retains. Hits and local-rank reads perform zero heap
 //! allocations; a miss performs exactly one.
+//!
+//! # Compressed adjacency
+//!
+//! With [`DistConfig::storage`] set to
+//! [`rmatc_graph::GraphStorage::Compressed`] the same two windows carry
+//! delta/varint-compressed rows ([`rmatc_graph::compressed`]): every
+//! transferred and cached byte stays compressed end to end, and the fused
+//! kernels ([`crate::intersect::compressed`]) decode block-wise *during* the
+//! intersection — hits and local reads still allocate nothing. Scores are
+//! bit-identical to plain storage; [`DistResult::transfer_compression_ratio`]
+//! reports the measured logical-to-stored win. See `docs/COMPRESSION.md`.
 
 pub mod config;
 pub mod pipeline;
@@ -111,7 +122,7 @@ impl DistLcc {
     /// Fallible variant of [`DistLcc::run_partitioned`] (see
     /// [`DistLcc::try_run`]).
     pub fn try_run_partitioned(&self, pg: &PartitionedGraph) -> Result<DistResult, RmaError> {
-        let windows = GraphWindows::build(pg);
+        let windows = GraphWindows::build_with(pg, self.config.storage);
         let cfg = &self.config;
         let outputs = run_ranks(cfg.ranks, |rank| {
             worker::run_worker(rank, pg, &windows, cfg)
@@ -152,6 +163,7 @@ mod tests {
             faults: None,
             pipeline_depth: 1,
             intra_threads: 1,
+            storage: rmatc_graph::GraphStorage::Plain,
         }
     }
 
@@ -194,6 +206,42 @@ mod tests {
     }
 
     #[test]
+    fn compressed_storage_matches_reference_and_compresses_transfers() {
+        // End-to-end compressed mode: identical scores with and without the
+        // cache, and — the point of the exercise — the adjacency bytes that
+        // cross the network shrink by at least 2x on the paper's R-MAT graph
+        // (delta/varint rows of a skewed degree distribution compress well).
+        let g = RmatGenerator::paper(10, 16).generate_cleaned(11).into_csr();
+        let expected = reference::lcc_scores(&g);
+        let mut cfg = base_config(4);
+        cfg.storage = rmatc_graph::GraphStorage::Compressed;
+        let plain_lcc = DistLcc::new(base_config(4)).run(&g);
+        let uncached = DistLcc::new(cfg).run(&g);
+        assert_eq!(uncached.triangle_count, plain_lcc.triangle_count);
+        for (v, (a, b)) in uncached.lcc.iter().zip(expected.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-12, "vertex {v}: {a} vs {b}");
+        }
+        // Fewer bytes on the wire than the plain run, same get count.
+        assert_eq!(uncached.total_gets(), plain_lcc.total_gets());
+        assert!(
+            uncached.total_bytes() < plain_lcc.total_bytes(),
+            "compressed transfers must shrink wire bytes ({} vs {})",
+            uncached.total_bytes(),
+            plain_lcc.total_bytes()
+        );
+        cfg.cache = Some(CacheSpec::paper(1 << 20));
+        cfg.score_mode = ScoreMode::DegreeCentrality;
+        let cached = DistLcc::new(cfg).run(&g);
+        assert_eq!(cached.triangle_count, plain_lcc.triangle_count);
+        assert!(cached.cache_hits() > 0);
+        let ratio = cached.transfer_compression_ratio();
+        assert!(
+            ratio >= 2.0,
+            "adjacency misses must compress at least 2x on R-MAT (got {ratio:.2}x)"
+        );
+    }
+
+    #[test]
     fn cyclic_partitioning_is_also_correct() {
         let g = small_graph();
         let mut cfg = base_config(4);
@@ -222,6 +270,24 @@ mod tests {
             "balanced per-rank edge spread {} must not exceed block {}",
             spread(&balanced),
             spread(&block)
+        );
+    }
+
+    #[test]
+    fn work_balanced_partitioning_is_correct_and_balances_compute() {
+        // `WorkBalancedBlock1D` equalizes intersection work (deg(u)+deg(v)
+        // summed over owned edges) instead of edge count. It must preserve
+        // results exactly and its per-rank edge spread must not blow up
+        // relative to the equal-count blocks.
+        let g = small_graph();
+        let mut cfg = base_config(4);
+        cfg.scheme = PartitionScheme::WorkBalancedBlock1D;
+        let balanced = DistLcc::new(cfg).run(&g);
+        assert_eq!(balanced.triangle_count, reference::count_triangles(&g));
+        assert_eq!(
+            balanced.lcc,
+            DistLcc::new(base_config(4)).run(&g).lcc,
+            "partitioning must not change scores"
         );
     }
 

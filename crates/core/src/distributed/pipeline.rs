@@ -48,15 +48,17 @@
 //!   deterministic (the same rule `run_ranks` applies across ranks).
 
 use super::config::{DistConfig, ResolvedCaches, ScoreMode};
-use super::reader::transfer_count_closing;
+use super::reader::{compressed_transfer_count_closing, transfer_count_closing};
 use super::windows::GraphWindows;
 use super::worker::WorkerOutput;
-use crate::intersect::ParallelIntersector;
-use crate::local::count_closing_at;
+use crate::intersect::{CostModel, ParallelIntersector};
+use crate::local::{compressed_count_closing_at, count_closing_at};
 use rayon::prelude::*;
 use rmatc_clampi::{CacheProbe, CacheStats, RowRef, ShardedCachedWindow};
+use rmatc_graph::compressed::decoded_len;
 use rmatc_graph::partition::PartitionedGraph;
 use rmatc_graph::types::{Direction, VertexId};
+use rmatc_graph::GraphStorage;
 use rmatc_rma::{Endpoint, PendingGet, RankStats, RmaError, ThreadTimer};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -73,6 +75,13 @@ pub(crate) struct SharedReader {
     offsets_cache: Option<ShardedCachedWindow<u64>>,
     adj_cache: Option<ShardedCachedWindow<VertexId>>,
     score_mode: ScoreMode,
+    /// How the adjacency window's payload is encoded (taken from the windows,
+    /// which the reader must match). Under [`GraphStorage::Compressed`] every
+    /// admitted miss records logical vs stored bytes on the cache.
+    storage: GraphStorage,
+    /// Cost model driving the fused decompress+intersect kernel choice —
+    /// the same model the plain path's intersector carries.
+    model: CostModel,
 }
 
 /// A remote adjacency get in flight: everything needed to finish the read at
@@ -95,11 +104,11 @@ pub(crate) struct Deferred<R> {
 
 /// Outcome of starting a remote adjacency read.
 pub(crate) enum Started<R> {
-    /// Resolved at issue time (empty row, local row, or cache hit): the row
-    /// length and the result computed in place.
-    Immediate { len: usize, value: R },
+    /// Resolved at issue time (empty row, local row, or cache hit): the
+    /// result computed in place over the stored row.
+    Immediate(R),
     /// A get is in flight; finish with [`SharedReader::complete`].
-    Deferred { len: usize, deferred: Deferred<R> },
+    Deferred(Deferred<R>),
 }
 
 impl SharedReader {
@@ -121,6 +130,8 @@ impl SharedReader {
                 .adjacencies
                 .map(|cfg| ShardedCachedWindow::new(windows.adjacencies.clone(), cfg, shards)),
             score_mode: config.score_mode,
+            storage: windows.storage,
+            model: config.cost_model,
         }
     }
 
@@ -174,26 +185,17 @@ impl SharedReader {
         let (start, end) = self.read_offsets(ep, target, local_idx)?;
         let len = end - start;
         if len == 0 {
-            return Ok(Started::Immediate {
-                len,
-                value: on_row(&[]),
-            });
+            return Ok(Started::Immediate(on_row(&[])));
         }
         if target == ep.rank() {
             let row = ep.local_read(&self.adj_plain, start, len);
-            return Ok(Started::Immediate {
-                len,
-                value: on_row(row),
-            });
+            return Ok(Started::Immediate(on_row(row)));
         }
         let score = self.score_for(len);
         let deferred = match &self.adj_cache {
             Some(cache) => match cache.probe(ep, target, start, len) {
                 CacheProbe::Hit(row) => {
-                    return Ok(Started::Immediate {
-                        len,
-                        value: on_row(&row),
-                    });
+                    return Ok(Started::Immediate(on_row(&row)));
                 }
                 CacheProbe::Bypass => Deferred {
                     pending: ep.issue_with_retry(&self.adj_plain, target, start, len)?,
@@ -224,7 +226,14 @@ impl SharedReader {
                             (arc, value)
                         })?;
                     let arc = landed.expect("transfer closure runs at issue time");
+                    let sizes = (self.storage == GraphStorage::Compressed)
+                        .then(|| (decoded_len(&arc) as u64 * 4, arc.len() as u64 * 4));
                     cache.admit(ep, target, start, len, arc, score);
+                    if let Some((logical, stored)) = sizes {
+                        // Same per-miss record the sequential reader makes,
+                        // at the same point in cache-operation order.
+                        cache.record_compression(target, start, len, logical, stored);
+                    }
                     Deferred {
                         pending,
                         target,
@@ -258,7 +267,7 @@ impl SharedReader {
                 }
             }
         };
-        Ok(Started::Deferred { len, deferred })
+        Ok(Started::Deferred(deferred))
     }
 
     /// Completes a deferred read: waits (healing by reissue), recomputes the
@@ -286,10 +295,29 @@ impl SharedReader {
         };
         if admit {
             if let Some(cache) = &self.adj_cache {
+                if self.storage == GraphStorage::Compressed {
+                    cache.record_compression(
+                        target,
+                        start,
+                        len,
+                        decoded_len(&clean) as u64 * 4,
+                        clean.len() as u64 * 4,
+                    );
+                }
                 cache.admit(ep, target, start, len, clean, score);
             }
         }
         Ok(value)
+    }
+
+    /// The storage mode of the windows this reader serves.
+    pub(crate) fn storage(&self) -> GraphStorage {
+        self.storage
+    }
+
+    /// The cost model driving the compressed kernels.
+    pub(crate) fn model(&self) -> &CostModel {
+        &self.model
     }
 
     /// Statistics of the offsets cache, if enabled (merged across shards).
@@ -481,6 +509,8 @@ fn thread_loop<'a>(
     let part = &pg.partitions[rank];
     let direction = pg.direction;
     let depth = config.effective_pipeline_depth();
+    let model = &config.cost_model;
+    let compressed = reader.storage == GraphStorage::Compressed;
     for local_idx in range.clone() {
         let out = local_idx - range.start;
         let adj_u = part.neighbours_of_local(local_idx);
@@ -496,16 +526,29 @@ fn thread_loop<'a>(
             *remote_edges += 1;
             let v_local = pg.partitioner.local_index(v);
             let compute_start = timer.elapsed_ns();
-            let started = reader.start_remote(
-                ep,
-                owner,
-                v_local,
-                |row| count_closing_at(direction, adj_u, row, v, k, intersector),
-                |src| transfer_count_closing(direction, adj_u, v, k, intersector, src),
-            )?;
+            // The remote row arrives as stored: raw ids under plain storage,
+            // compressed words under compressed storage — pick the matching
+            // pair of in-place / fused-transfer kernels.
+            let started = if compressed {
+                reader.start_remote(
+                    ep,
+                    owner,
+                    v_local,
+                    |row| compressed_count_closing_at(direction, adj_u, row, v, k, model),
+                    |src| compressed_transfer_count_closing(direction, adj_u, v, k, model, src),
+                )?
+            } else {
+                reader.start_remote(
+                    ep,
+                    owner,
+                    v_local,
+                    |row| count_closing_at(direction, adj_u, row, v, k, intersector),
+                    |src| transfer_count_closing(direction, adj_u, v, k, intersector, src),
+                )?
+            };
             match started {
-                Started::Immediate { value, .. } => triangles[out] += value,
-                Started::Deferred { deferred, .. } => {
+                Started::Immediate(value) => triangles[out] += value,
+                Started::Deferred(deferred) => {
                     if fifo.len() >= depth {
                         let slot = fifo.pop_front().expect("fifo is non-empty at depth");
                         complete_slot(ep, reader, slot, triangles, intersector, direction)?;
@@ -548,9 +591,16 @@ fn complete_slot(
         neighbour_idx,
         out,
     } = slot;
-    let count = reader.complete(ep, deferred, |row| {
-        count_closing_at(direction, adj_u, row, v, neighbour_idx, intersector)
-    })?;
+    let count = if reader.storage == GraphStorage::Compressed {
+        let model = &reader.model;
+        reader.complete(ep, deferred, |row| {
+            compressed_count_closing_at(direction, adj_u, row, v, neighbour_idx, model)
+        })?
+    } else {
+        reader.complete(ep, deferred, |row| {
+            count_closing_at(direction, adj_u, row, v, neighbour_idx, intersector)
+        })?
+    };
     triangles[out] += count;
     Ok(())
 }
@@ -610,6 +660,7 @@ mod tests {
             faults: None,
             pipeline_depth: 1,
             intra_threads: 1,
+            storage: GraphStorage::Plain,
         };
         (pg, windows, config)
     }
@@ -641,6 +692,33 @@ mod tests {
         assert_eq!(piped.adjacency_cache, baseline.adjacency_cache);
         assert_eq!(piped.offsets_cache, baseline.offsets_cache);
         assert_stats_equivalent(&piped.rma, &baseline.rma);
+    }
+
+    #[test]
+    fn compressed_pipelined_cached_matches_sequential_exactly() {
+        // The strong equivalence tier must survive compressed storage: one
+        // thread, any depth, fault-free — bit-identical triangles, cache
+        // statistics (including the logical/stored byte counters) and rank
+        // statistics against the sequential compressed worker.
+        let (pg, _plain, mut config) = setup(2);
+        config.storage = GraphStorage::Compressed;
+        config.cache = Some(CacheSpec::paper(1 << 20));
+        config.score_mode = crate::distributed::config::ScoreMode::DegreeCentrality;
+        let windows = GraphWindows::build_with(&pg, GraphStorage::Compressed);
+        let baseline = run_worker(0, &pg, &windows, &config).unwrap();
+        for depth in [2usize, 8] {
+            config.pipeline_depth = depth;
+            let piped = run_worker(0, &pg, &windows, &config).unwrap();
+            assert_eq!(piped.local_triangles, baseline.local_triangles, "d={depth}");
+            assert_eq!(piped.adjacency_cache, baseline.adjacency_cache, "d={depth}");
+            assert_eq!(piped.offsets_cache, baseline.offsets_cache, "d={depth}");
+            assert_stats_equivalent(&piped.rma, &baseline.rma);
+        }
+        let adj = baseline.adjacency_cache.expect("adjacency cache enabled");
+        assert!(
+            adj.logical_bytes > adj.stored_bytes && adj.stored_bytes > 0,
+            "compressed misses must record a compression win"
+        );
     }
 
     #[test]

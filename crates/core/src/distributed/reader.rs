@@ -3,10 +3,14 @@
 
 use super::config::{DistConfig, ResolvedCaches, ScoreMode};
 use super::windows::GraphWindows;
-use crate::intersect::{fused, IntersectMethod, ParallelIntersector};
-use crate::local::count_closing_at;
+use crate::intersect::{
+    copy_decode_intersect, fused, CostModel, IntersectMethod, ParallelIntersector,
+};
+use crate::local::{compressed_count_closing_at, count_closing_at};
 use rmatc_clampi::{CacheStats, CachedWindow, RowRef};
+use rmatc_graph::compressed::decoded_len;
 use rmatc_graph::types::{Direction, VertexId};
+use rmatc_graph::GraphStorage;
 use rmatc_rma::{Endpoint, RmaError};
 use std::sync::Arc;
 
@@ -25,6 +29,11 @@ pub struct RemoteReader {
     offsets_cache: Option<CachedWindow<u64>>,
     adj_cache: Option<CachedWindow<VertexId>>,
     score_mode: ScoreMode,
+    /// Encoding of the adjacency window's payload (must match the windows the
+    /// reader was built over): plain vertex ids or compressed row words.
+    storage: GraphStorage,
+    /// Cost model the compressed kernels dispatch through (merge vs skip).
+    model: CostModel,
 }
 
 impl RemoteReader {
@@ -41,6 +50,8 @@ impl RemoteReader {
                 .adjacencies
                 .map(|cfg| CachedWindow::new(windows.adjacencies.clone(), cfg)),
             score_mode: config.score_mode,
+            storage: windows.storage,
+            model: config.cost_model,
         }
     }
 
@@ -80,6 +91,8 @@ impl RemoteReader {
 
     /// The application-defined eviction score of an adjacency row of `len`
     /// entries (known after the first get: the degree of the fetched vertex).
+    /// Under compressed storage `len` counts codec words, a faithful proxy
+    /// for degree — the decoded count is not known until the row arrives.
     fn score_for(&self, len: usize) -> f64 {
         match self.score_mode {
             ScoreMode::Lru => 0.0,
@@ -93,6 +106,10 @@ impl RemoteReader {
     /// The returned [`RowRef`] is a zero-copy view: local-rank reads borrow the
     /// window, cache hits share the cached buffer, and a miss allocates exactly
     /// once — the transfer buffer, which the cache retains by refcount.
+    ///
+    /// The row is returned exactly as stored: raw vertex ids under plain
+    /// storage, compressed words (decode with
+    /// [`rmatc_graph::compressed::decode_row`]) under compressed storage.
     pub fn read_adjacency(
         &mut self,
         ep: &mut Endpoint,
@@ -151,6 +168,19 @@ impl RemoteReader {
             return Ok(0);
         }
         let score = self.score_for(len);
+        if self.storage == GraphStorage::Compressed {
+            return self.count_closing_remote_compressed(
+                ep,
+                target,
+                start,
+                len,
+                score,
+                direction,
+                adj_u,
+                v,
+                neighbour_idx,
+            );
+        }
         match &mut self.adj_cache {
             Some(cache) => cache.get_fused(
                 ep,
@@ -176,6 +206,85 @@ impl RemoteReader {
                 let (_data, count) =
                     ep.get_map_with_retry(&self.adj_plain, target, start, len, |src| {
                         transfer_count_closing(direction, adj_u, v, neighbour_idx, intersector, src)
+                    })?;
+                Ok(count)
+            }
+        }
+    }
+
+    /// The compressed-storage leg of [`RemoteReader::count_closing_remote`]:
+    /// the fetched region is a compressed row, so hits and local reads run
+    /// the fused decompress+intersect kernels *in place* over the stored
+    /// words (zero heap allocations), and a miss lands the compressed words
+    /// in the single transfer buffer while intersecting block by block
+    /// ([`copy_decode_intersect`]) — the cache keeps the row compressed.
+    /// Misses also record logical vs stored bytes on the cache, making the
+    /// compression win measurable ([`CacheStats::compression_ratio`]).
+    #[allow(clippy::too_many_arguments)]
+    fn count_closing_remote_compressed(
+        &mut self,
+        ep: &mut Endpoint,
+        target: usize,
+        start: usize,
+        len: usize,
+        score: f64,
+        direction: Direction,
+        adj_u: &[VertexId],
+        v: VertexId,
+        neighbour_idx: usize,
+    ) -> Result<u64, RmaError> {
+        let model = &self.model;
+        match &mut self.adj_cache {
+            Some(cache) => {
+                let mut sizes: Option<(u64, u64)> = None;
+                let count = cache.get_fused(
+                    ep,
+                    target,
+                    start,
+                    len,
+                    score,
+                    |row| {
+                        compressed_count_closing_at(direction, adj_u, row, v, neighbour_idx, model)
+                    },
+                    |src| {
+                        sizes = Some((decoded_len(src) as u64 * 4, src.len() as u64 * 4));
+                        compressed_transfer_count_closing(
+                            direction,
+                            adj_u,
+                            v,
+                            neighbour_idx,
+                            model,
+                            src,
+                        )
+                    },
+                )?;
+                if let Some((logical, stored)) = sizes {
+                    cache.record_compression(logical, stored);
+                }
+                Ok(count)
+            }
+            None if target == ep.rank() => {
+                let row = ep.local_read(&self.adj_plain, start, len);
+                Ok(compressed_count_closing_at(
+                    direction,
+                    adj_u,
+                    row,
+                    v,
+                    neighbour_idx,
+                    model,
+                ))
+            }
+            None => {
+                let (_data, count) =
+                    ep.get_map_with_retry(&self.adj_plain, target, start, len, |src| {
+                        compressed_transfer_count_closing(
+                            direction,
+                            adj_u,
+                            v,
+                            neighbour_idx,
+                            model,
+                            src,
+                        )
                     })?;
                 Ok(count)
             }
@@ -222,6 +331,28 @@ pub(crate) fn transfer_count_closing(
     }
 }
 
+/// Compressed counterpart of [`transfer_count_closing`]: `src` is a
+/// compressed row, landed word-for-word in the single transfer buffer while
+/// each block is decoded into a stack buffer and intersected
+/// ([`copy_decode_intersect`]). The operands are derived exactly as the hit
+/// path's [`compressed_count_closing_at`] derives them, so miss and hit
+/// counts cannot diverge.
+pub(crate) fn compressed_transfer_count_closing(
+    direction: Direction,
+    adj_u: &[VertexId],
+    v: VertexId,
+    neighbour_idx: usize,
+    model: &CostModel,
+    src: &[u32],
+) -> (Arc<[u32]>, u64) {
+    let a = crate::local::closing_a_side(direction, adj_u, neighbour_idx);
+    let bound = match direction {
+        Direction::Undirected => Some(v),
+        Direction::Directed => None,
+    };
+    copy_decode_intersect(src, a, bound, model)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +379,7 @@ mod tests {
             faults: None,
             pipeline_depth: 1,
             intra_threads: 1,
+            storage: GraphStorage::Plain,
         };
         (pg, windows, config)
     }
@@ -381,6 +513,76 @@ mod tests {
             }
             ep_a.unlock_all();
             ep_b.unlock_all();
+        }
+    }
+
+    #[test]
+    fn compressed_fused_counts_match_plain_for_every_edge_and_round() {
+        // The compressed reader (hit, miss and local paths) must produce the
+        // exact counts the plain reader produces, and record logical vs
+        // stored bytes on the cache while doing so.
+        let (pg, plain_windows, mut config) = setup();
+        config.storage = GraphStorage::Compressed;
+        let windows = GraphWindows::build_with(&pg, GraphStorage::Compressed);
+        let caches = CacheSpec::paper(1 << 20)
+            .resolve(pg.global_vertex_count(), windows.adjacency_bytes() as u64);
+        let intersector = ParallelIntersector::new(config.method, 1, usize::MAX);
+        let part = &pg.partitions[0];
+        for cached in [false, true] {
+            let mut reader = if cached {
+                RemoteReader::new(&windows, &caches, &config)
+            } else {
+                RemoteReader::non_cached(&windows, &config)
+            };
+            let mut plain_config = config;
+            plain_config.storage = GraphStorage::Plain;
+            let mut plain_reader = RemoteReader::non_cached(&plain_windows, &plain_config);
+            let mut ep_a = Endpoint::new(0, 2, config.network);
+            let mut ep_b = Endpoint::new(0, 2, config.network);
+            ep_a.lock_all();
+            ep_b.lock_all();
+            for _round in 0..2 {
+                for local_idx in 0..part.local_vertex_count() {
+                    let adj_u = part.neighbours_of_local(local_idx);
+                    for (k, &v) in adj_u.iter().enumerate() {
+                        if pg.partitioner.owner(v) != 1 {
+                            continue;
+                        }
+                        let v_local = pg.partitioner.local_index(v);
+                        let got = reader
+                            .count_closing_remote(
+                                &mut ep_a,
+                                1,
+                                v_local,
+                                pg.direction,
+                                adj_u,
+                                v,
+                                k,
+                                &intersector,
+                            )
+                            .unwrap();
+                        let row = plain_reader
+                            .read_adjacency(&mut ep_b, 1, v_local)
+                            .unwrap()
+                            .to_vec();
+                        let expected =
+                            count_closing_at(pg.direction, adj_u, &row, v, k, &intersector);
+                        assert_eq!(got, expected, "cached={cached} u_local={local_idx} v={v}");
+                    }
+                }
+            }
+            ep_a.unlock_all();
+            ep_b.unlock_all();
+            if cached {
+                let stats = reader.adjacency_cache_stats().unwrap();
+                assert!(stats.hits > 0, "second round must hit");
+                assert!(
+                    stats.stored_bytes > 0 && stats.logical_bytes > stats.stored_bytes,
+                    "misses must record a compression win ({} logical vs {} stored)",
+                    stats.logical_bytes,
+                    stats.stored_bytes
+                );
+            }
         }
     }
 }

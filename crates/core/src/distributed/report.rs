@@ -162,6 +162,16 @@ impl DistResult {
         any.then_some(out)
     }
 
+    /// Aggregate logical-to-stored byte ratio of the adjacency rows that
+    /// crossed the network on cache misses — the measured win of
+    /// [`rmatc_graph::GraphStorage::Compressed`]. `1.0` under plain storage,
+    /// without a cache, or before any miss.
+    pub fn transfer_compression_ratio(&self) -> f64 {
+        self.adjacency_cache_totals()
+            .map(|c| c.compression_ratio())
+            .unwrap_or(1.0)
+    }
+
     /// Load imbalance: maximum rank time divided by the mean rank time.
     pub fn time_imbalance(&self) -> f64 {
         let times: Vec<f64> = self.ranks.iter().map(|r| r.timing.total_ns()).collect();

@@ -1,8 +1,18 @@
 //! RMA window construction: every rank exposes its partition's CSR arrays in the two
 //! windows of Figure 3 (`w_offsets`, `w_adj`).
+//!
+//! With [`GraphStorage::Compressed`] the same two windows carry the
+//! delta/varint-compressed form instead ([`rmatc_graph::compressed`]): the
+//! offsets window holds per-row *word* ranges into the adjacency window,
+//! whose `u32` payload is the concatenated compressed rows rather than raw
+//! vertex ids. The two-get protocol is unchanged — one get for the
+//! `(start, end)` pair, one for the row — but every transferred and cached
+//! byte is compressed.
 
+use rmatc_graph::compressed::CompressedCsr;
 use rmatc_graph::partition::PartitionedGraph;
 use rmatc_graph::types::VertexId;
+use rmatc_graph::GraphStorage;
 use rmatc_rma::Window;
 
 /// The two RMA windows of the distributed algorithm. Cloning is cheap; every rank
@@ -10,46 +20,83 @@ use rmatc_rma::Window;
 #[derive(Debug, Clone)]
 pub struct GraphWindows {
     /// Per-rank `offsets` arrays (`local_vertex_count + 1` u64 entries each).
+    /// Plain storage: element offsets into `adjacencies`. Compressed storage:
+    /// word offsets into the concatenated compressed rows.
     pub offsets: Window<u64>,
-    /// Per-rank `adjacencies` arrays (global vertex ids).
+    /// Per-rank `adjacencies` arrays: global vertex ids (plain) or compressed
+    /// row words (compressed — `VertexId` and the codec word are both `u32`).
     pub adjacencies: Window<VertexId>,
+    /// How the adjacency window's payload is encoded.
+    pub storage: GraphStorage,
+    /// Bytes the adjacency data would occupy uncompressed (`4 · Σ deg`);
+    /// equals the adjacency window size under plain storage.
+    pub logical_adjacency_bytes: u64,
 }
 
 impl GraphWindows {
-    /// Exposes the CSR arrays of every partition.
+    /// Exposes the CSR arrays of every partition as plain rows.
     pub fn build(pg: &PartitionedGraph) -> Self {
-        let offsets_parts: Vec<Vec<u64>> = pg
+        Self::build_with(pg, GraphStorage::Plain)
+    }
+
+    /// Exposes every partition's rows in the requested storage mode.
+    pub fn build_with(pg: &PartitionedGraph, storage: GraphStorage) -> Self {
+        let logical_adjacency_bytes = pg
             .partitions
             .iter()
-            .map(|p| p.csr.offsets().to_vec())
-            .collect();
-        let adj_parts: Vec<Vec<VertexId>> = pg
-            .partitions
-            .iter()
-            .map(|p| p.csr.adjacencies().to_vec())
-            .collect();
+            .map(|p| p.csr.adjacencies().len() as u64 * 4)
+            .sum();
+        let (offsets_parts, adj_parts): (Vec<Vec<u64>>, Vec<Vec<VertexId>>) = match storage {
+            GraphStorage::Plain => pg
+                .partitions
+                .iter()
+                .map(|p| (p.csr.offsets().to_vec(), p.csr.adjacencies().to_vec()))
+                .unzip(),
+            GraphStorage::Compressed => pg
+                .partitions
+                .iter()
+                .map(|p| {
+                    let c = CompressedCsr::from_csr(&p.csr);
+                    (c.row_offsets().to_vec(), c.words().to_vec())
+                })
+                .unzip(),
+        };
         Self {
             offsets: Window::from_parts(offsets_parts),
             adjacencies: Window::from_parts(adj_parts),
+            storage,
+            logical_adjacency_bytes,
         }
     }
 
     /// Total bytes exposed across both windows and all ranks (the distributed CSR
-    /// footprint of Table II).
+    /// footprint of Table II; the *stored* footprint under compressed storage).
     pub fn total_bytes(&self) -> usize {
         self.offsets.total_bytes() + self.adjacencies.total_bytes()
     }
 
-    /// Bytes of adjacency data exposed (used to express cache capacities as a
-    /// fraction of the graph, as Figure 7's x-axis does).
+    /// Bytes of adjacency data exposed — stored bytes, so cache capacities
+    /// expressed as a fraction of the graph (Figure 7's x-axis) keep meaning
+    /// "fraction of what a full cache would have to hold".
     pub fn adjacency_bytes(&self) -> usize {
         self.adjacencies.total_bytes()
+    }
+
+    /// Logical-to-stored ratio of the adjacency window (`1.0` under plain
+    /// storage).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.adjacencies.total_bytes() == 0 {
+            1.0
+        } else {
+            self.logical_adjacency_bytes as f64 / self.adjacencies.total_bytes() as f64
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rmatc_graph::compressed::{decode_row, decoded_len};
     use rmatc_graph::gen::{GraphGenerator, RmatGenerator};
     use rmatc_graph::partition::PartitionScheme;
 
@@ -75,6 +122,35 @@ mod tests {
         // Offsets: (n_local + 1) * 8 per rank; adjacencies: m * 4 total.
         let expected_adj = g.edge_count() as usize * 4;
         assert_eq!(w.adjacency_bytes(), expected_adj);
+        assert_eq!(w.logical_adjacency_bytes, expected_adj as u64);
+        assert_eq!(w.compression_ratio(), 1.0);
         assert!(w.total_bytes() > expected_adj);
+    }
+
+    #[test]
+    fn compressed_windows_round_trip_every_row() {
+        let g = RmatGenerator::paper(8, 8).generate_cleaned(3).into_csr();
+        let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 3).unwrap();
+        let w = GraphWindows::build_with(&pg, GraphStorage::Compressed);
+        let mut decoded = Vec::new();
+        for (rank, part) in pg.partitions.iter().enumerate() {
+            let ro = w.offsets.local_part(rank);
+            let words = w.adjacencies.local_part(rank);
+            assert_eq!(ro.len(), part.local_vertex_count() + 1);
+            for local_idx in 0..part.local_vertex_count() {
+                let row = &words[ro[local_idx] as usize..ro[local_idx + 1] as usize];
+                let expected = part.neighbours_of_local(local_idx);
+                assert_eq!(decoded_len(row), expected.len());
+                decoded.clear();
+                decode_row(row, &mut decoded);
+                assert_eq!(decoded, expected, "rank {rank} row {local_idx}");
+            }
+        }
+        // The compressed window must be strictly smaller than the plain one
+        // on this skewed graph, and the logical size must match it.
+        let plain = GraphWindows::build(&pg);
+        assert!(w.adjacency_bytes() < plain.adjacency_bytes());
+        assert_eq!(w.logical_adjacency_bytes, plain.logical_adjacency_bytes);
+        assert!(w.compression_ratio() > 1.0);
     }
 }

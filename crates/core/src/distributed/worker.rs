@@ -190,6 +190,7 @@ mod tests {
             faults: None,
             pipeline_depth: 1,
             intra_threads: 1,
+            storage: rmatc_graph::GraphStorage::Plain,
         };
         (pg, windows, config)
     }
@@ -206,6 +207,30 @@ mod tests {
                     out.local_triangles[local_idx], expected[gv as usize],
                     "vertex {gv} on rank {rank}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_worker_matches_reference_counts() {
+        // Same per-vertex counts when every remote row travels compressed —
+        // with and without the cache. The worker's own rows stay plain (the
+        // partition keeps its CSR); only the windows change representation.
+        let (pg, _plain, mut config) = setup(2);
+        config.storage = rmatc_graph::GraphStorage::Compressed;
+        let windows = GraphWindows::build_with(&pg, rmatc_graph::GraphStorage::Compressed);
+        let g = pg.reassemble();
+        let expected = reference::per_vertex_triangles(&g);
+        for cached in [false, true] {
+            config.cache = cached.then(|| CacheSpec::paper(1 << 20));
+            for rank in 0..2 {
+                let out = run_worker(rank, &pg, &windows, &config).unwrap();
+                for (local_idx, &gv) in pg.partitions[rank].global_ids.iter().enumerate() {
+                    assert_eq!(
+                        out.local_triangles[local_idx], expected[gv as usize],
+                        "vertex {gv} on rank {rank} cached={cached}"
+                    );
+                }
             }
         }
     }

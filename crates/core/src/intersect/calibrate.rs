@@ -23,7 +23,19 @@
 //!   in the analytic form; the paper's model is `g = 2`. The exponent is
 //!   fitted by *least regret* over the timed sweep rather than by solving
 //!   through a crossover point, because a cache hierarchy can invert the
-//!   family's predicted winning side (see [`fit_gallop_exponent`]).
+//!   family's predicted winning side (see [`fit_gallop_exponent`]). The same
+//!   sweep jointly fits a **haystack-size cutoff** `log2 |B| ≥ c` past which
+//!   galloping wins regardless of the gap — the cache-cliff shape documented
+//!   in `docs/TUNING.md`, where restart binary search loses its hot top tree
+//!   levels once the haystack spills out of cache. `c = 0` disables the
+//!   cutoff, and the analytic profile keeps it disabled, so the exponent-only
+//!   family stays exactly representable;
+//! * the **compressed merge↔search boundary** gets its own grid
+//!   (`compressed_merge_ratio`): the fused decompress+intersect kernels of
+//!   [`compressed`](super::compressed) have different constants than the
+//!   plain-row kernels (block decode is amortized for the merge class, while
+//!   the skip kernel avoids decoding entirely), so their crossover is probed
+//!   separately with the same machinery.
 //!
 //! A [`CostProfile`] plugs into the selection path through
 //! [`CostModel::Calibrated`] — [`LocalConfig`](crate::local::LocalConfig) and
@@ -43,8 +55,9 @@
 //! proves it), so a bad profile can cost time but never correctness.
 
 use super::binary::binary_search_count;
+use super::compressed::{compressed_simd_count, compressed_skip_count};
 use super::galloping::galloping_count;
-use super::hybrid::{select_kernel, IntersectMethod};
+use super::hybrid::{select_kernel, ssi_is_faster, IntersectMethod};
 use super::simd::simd_count;
 use rmatc_graph::types::VertexId;
 use std::path::PathBuf;
@@ -86,6 +99,16 @@ pub struct CostProfile {
     pub merge_ratio: [f64; GRID_POINTS],
     /// Skew exponent of the galloping↔binary-search boundary (analytic: 2).
     pub gallop_exponent: f64,
+    /// Merge↔search crossover ratio per grid point for the fused
+    /// decompress+intersect kernels over compressed rows. The analytic
+    /// profile reuses Eq. (3)'s curve, so analytic compressed selection is
+    /// bit-identical to the plain rule.
+    pub compressed_merge_ratio: [f64; GRID_POINTS],
+    /// Haystack-size cutoff for the galloping↔binary boundary: once
+    /// `log2 |B| ≥` this value, galloping wins regardless of the gap (the
+    /// cache-cliff case). `0.0` disables the cutoff — the analytic default,
+    /// keeping the exponent-only family bit-exact.
+    pub gallop_haystack_log2: f64,
 }
 
 impl CostProfile {
@@ -106,6 +129,8 @@ impl CostProfile {
         Self {
             merge_ratio,
             gallop_exponent: 2.0,
+            compressed_merge_ratio: merge_ratio,
+            gallop_haystack_log2: 0.0,
         }
     }
 
@@ -130,14 +155,43 @@ impl CostProfile {
     }
 
     /// Calibrated counterpart of [`super::hybrid::galloping_is_faster`],
-    /// with the measured skew exponent in place of the analytic `2.0`.
+    /// with the measured skew exponent in place of the analytic `2.0`, and
+    /// the fitted haystack cutoff short-circuiting the exponent rule: a
+    /// haystack past the cache cliff always gallops (`0.0` = disabled).
     pub fn galloping_is_faster(&self, short_len: usize, long_len: usize) -> bool {
         debug_assert!(short_len <= long_len);
         if short_len == 0 || long_len == 0 {
             return true;
         }
+        if self.gallop_haystack_log2 > 0.0 && (long_len as f64).log2() >= self.gallop_haystack_log2
+        {
+            return true;
+        }
         let gap = (long_len as f64 / short_len as f64).max(1.0);
         self.gallop_exponent * gap.log2() < (long_len as f64).log2()
+    }
+
+    /// The interpolated compressed-kernel merge↔search threshold on
+    /// `|B|/|A|` at `log2 |B| = lb` — same interpolation shape as
+    /// [`merge_threshold`](Self::merge_threshold), over the compressed grid.
+    pub fn compressed_merge_threshold(&self, lb: f64) -> f64 {
+        let i = ((lb.floor() as i64) - LOG_B_MIN as i64).clamp(0, GRID_POINTS as i64 - 2) as usize;
+        let x_i = (LOG_B_MIN as usize + i) as f64;
+        self.compressed_merge_ratio[i]
+            + (lb - x_i) * (self.compressed_merge_ratio[i + 1] - self.compressed_merge_ratio[i])
+    }
+
+    /// Calibrated class boundary for the fused decompress+intersect kernels:
+    /// true when the block-decode merge ([`compressed_simd_count`]) is
+    /// expected to beat the header-skipping search kernel
+    /// ([`compressed_skip_count`]) for `short_len ≤ long_len`.
+    pub fn compressed_merge_is_faster(&self, short_len: usize, long_len: usize) -> bool {
+        debug_assert!(short_len <= long_len);
+        if short_len == 0 || long_len == 0 {
+            return true;
+        }
+        let ratio = long_len as f64 / short_len as f64;
+        ratio <= self.compressed_merge_threshold((long_len as f64).log2())
     }
 
     /// The calibrated three-way kernel choice for a `(short, long)` pair —
@@ -165,10 +219,21 @@ impl CostProfile {
                 return Err(format!("merge_ratio[{i}] = {t} is not finite"));
             }
         }
+        for (i, &t) in self.compressed_merge_ratio.iter().enumerate() {
+            if !t.is_finite() {
+                return Err(format!("compressed_merge_ratio[{i}] = {t} is not finite"));
+            }
+        }
         if !self.gallop_exponent.is_finite() || self.gallop_exponent <= 0.0 {
             return Err(format!(
                 "gallop_exponent = {} must be finite and positive",
                 self.gallop_exponent
+            ));
+        }
+        if !self.gallop_haystack_log2.is_finite() || self.gallop_haystack_log2 < 0.0 {
+            return Err(format!(
+                "gallop_haystack_log2 = {} must be finite and non-negative",
+                self.gallop_haystack_log2
             ));
         }
         Ok(())
@@ -196,6 +261,14 @@ impl serde::Serialize for CostProfile {
                 "gallop_exponent",
                 serde::Serialize::to_value(&self.gallop_exponent),
             ),
+            (
+                "compressed_merge_ratio",
+                serde::Serialize::to_value(&self.compressed_merge_ratio),
+            ),
+            (
+                "gallop_haystack_log2",
+                serde::Serialize::to_value(&self.gallop_haystack_log2),
+            ),
         ])
     }
 }
@@ -214,9 +287,21 @@ impl serde::Deserialize for CostProfile {
                 "profile grid starts at log2|B| = {log_b_min}, expected {LOG_B_MIN}"
             )));
         }
+        let merge_ratio: [f64; GRID_POINTS] = field(value, "merge_ratio")?;
         let profile = CostProfile {
-            merge_ratio: field(value, "merge_ratio")?,
+            merge_ratio,
             gallop_exponent: field(value, "gallop_exponent")?,
+            // Profiles persisted before the compressed kernels existed carry
+            // neither field: default to the plain grid (the analytic
+            // relationship) and a disabled cutoff rather than rejecting them.
+            compressed_merge_ratio: match value.get("compressed_merge_ratio") {
+                Some(v) => <[f64; GRID_POINTS]>::from_value(v)?,
+                None => merge_ratio,
+            },
+            gallop_haystack_log2: match value.get("gallop_haystack_log2") {
+                Some(v) => f64::from_value(v)?,
+                None => 0.0,
+            },
         };
         profile.validate().map_err(serde::Error::new)?;
         Ok(profile)
@@ -239,6 +324,11 @@ fn field<T: serde::Deserialize>(value: &serde::Value, name: &str) -> Result<T, s
 /// differential tests depend on. `Calibrated` carries a fitted
 /// [`CostProfile`]; the analytic path pays nothing for the knob beyond one
 /// predictable branch.
+// The size gap between the variants is accepted: `CostModel` must stay
+// `Copy` — it is embedded by value in every `Intersector`/reader and copied
+// freely at setup time — and a `CostProfile` is a few hundred bytes of
+// crossover grids read once per pair selection, never boxed on a hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum CostModel {
     /// Eq. (3) + `|B| < |A|²`, as written in the paper.
@@ -255,6 +345,20 @@ impl CostModel {
         match self {
             CostModel::Analytic => select_kernel(short_len, long_len),
             CostModel::Calibrated(profile) => profile.select_kernel(short_len, long_len),
+        }
+    }
+
+    /// Class boundary for the fused decompress+intersect kernels under this
+    /// model: `Analytic` applies Eq. (3) unchanged (same constants as the
+    /// plain rule — deterministic across hosts), `Calibrated` consults the
+    /// separately probed compressed crossover grid.
+    #[inline]
+    pub fn compressed_merge_is_faster(&self, short_len: usize, long_len: usize) -> bool {
+        match self {
+            CostModel::Analytic => ssi_is_faster(short_len, long_len),
+            CostModel::Calibrated(profile) => {
+                profile.compressed_merge_is_faster(short_len, long_len)
+            }
         }
     }
 
@@ -475,6 +579,9 @@ pub struct Calibration {
     pub profile: CostProfile,
     /// Measured merge↔search crossovers, one per probed grid point.
     pub merge_probes: Vec<MergeProbe>,
+    /// Measured compressed-kernel merge↔search crossovers, one per probed
+    /// grid point (fused block-decode merge vs header-skipping search).
+    pub compressed_probes: Vec<MergeProbe>,
     /// Timed galloping-vs-binary samples across the `(|A|, |B|)` sweep.
     pub gallop_samples: Vec<GallopSample>,
 }
@@ -494,38 +601,56 @@ pub fn calibrate(config: &CalibrationConfig) -> Calibration {
             threshold: probe_merge_crossover(log_b, config),
         })
         .collect();
+    let compressed_probes: Vec<MergeProbe> = config
+        .probe_log_b
+        .iter()
+        .map(|&log_b| MergeProbe {
+            log_b,
+            threshold: probe_compressed_crossover(log_b, config),
+        })
+        .collect();
     let gallop_samples: Vec<GallopSample> = config
         .probe_log_a
         .iter()
         .flat_map(|&log_a| probe_gallop_samples(log_a, config))
         .collect();
 
-    let mut merge_ratio = [0.0; GRID_POINTS];
-    for (i, slot) in merge_ratio.iter_mut().enumerate() {
-        let lb = (LOG_B_MIN as usize + i) as f64;
-        *slot = interpolate_probes(&merge_probes, lb);
-    }
-    // Running-max pass: the true crossover ratio grows with |B| (the merge
-    // kernel's linear cost amortizes better the bigger the pair), so any
-    // decrease between grid slots is probe noise. Enforcing monotonicity also
-    // keeps the above-grid linear extrapolation from diving: a
-    // noise-descending last segment would otherwise route big balanced pairs
-    // to the search class ([`CostProfile::merge_threshold`] extrapolates the
-    // end segments without a clamp, to stay exact for the analytic profile).
-    for i in 1..GRID_POINTS {
-        merge_ratio[i] = merge_ratio[i].max(merge_ratio[i - 1]);
-    }
+    // Running-max pass (both grids): the true crossover ratio grows with |B|
+    // (the merge kernel's linear cost amortizes better the bigger the pair),
+    // so any decrease between grid slots is probe noise. Enforcing
+    // monotonicity also keeps the above-grid linear extrapolation from
+    // diving: a noise-descending last segment would otherwise route big
+    // balanced pairs to the search class ([`CostProfile::merge_threshold`]
+    // extrapolates the end segments without a clamp, to stay exact for the
+    // analytic profile).
+    let fill_grid = |probes: &[MergeProbe]| {
+        let mut grid = [0.0; GRID_POINTS];
+        for (i, slot) in grid.iter_mut().enumerate() {
+            let lb = (LOG_B_MIN as usize + i) as f64;
+            *slot = interpolate_probes(probes, lb);
+        }
+        for i in 1..GRID_POINTS {
+            grid[i] = grid[i].max(grid[i - 1]);
+        }
+        grid
+    };
+    let merge_ratio = fill_grid(&merge_probes);
+    let compressed_merge_ratio = fill_grid(&compressed_probes);
 
-    let gallop_exponent = fit_gallop_exponent(&gallop_samples, &merge_ratio);
+    let (gallop_exponent, gallop_haystack_log2) =
+        fit_gallop_boundary(&gallop_samples, &merge_ratio);
 
     let profile = CostProfile {
         merge_ratio,
         gallop_exponent,
+        compressed_merge_ratio,
+        gallop_haystack_log2,
     };
     debug_assert!(profile.validate().is_ok());
     Calibration {
         profile,
         merge_probes,
+        compressed_probes,
         gallop_samples,
     }
 }
@@ -557,25 +682,44 @@ pub fn calibrate(config: &CalibrationConfig) -> Calibration {
 /// degenerate "always gallop" / "never gallop" members available when the
 /// machine really is one-sided.
 pub fn fit_gallop_exponent(samples: &[GallopSample], merge_ratio: &[f64; GRID_POINTS]) -> f64 {
+    fit_gallop_boundary(samples, merge_ratio).0
+}
+
+/// Joint least-regret fit of the full galloping↔binary boundary:
+/// `(gallop_exponent, gallop_haystack_log2)`. The cutoff extends the
+/// exponent family with exactly the shape the cache cliff produces
+/// (galloping wins every haystack past some size, whatever the gap);
+/// candidate `0.0` — cutoff disabled, the pure exponent family — is swept
+/// first and wins ties, so the cutoff only activates when it strictly
+/// reduces the summed regret on the probed mix. See [`fit_gallop_exponent`]
+/// for why least regret, and the merge-gate conditioning, are the right
+/// frame.
+pub fn fit_gallop_boundary(
+    samples: &[GallopSample],
+    merge_ratio: &[f64; GRID_POINTS],
+) -> (f64, f64) {
     const CANDIDATES: [f64; 12] = [1.05, 1.2, 1.4, 1.6, 1.8, 2.0, 2.25, 2.5, 3.0, 4.0, 6.0, 8.0];
+    // 0.0 disables the cutoff; the rest span the plausible cache-cliff range
+    // (haystacks of 2^14 … 2^24 entries, L2 through beyond-LLC).
+    const CUTOFFS: [f64; 7] = [0.0, 14.0, 16.0, 18.0, 20.0, 22.0, 24.0];
     let merge_gate = CostProfile {
         merge_ratio: *merge_ratio,
-        gallop_exponent: 2.0, // unused by merge_is_faster
+        ..CostProfile::analytic() // only merge_ratio is read by merge_is_faster
     };
     let reachable: Vec<&GallopSample> = samples
         .iter()
         .filter(|s| !merge_gate.merge_is_faster(1 << s.log_a, 1 << s.log_b))
         .collect();
     if reachable.is_empty() {
-        return 2.0;
+        return (2.0, 0.0);
     }
-    let mut best = (f64::INFINITY, 2.0);
-    for g in CANDIDATES {
-        let regret: f64 = reachable
+    let regret_of = |g: f64, cutoff: f64| -> f64 {
+        reachable
             .iter()
             .map(|s| {
                 let gap = (s.log_b - s.log_a) as f64;
-                let picks_gallop = g * gap < s.log_b as f64;
+                let picks_gallop =
+                    (cutoff > 0.0 && s.log_b as f64 >= cutoff) || g * gap < s.log_b as f64;
                 let picked = if picks_gallop {
                     s.gallop_ns
                 } else {
@@ -583,14 +727,20 @@ pub fn fit_gallop_exponent(samples: &[GallopSample], merge_ratio: &[f64; GRID_PO
                 };
                 picked - s.gallop_ns.min(s.binary_ns)
             })
-            .sum();
-        // Strictly-better keeps the first (analytic-closest ordering is not
-        // meaningful here; ties in practice don't occur with real timings).
-        if regret < best.0 {
-            best = (regret, g);
+            .sum()
+    };
+    // Strictly-better keeps the earliest candidate, so the analytic-shaped
+    // members (cutoff disabled, then smaller exponents) win ties.
+    let mut best = (regret_of(2.0, 0.0), 2.0, 0.0);
+    for cutoff in CUTOFFS {
+        for g in CANDIDATES {
+            let regret = regret_of(g, cutoff);
+            if regret < best.0 {
+                best = (regret, g, cutoff);
+            }
         }
     }
-    best.1
+    (best.1, best.2)
 }
 
 /// Piecewise-linear interpolation of the probed `(log_b, threshold)` points
@@ -653,6 +803,51 @@ fn probe_merge_crossover(log_b: u32, config: &CalibrationConfig) -> f64 {
     }
     // Merge won everywhere probed: the threshold is at least the largest
     // ratio swept.
+    2f64.powi(max_k as i32)
+}
+
+/// Compressed-kernel counterpart of [`probe_merge_crossover`]: finds the
+/// ratio `|B|/|A|` at which the header-skipping search kernel overtakes the
+/// fused block-decode merge over one compressed row of `|B| = 2^log_b`
+/// values, sweeping `|A| = |B| >> k` with the same crossover interpolation.
+fn probe_compressed_crossover(log_b: u32, config: &CalibrationConfig) -> f64 {
+    let universe = (1u64 << log_b) * 4;
+    let b = synthetic_sorted(
+        1usize << log_b,
+        universe,
+        config.seed ^ ((log_b as u64) << 32),
+    );
+    let mut row = Vec::new();
+    rmatc_graph::compressed::compress_row(&b, &mut row);
+    let max_k = (log_b.saturating_sub(2)).min(11);
+    let mut previous: Option<(f64, f64)> = None;
+    for k in 0..=max_k {
+        let a = synthetic_sorted(
+            (1usize << log_b) >> k,
+            universe,
+            config.seed ^ 0xa5a5 ^ (k as u64),
+        );
+        let t_merge = time_kernel(
+            || compressed_simd_count(&a, &row, None),
+            config.sample_budget_ns,
+        );
+        let t_skip = time_kernel(
+            || compressed_skip_count(&a, &row, None),
+            config.sample_budget_ns,
+        );
+        let margin = (t_skip / t_merge).ln();
+        if margin < 0.0 {
+            return match previous {
+                Some((prev_lr, prev_margin)) => {
+                    let frac = prev_margin / (prev_margin - margin);
+                    let lr = prev_lr + frac * (k as f64 - prev_lr);
+                    2f64.powf(lr).max(1.0)
+                }
+                None => 1.0,
+            };
+        }
+        previous = Some((k as f64, margin));
+    }
     2f64.powi(max_k as i32)
 }
 
@@ -811,7 +1006,7 @@ mod tests {
         let skewed = CostModel::Calibrated(CostProfile {
             // Threshold 0 everywhere: never merge.
             merge_ratio: [0.0; GRID_POINTS],
-            gallop_exponent: 2.0,
+            ..CostProfile::analytic()
         });
         assert_eq!(analytic.select(1024, 1024), IntersectMethod::Simd);
         assert_ne!(skewed.select(1024, 1024), IntersectMethod::Simd);
@@ -904,6 +1099,104 @@ mod tests {
         // And the fitted profile serializes.
         let text = calibration.profile.to_json();
         assert_eq!(CostProfile::from_json(&text).unwrap(), calibration.profile);
+    }
+
+    #[test]
+    fn analytic_compressed_boundary_matches_equation_three() {
+        let profile = CostProfile::analytic();
+        let model = CostModel::Calibrated(profile);
+        for long in [1usize, 2, 63, 64, 100, 4_096, 65_536, 1 << 22] {
+            for short in [1usize, 2, 7, 64, 373, 4_096] {
+                let (s, l) = (short.min(long), short.max(long));
+                assert_eq!(
+                    model.compressed_merge_is_faster(s, l),
+                    CostModel::Analytic.compressed_merge_is_faster(s, l),
+                    "short={s} long={l}"
+                );
+                assert_eq!(
+                    CostModel::Analytic.compressed_merge_is_faster(s, l),
+                    ssi_is_faster(s, l)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn haystack_cutoff_forces_galloping_past_the_cliff() {
+        let mut profile = CostProfile::analytic();
+        // Analytic exponent would refuse this extreme skew…
+        assert!(!profile.galloping_is_faster(2, 1 << 20));
+        // …but a fitted cache cliff at 2^18 overrides it.
+        profile.gallop_haystack_log2 = 18.0;
+        assert!(profile.galloping_is_faster(2, 1 << 20));
+        // Below the cliff the exponent rule still decides.
+        assert!(!profile.galloping_is_faster(2, 1 << 16));
+        assert!(profile.galloping_is_faster(1 << 10, 1 << 16));
+    }
+
+    #[test]
+    fn legacy_profiles_without_compressed_fields_still_load() {
+        // A profile persisted before the compressed kernels existed.
+        let v = serde::Value::object([
+            ("version", serde::Value::Number(PROFILE_VERSION as f64)),
+            ("log_b_min", serde::Value::Number(LOG_B_MIN as f64)),
+            (
+                "merge_ratio",
+                serde::Serialize::to_value(&CostProfile::analytic().merge_ratio),
+            ),
+            ("gallop_exponent", serde::Value::Number(2.0)),
+        ]);
+        let profile = <CostProfile as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(profile, CostProfile::analytic());
+    }
+
+    #[test]
+    fn joint_gallop_fit_activates_the_cutoff_only_on_cliff_shaped_data() {
+        // Exponent-shaped data: galloping wins iff the gap is small.
+        let exponent_shaped: Vec<GallopSample> = (14..=22)
+            .flat_map(|log_b| {
+                (6..log_b - 1).map(move |log_a| {
+                    let gap = (log_b - log_a) as f64;
+                    let gallop_wins = 2.0 * gap < log_b as f64;
+                    GallopSample {
+                        log_a,
+                        log_b,
+                        gallop_ns: if gallop_wins { 100.0 } else { 300.0 },
+                        binary_ns: if gallop_wins { 300.0 } else { 100.0 },
+                    }
+                })
+            })
+            .collect();
+        let grid = CostProfile::analytic().merge_ratio;
+        let (_, cutoff) = fit_gallop_boundary(&exponent_shaped, &grid);
+        assert_eq!(cutoff, 0.0, "no cliff in the data: cutoff must stay off");
+
+        // Cliff-shaped data: galloping wins every haystack ≥ 2^18, loses all
+        // smaller ones regardless of gap. No pure exponent represents this.
+        let cliff_shaped: Vec<GallopSample> = (14..=22)
+            .flat_map(|log_b| {
+                (6..log_b - 1).map(move |log_a| {
+                    let gallop_wins = log_b >= 18;
+                    GallopSample {
+                        log_a,
+                        log_b,
+                        gallop_ns: if gallop_wins { 100.0 } else { 300.0 },
+                        binary_ns: if gallop_wins { 300.0 } else { 100.0 },
+                    }
+                })
+            })
+            .collect();
+        let (exponent, cutoff) = fit_gallop_boundary(&cliff_shaped, &grid);
+        assert_eq!(cutoff, 18.0, "the fitted cutoff must land on the cliff");
+        // With the cutoff carrying the big haystacks, the exponent must keep
+        // the small ones on binary search.
+        let profile = CostProfile {
+            gallop_exponent: exponent,
+            gallop_haystack_log2: cutoff,
+            ..CostProfile::analytic()
+        };
+        assert!(profile.galloping_is_faster(1 << 6, 1 << 20));
+        assert!(!profile.galloping_is_faster(1 << 12, 1 << 16));
     }
 
     #[test]

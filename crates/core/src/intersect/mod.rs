@@ -16,6 +16,12 @@
 //!   distributed path: a remote row that missed the CLaMPI cache is
 //!   intersected against the local row in the same block pass that lands it
 //!   in the cache buffer;
+//! * [`compressed`] — fused decompress+intersect kernels over the
+//!   delta/varint rows of [`rmatc_graph::compressed`]: a scalar reference, a
+//!   block-decode (AVX2-unpacked) merge feeding [`simd_count`], a
+//!   header-skipping search variant that gallops across block maxima without
+//!   decoding, and the copy+decode+intersect miss path
+//!   ([`copy_decode_intersect`]);
 //! * [`calibrate`] — ATLAS-style runtime calibration of the hybrid rule: a
 //!   startup micro-probe measures where this machine's kernels actually
 //!   cross over, and the fitted [`CostProfile`] replaces the analytic
@@ -28,6 +34,7 @@
 
 pub mod binary;
 pub mod calibrate;
+pub mod compressed;
 pub mod fused;
 pub mod galloping;
 pub mod hybrid;
@@ -37,6 +44,10 @@ pub mod ssi;
 
 pub use binary::binary_search_count;
 pub use calibrate::{CostModel, CostProfile};
+pub use compressed::{
+    compressed_count_closing, compressed_scalar_count, compressed_simd_count,
+    compressed_skip_count, copy_decode_intersect,
+};
 pub use fused::copy_intersect;
 pub use galloping::galloping_count;
 pub use hybrid::{galloping_is_faster, select_kernel, ssi_is_faster, IntersectMethod};

@@ -16,11 +16,13 @@ use crate::distributed::config::{DistConfig, ResolvedCaches};
 use crate::distributed::pipeline::{self, Deferred, SharedReader, Started};
 use crate::distributed::reader::RemoteReader;
 use crate::distributed::windows::GraphWindows;
-use crate::intersect::Intersector;
+use crate::intersect::{compressed_count_closing, copy_decode_intersect, Intersector};
 use rayon::prelude::*;
+use rmatc_graph::compressed::decoded_len;
 use rmatc_graph::partition::PartitionedGraph;
 use rmatc_graph::types::VertexId;
 use rmatc_graph::CsrGraph;
+use rmatc_graph::GraphStorage;
 use rmatc_rma::{run_ranks, Endpoint, RankStats, RmaError, ThreadTimer};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -127,8 +129,8 @@ impl DistJaccard {
     /// Fallible variant of [`DistJaccard::run_partitioned`] (see
     /// [`DistJaccard::try_run`]).
     pub fn try_run_partitioned(&self, pg: &PartitionedGraph) -> Result<JaccardResult, RmaError> {
-        let windows = GraphWindows::build(pg);
         let cfg = &self.config;
+        let windows = GraphWindows::build_with(pg, cfg.storage);
         let caches = match &cfg.cache {
             Some(spec) => spec.resolve(pg.global_vertex_count(), windows.adjacency_bytes() as u64),
             None => ResolvedCaches {
@@ -227,7 +229,16 @@ fn run_rank(
                         return Err(e);
                     }
                 };
-                (intersector.count(adj_u, &adj_v), adj_v.len())
+                match cfg.storage {
+                    GraphStorage::Plain => (intersector.count(adj_u, &adj_v), adj_v.len()),
+                    // The row arrived compressed: count in place over the
+                    // stored words (no bound — Jaccard wants the whole
+                    // intersection) and take the degree from the count word.
+                    GraphStorage::Compressed => (
+                        compressed_count_closing(adj_u, &adj_v, None, &cfg.cost_model),
+                        decoded_len(&adj_v),
+                    ),
+                }
             };
             let union = adj_u.len() as u64 + degree_v as u64 - common;
             let jaccard = if union == 0 {
@@ -253,13 +264,14 @@ fn run_rank(
 }
 
 /// One Jaccard adjacency get in flight: the deferred read plus the edge
-/// context needed to finish the similarity record at completion.
+/// context needed to finish the similarity record at completion. The deferred
+/// value is `(common, degree_v)` — under compressed storage the row length on
+/// the wire is a word count, so the degree must come from the decoded row.
 struct JacSlot<'a> {
-    deferred: Deferred<u64>,
+    deferred: Deferred<(u64, usize)>,
     source: VertexId,
     destination: VertexId,
     adj_u: &'a [VertexId],
-    degree_v: usize,
 }
 
 /// The overlapped counterpart of [`run_rank`]: pipelined adjacency gets and
@@ -383,22 +395,46 @@ fn jaccard_loop<'a>(
                 edges.push(edge_similarity(source, v, adj_u.len(), adj_v.len(), common));
                 continue;
             }
-            let started = reader.start_remote(
-                ep,
-                owner,
-                v_local,
-                |row| intersector.count(adj_u, row),
-                |src| {
-                    let arc: Arc<[VertexId]> = Arc::from(src);
-                    let common = intersector.count(adj_u, &arc);
-                    (arc, common)
-                },
-            )?;
+            // Both closures return `(common, degree_v)`: the wire length of a
+            // compressed row is its word count, not the degree, so the degree
+            // always comes from the row itself.
+            let started = if reader.storage() == GraphStorage::Compressed {
+                let model = reader.model();
+                reader.start_remote(
+                    ep,
+                    owner,
+                    v_local,
+                    |row| {
+                        (
+                            compressed_count_closing(adj_u, row, None, model),
+                            decoded_len(row),
+                        )
+                    },
+                    |src| {
+                        let degree_v = decoded_len(src);
+                        let (arc, common) = copy_decode_intersect(src, adj_u, None, model);
+                        (arc, (common, degree_v))
+                    },
+                )?
+            } else {
+                reader.start_remote(
+                    ep,
+                    owner,
+                    v_local,
+                    |row| (intersector.count(adj_u, row), row.len()),
+                    |src| {
+                        let arc: Arc<[VertexId]> = Arc::from(src);
+                        let common = intersector.count(adj_u, &arc);
+                        let degree_v = arc.len();
+                        (arc, (common, degree_v))
+                    },
+                )?
+            };
             match started {
-                Started::Immediate { len, value } => {
-                    edges.push(edge_similarity(source, v, adj_u.len(), len, value));
+                Started::Immediate((common, degree_v)) => {
+                    edges.push(edge_similarity(source, v, adj_u.len(), degree_v, common));
                 }
-                Started::Deferred { len, deferred } => {
+                Started::Deferred(deferred) => {
                     if fifo.len() >= depth {
                         let slot = fifo.pop_front().expect("fifo is non-empty at depth");
                         complete_jaccard_slot(ep, reader, intersector, slot, edges)?;
@@ -408,7 +444,6 @@ fn jaccard_loop<'a>(
                         source,
                         destination: v,
                         adj_u,
-                        degree_v: len,
                     });
                 }
             }
@@ -433,9 +468,20 @@ fn complete_jaccard_slot(
         source,
         destination,
         adj_u,
-        degree_v,
     } = slot;
-    let common = reader.complete(ep, deferred, |row| intersector.count(adj_u, row))?;
+    let (common, degree_v) = if reader.storage() == GraphStorage::Compressed {
+        let model = reader.model();
+        reader.complete(ep, deferred, |row| {
+            (
+                compressed_count_closing(adj_u, row, None, model),
+                decoded_len(row),
+            )
+        })?
+    } else {
+        reader.complete(ep, deferred, |row| {
+            (intersector.count(adj_u, row), row.len())
+        })?
+    };
     edges.push(edge_similarity(
         source,
         destination,
@@ -590,7 +636,7 @@ mod tests {
         // pipelining performs cache operations in issue order — the same
         // sequence as the sequential rank, so the same hit pattern.
         let pg = PartitionedGraph::from_global(&g, cfg.scheme, cfg.ranks).unwrap();
-        let windows = GraphWindows::build(&pg);
+        let windows = GraphWindows::build_with(&pg, cfg.storage);
         let caches = cfg
             .cache
             .as_ref()
@@ -603,6 +649,24 @@ mod tests {
             assert_eq!(pip.stats.bytes, seq.stats.bytes, "rank {rank}");
             assert_eq!(pip.stats.local_reads, seq.stats.local_reads, "rank {rank}");
         }
+    }
+
+    #[test]
+    fn compressed_storage_matches_plain_scores_everywhere() {
+        // Jaccard over compressed windows — sequential, cached and
+        // overlapped — must reproduce the plain-storage edges bit for bit.
+        let g = RmatGenerator::paper(8, 8).generate_cleaned(17).into_csr();
+        let plain = DistJaccard::new(DistConfig::non_cached(4)).run(&g);
+        let base = DistConfig::non_cached(4).with_storage(GraphStorage::Compressed);
+        assert_eq!(DistJaccard::new(base).run(&g).edges, plain.edges);
+        let mut cached = base;
+        cached.cache = Some(CacheSpec::paper(g.csr_size_bytes() as usize));
+        let cached = cached.with_degree_scores();
+        assert_eq!(DistJaccard::new(cached).run(&g).edges, plain.edges);
+        let mut piped = cached;
+        piped.pipeline_depth = 6;
+        piped.intra_threads = 2;
+        assert_eq!(DistJaccard::new(piped).run(&g).edges, plain.edges);
     }
 
     #[test]

@@ -29,12 +29,14 @@
 //! first configuration's thread count) and reused across calls, so repeated
 //! small invocations pay a queue push instead of a `thread::spawn` per call.
 
+use crate::intersect::compressed::compressed_count_closing;
 use crate::intersect::{CostModel, IntersectMethod, ParallelIntersector};
 use crate::lcc;
 use rayon::prelude::*;
+use rmatc_graph::compressed::{decode_row, CompressedCsr};
 use rmatc_graph::split::balanced_vertex_bounds;
 use rmatc_graph::types::{Direction, VertexId};
-use rmatc_graph::CsrGraph;
+use rmatc_graph::{CsrGraph, GraphStorage};
 use std::time::Instant;
 
 /// How the shared-memory computation is spread across threads.
@@ -83,6 +85,12 @@ pub struct LocalConfig {
     pub parallelism: LocalParallelism,
     /// How the parallelized loop's range is cut into chunks.
     pub schedule: RangeSchedule,
+    /// Adjacency representation the computation runs on. With
+    /// [`GraphStorage::Compressed`] every row is delta/varint compressed and
+    /// the fused decompress+intersect kernels replace the plain ones; scores
+    /// are bit-identical either way. Constructors honour the `RMATC_STORAGE`
+    /// environment variable (the CI compressed leg), defaulting to plain.
+    pub storage: GraphStorage,
 }
 
 impl LocalConfig {
@@ -95,6 +103,7 @@ impl LocalConfig {
             parallel_cutoff: usize::MAX,
             parallelism: LocalParallelism::IntersectionParallel,
             schedule: RangeSchedule::DegreeWeighted,
+            storage: GraphStorage::from_env(),
         }
     }
 
@@ -148,6 +157,12 @@ impl LocalConfig {
     /// resolution (see [`crate::intersect::calibrate`]).
     pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
         self.cost_model = cost_model;
+        self
+    }
+
+    /// Same configuration on a different adjacency representation.
+    pub fn with_storage(mut self, storage: GraphStorage) -> Self {
+        self.storage = storage;
         self
     }
 }
@@ -214,6 +229,25 @@ impl LocalLcc {
             // measured run does not pay one-time worker spawn cost. The first
             // call sizes it (environment overrides win); later calls no-op.
             rayon::ensure_pool(self.config.threads);
+        }
+        if self.config.storage == GraphStorage::Compressed {
+            // Compression happens outside the timed section, like CSR
+            // construction does for the plain path: the timed computation is
+            // the fused decompress+intersect traversal itself.
+            let ccsr = CompressedCsr::from_csr(g);
+            let start = Instant::now();
+            let (per_vertex, edges) = match self.config.parallelism {
+                _ if self.config.threads <= 1 || n == 0 => {
+                    compressed_range(&ccsr, 0, n, &self.config.cost_model)
+                }
+                LocalParallelism::IntersectionParallel => {
+                    compressed_range(&ccsr, 0, n, &self.config.cost_model)
+                }
+                LocalParallelism::VertexParallel => self.run_compressed_vertex_parallel(g, &ccsr),
+                LocalParallelism::EdgeParallel => self.run_compressed_edge_parallel(g, &ccsr),
+            };
+            let elapsed_ns = start.elapsed().as_nanos() as u64;
+            return finish(g, per_vertex, edges, elapsed_ns);
         }
         let start = Instant::now();
         let (per_vertex, edges) = match self.config.parallelism {
@@ -340,6 +374,103 @@ impl LocalLcc {
         (per_vertex, m as u64)
     }
 
+    /// Vertex-parallel outer loop over compressed rows: the same range
+    /// structure as [`run_vertex_parallel`](Self::run_vertex_parallel)
+    /// (degree-weighted bounds still come from the plain offsets — chunk
+    /// boundaries are a scheduling choice, not a data path), with each range
+    /// running the fused decompress+intersect kernels.
+    fn run_compressed_vertex_parallel(
+        &self,
+        g: &CsrGraph,
+        ccsr: &CompressedCsr,
+    ) -> (Vec<u64>, u64) {
+        let n = g.vertex_count();
+        let ranges = (self.config.threads * 8).clamp(1, n);
+        let bounds = match self.effective_schedule() {
+            RangeSchedule::Static => static_bounds(n, ranges),
+            RangeSchedule::DegreeWeighted => balanced_vertex_bounds(g.offsets(), ranges),
+        };
+        let model = self.config.cost_model;
+        let partials: Vec<(usize, Vec<u64>, u64)> = (0..ranges)
+            .into_par_iter()
+            .map(|r| {
+                let (lo, hi) = (bounds[r], bounds[r + 1]);
+                let (counts, edges) = compressed_range(ccsr, lo, hi, &model);
+                (lo, counts, edges)
+            })
+            .collect();
+        let mut per_vertex = vec![0u64; n];
+        let mut edges = 0u64;
+        for (lo, counts, e) in partials {
+            per_vertex[lo..lo + counts.len()].copy_from_slice(&counts);
+            edges += e;
+        }
+        (per_vertex, edges)
+    }
+
+    /// Edge-parallel outer loop over compressed rows: identical range
+    /// arithmetic to [`run_edge_parallel`](Self::run_edge_parallel), but the
+    /// `a`-side row is decoded once per row segment and the `v` rows are
+    /// intersected in compressed form.
+    fn run_compressed_edge_parallel(&self, g: &CsrGraph, ccsr: &CompressedCsr) -> (Vec<u64>, u64) {
+        let n = g.vertex_count();
+        let m = g.edge_count() as usize;
+        if m == 0 {
+            return (vec![0u64; n], 0);
+        }
+        let offsets = g.offsets();
+        let direction = g.direction();
+        let ranges = (self.config.threads * 8).clamp(1, m);
+        let bounds = match self.effective_schedule() {
+            RangeSchedule::Static => static_bounds(m, ranges),
+            RangeSchedule::DegreeWeighted => balanced_edge_bounds(g, ranges),
+        };
+        let model = self.config.cost_model;
+        let partials: Vec<(usize, Vec<u64>)> = (0..ranges)
+            .into_par_iter()
+            .map(|r| {
+                let e_lo = bounds[r] as u64;
+                let e_hi = bounds[r + 1] as u64;
+                if e_lo >= e_hi {
+                    return (0, Vec::new());
+                }
+                let u_first = offsets.partition_point(|&o| o <= e_lo) - 1;
+                let mut counts: Vec<u64> = Vec::new();
+                let mut adj_u: Vec<VertexId> = Vec::new();
+                let mut u = u_first;
+                while u < n && offsets[u] < e_hi {
+                    adj_u.clear();
+                    decode_row(ccsr.row(u as VertexId), &mut adj_u);
+                    let row_lo = offsets[u].max(e_lo);
+                    let row_hi = offsets[u + 1].min(e_hi);
+                    let mut t = 0u64;
+                    for e in row_lo..row_hi {
+                        let k = (e - offsets[u]) as usize;
+                        let v = adj_u[k];
+                        t += compressed_count_closing_at(
+                            direction,
+                            &adj_u,
+                            ccsr.row(v),
+                            v,
+                            k,
+                            &model,
+                        );
+                    }
+                    counts.push(t);
+                    u += 1;
+                }
+                (u_first, counts)
+            })
+            .collect();
+        let mut per_vertex = vec![0u64; n];
+        for (u_first, counts) in partials {
+            for (i, t) in counts.into_iter().enumerate() {
+                per_vertex[u_first + i] += t;
+            }
+        }
+        (per_vertex, m as u64)
+    }
+
     fn sequential_intersector(&self) -> ParallelIntersector {
         ParallelIntersector::new(self.config.method, 1, usize::MAX)
             .with_cost_model(self.config.cost_model)
@@ -405,6 +536,71 @@ fn balanced_edge_bounds(g: &CsrGraph, parts: usize) -> Vec<usize> {
     }
     bounds.push(m);
     bounds
+}
+
+/// Runs the fused decompress+intersect traversal over the vertex range
+/// `lo..hi`: row `u` is decoded once (amortized over its whole row — the
+/// scratch buffer is reused across vertices), each `v` row stays compressed
+/// and goes through [`compressed_count_closing`]. Returns the per-vertex
+/// closed-triplet counts for the range and the directed edges processed.
+fn compressed_range(
+    ccsr: &CompressedCsr,
+    lo: usize,
+    hi: usize,
+    model: &CostModel,
+) -> (Vec<u64>, u64) {
+    let mut counts = vec![0u64; hi - lo];
+    let mut edges = 0u64;
+    let mut adj_u: Vec<VertexId> = Vec::new();
+    for u in lo..hi {
+        let (t, e) = compressed_count_vertex(ccsr, u as VertexId, &mut adj_u, model);
+        counts[u - lo] = t;
+        edges += e;
+    }
+    (counts, edges)
+}
+
+/// Compressed counterpart of `count_vertex`: decodes `adj(u)` into the
+/// caller's scratch buffer and counts the closed triplets anchored at `u`
+/// without decompressing any `v` row.
+pub fn compressed_count_vertex(
+    ccsr: &CompressedCsr,
+    u: VertexId,
+    adj_u: &mut Vec<VertexId>,
+    model: &CostModel,
+) -> (u64, u64) {
+    adj_u.clear();
+    decode_row(ccsr.row(u), adj_u);
+    let direction = ccsr.direction();
+    let mut t = 0u64;
+    for (k, &v) in adj_u.iter().enumerate() {
+        t += compressed_count_closing_at(direction, adj_u, ccsr.row(v), v, k, model);
+    }
+    (t, adj_u.len() as u64)
+}
+
+/// Compressed counterpart of [`count_closing_at`]: the decoded `adj_u` side
+/// is sliced exactly like the plain path (`closing_a_side`), and the
+/// upper-triangle filter on the compressed `v` row becomes the kernels'
+/// `bound` parameter instead of a `partition_point` on decoded data.
+pub fn compressed_count_closing_at(
+    direction: Direction,
+    adj_u: &[VertexId],
+    row_v: &[u32],
+    v: VertexId,
+    neighbour_idx: usize,
+    model: &CostModel,
+) -> u64 {
+    debug_assert!(
+        direction == Direction::Directed || adj_u[neighbour_idx] == v,
+        "neighbour_idx must locate v in adj_u"
+    );
+    let a = closing_a_side(direction, adj_u, neighbour_idx);
+    let bound = match direction {
+        Direction::Undirected => Some(v),
+        Direction::Directed => None,
+    };
+    compressed_count_closing(a, row_v, bound, model)
 }
 
 /// Counts the closed triplets anchored at `u`, using the O(1) incremental
@@ -750,6 +946,52 @@ mod tests {
             assert!(result.lcc.is_empty());
             assert_eq!(result.edges_processed, 0);
         }
+    }
+
+    #[test]
+    fn compressed_storage_matches_plain_across_parallelism_modes() {
+        for g in [
+            rmat(),
+            WattsStrogatz::new(400, 8, 0.1)
+                .generate_cleaned(7)
+                .into_csr(),
+        ] {
+            let plain = LocalLcc::new(LocalConfig::sequential()).run(&g);
+            for cfg in [
+                LocalConfig::sequential(),
+                LocalConfig::parallel(4),
+                LocalConfig::vertex_parallel(4),
+                LocalConfig::edge_parallel(4),
+            ] {
+                let compressed = LocalLcc::new(cfg.with_storage(GraphStorage::Compressed)).run(&g);
+                assert_eq!(
+                    plain.per_vertex_triangles, compressed.per_vertex_triangles,
+                    "{:?}",
+                    cfg.parallelism
+                );
+                assert_eq!(plain.edges_processed, compressed.edges_processed);
+                for (a, b) in plain.lcc.iter().zip(compressed.lcc.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "LCC must be bit-identical");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_storage_matches_plain_on_directed_graphs() {
+        let mut edges = Vec::new();
+        for u in 0..40u32 {
+            for v in 0..40u32 {
+                if u != v && (u + v) % 3 != 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = CsrGraph::from_edges(40, &edges, Direction::Directed);
+        let plain = LocalLcc::new(LocalConfig::sequential()).run(&g);
+        let compressed =
+            LocalLcc::new(LocalConfig::sequential().with_storage(GraphStorage::Compressed)).run(&g);
+        assert_eq!(plain.per_vertex_triangles, compressed.per_vertex_triangles);
     }
 
     #[test]

@@ -26,9 +26,10 @@
 //! | Module | Paper location | What it reproduces |
 //! |---|---|---|
 //! | [`csr`] | §II-B, Fig. 2 | The CSR representation (`offsets` + sorted `adjacencies`) every kernel reads |
+//! | [`compressed`] | §II-B, Fig. 2 | The same CSR arrays with delta/varint-compressed adjacency rows (`GraphStorage::Compressed`), shrinking the bytes every remote get and cache slot pays for |
 //! | [`edge_list`] | §IV-A | The cleaning pipeline of the evaluation inputs: dedup, self-loop removal, symmetrization, triangle-free vertex pruning |
 //! | [`partition`] | §III-A / §IV | The distribution scheme: 1D block ownership of contiguous vertex ranges (plus this reproduction's degree-balanced and cyclic variants), and the per-rank CSR each computing node exposes through its windows |
-//! | [`split`] | §IV (load balance) | Degree-weighted (equal edge mass) range boundaries, shared by the shared-memory schedulers and `PartitionScheme::BalancedBlock1D` |
+//! | [`split`] | §IV (load balance) | Weighted range boundaries — equal edge mass (`PartitionScheme::BalancedBlock1D`, shared-memory schedulers) and equal intersection work `Σ (deg(u)+deg(v))` (`PartitionScheme::WorkBalancedBlock1D`) |
 //! | [`gen`] | §IV-A, Table II | R-MAT with the paper's `(A,B,C)` skew, plus the synthetic counterpoints (uniform, Barabási–Albert, Watts–Strogatz, ego circles) |
 //! | [`datasets`] | §IV-A, Table II | Named laptop-scale stand-ins for Orkut, LiveJournal, Skitter, uk-2005, wiki-en, Facebook circles |
 //! | [`relabel`] | §IV-A | The random vertex relabeling the paper applies so block partitions do not inherit crawl-order locality |
@@ -36,6 +37,7 @@
 //! | [`stats`] | Table II | The `\|V\|`, `\|E\|`, degree-skew and cut-fraction columns |
 
 pub mod builder;
+pub mod compressed;
 pub mod csr;
 pub mod datasets;
 pub mod edge_list;
@@ -49,6 +51,7 @@ pub mod stats;
 pub mod types;
 
 pub use builder::GraphBuilder;
+pub use compressed::{CompressedCsr, GraphStorage};
 pub use csr::CsrGraph;
 pub use edge_list::EdgeList;
 pub use partition::{PartitionScheme, PartitionedGraph, Partitioner, RankPartition};

@@ -10,7 +10,7 @@
 //! stores roughly the same number of edges even on hub-heavy graphs.
 
 use crate::csr::CsrGraph;
-use crate::split::balanced_vertex_bounds;
+use crate::split::{balanced_prefix_bounds, balanced_vertex_bounds, intersection_work_prefix};
 use crate::types::{Edge, VertexId};
 use crate::{GraphError, Result};
 
@@ -26,6 +26,14 @@ pub enum PartitionScheme {
     /// degree sequence ([`Partitioner::with_offsets`]); without it, boundaries
     /// degrade to the equal-count blocks of [`PartitionScheme::Block1D`].
     BalancedBlock1D,
+    /// Contiguous blocks with *intersection-work*-weighted boundaries: each
+    /// rank owns an equal share of `Σ_edges (deg(u) + deg(v))` — the length
+    /// mass the per-edge intersections actually walk, a better proxy for
+    /// worker compute time than stored-edge count on hub-heavy graphs
+    /// ([`crate::split::intersection_work_prefix`]). Needs the full CSR
+    /// ([`Partitioner::with_graph`]); without it, boundaries degrade to the
+    /// equal-count blocks of [`PartitionScheme::Block1D`].
+    WorkBalancedBlock1D,
 }
 
 /// Maps vertices to owning ranks under a chosen scheme.
@@ -61,11 +69,26 @@ impl Partitioner {
 
     /// Creates a partitioner with access to the graph's CSR offsets, enabling
     /// degree-weighted boundaries for [`PartitionScheme::BalancedBlock1D`].
-    /// Other schemes ignore the offsets.
+    /// Other schemes ignore the offsets
+    /// ([`PartitionScheme::WorkBalancedBlock1D`] needs the adjacency array
+    /// too — use [`Partitioner::with_graph`]).
     pub fn with_offsets(scheme: PartitionScheme, offsets: &[u64], ranks: usize) -> Result<Self> {
         let mut partitioner = Self::new(scheme, offsets.len() - 1, ranks)?;
         if scheme == PartitionScheme::BalancedBlock1D {
             partitioner.bounds = Some(balanced_vertex_bounds(offsets, ranks));
+        }
+        Ok(partitioner)
+    }
+
+    /// Creates a partitioner with access to the full CSR graph, enabling the
+    /// weighted boundaries of both balanced block schemes
+    /// ([`PartitionScheme::BalancedBlock1D`] by edge mass,
+    /// [`PartitionScheme::WorkBalancedBlock1D`] by intersection-work mass).
+    pub fn with_graph(scheme: PartitionScheme, g: &CsrGraph, ranks: usize) -> Result<Self> {
+        let mut partitioner = Self::with_offsets(scheme, g.offsets(), ranks)?;
+        if scheme == PartitionScheme::WorkBalancedBlock1D {
+            let prefix = intersection_work_prefix(g.offsets(), g.adjacencies());
+            partitioner.bounds = Some(balanced_prefix_bounds(&prefix, ranks));
         }
         Ok(partitioner)
     }
@@ -195,7 +218,7 @@ pub struct PartitionedGraph {
 impl PartitionedGraph {
     /// Splits a global CSR graph into per-rank partitions.
     pub fn from_global(g: &CsrGraph, scheme: PartitionScheme, ranks: usize) -> Result<Self> {
-        let partitioner = Partitioner::with_offsets(scheme, g.offsets(), ranks)?;
+        let partitioner = Partitioner::with_graph(scheme, g, ranks)?;
         let mut partitions = Vec::with_capacity(ranks);
         for rank in 0..ranks {
             let global_ids = partitioner.owned_vertices(rank);
@@ -462,6 +485,78 @@ mod tests {
             block.edge_imbalance()
         );
         assert_eq!(balanced.reassemble(), g);
+    }
+
+    #[test]
+    fn work_balanced_partitioner_covers_all_vertices_exactly_once() {
+        let g = RmatGenerator::paper(10, 8).generate_cleaned(2).into_csr();
+        let p = Partitioner::with_graph(PartitionScheme::WorkBalancedBlock1D, &g, 8).unwrap();
+        let mut seen = vec![false; g.vertex_count()];
+        for rank in 0..8 {
+            for v in p.owned_vertices(rank) {
+                assert_eq!(p.owner(v), rank);
+                assert_eq!(p.global_index(rank, p.local_index(v)), v);
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+            assert_eq!(p.owned_vertices(rank).len(), p.owned_count(rank));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn work_balanced_blocks_spread_intersection_work_better_than_block1d() {
+        // Equal-count blocks concentrate both edge mass *and* intersection
+        // work in the low-id hub ranks of an R-MAT graph. The work-balanced
+        // scheme should cut the spread of per-rank intersection work (max
+        // over mean) relative to Block1D, while still being an exact
+        // partition of the same graph.
+        let g = RmatGenerator::paper(11, 16).generate_cleaned(5).into_csr();
+        let prefix = intersection_work_prefix(g.offsets(), g.adjacencies());
+        let ranks = 8;
+        let rank_work = |pg: &PartitionedGraph| -> Vec<u64> {
+            (0..ranks)
+                .map(|rank| {
+                    pg.partitioner
+                        .owned_vertices(rank)
+                        .into_iter()
+                        .map(|v| prefix[v as usize + 1] - prefix[v as usize])
+                        .sum()
+                })
+                .collect()
+        };
+        let spread = |work: &[u64]| {
+            let max = *work.iter().max().unwrap() as f64;
+            let mean = work.iter().sum::<u64>() as f64 / work.len() as f64;
+            max / mean
+        };
+        let block = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, ranks).unwrap();
+        let balanced =
+            PartitionedGraph::from_global(&g, PartitionScheme::WorkBalancedBlock1D, ranks).unwrap();
+        let (block_spread, balanced_spread) =
+            (spread(&rank_work(&block)), spread(&rank_work(&balanced)));
+        assert!(
+            balanced_spread < block_spread,
+            "work-balanced {balanced_spread} vs block {block_spread}"
+        );
+        // Every rank is close to an equal work share: within one vertex's
+        // worth of work of the ideal, the same bound the splitter guarantees.
+        let total = *prefix.last().unwrap();
+        let max_vertex_work = prefix.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        for &w in &rank_work(&balanced) {
+            assert!(w <= total / ranks as u64 + max_vertex_work);
+        }
+        assert_eq!(balanced.reassemble(), g);
+    }
+
+    #[test]
+    fn work_balanced_scheme_without_graph_degrades_to_equal_count_blocks() {
+        let with = Partitioner::new(PartitionScheme::WorkBalancedBlock1D, 64, 4).unwrap();
+        let block = Partitioner::new(PartitionScheme::Block1D, 64, 4).unwrap();
+        for v in 0..64u32 {
+            assert_eq!(with.owner(v), block.owner(v));
+            assert_eq!(with.local_index(v), block.local_index(v));
+        }
     }
 
     #[test]

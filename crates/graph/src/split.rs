@@ -62,6 +62,38 @@ fn weighted_target(total: u64, j: usize, parts: usize) -> u64 {
     ((total as u128 * j as u128) / parts as u128) as u64
 }
 
+/// Prefix sum of per-vertex *intersection work*: vertex `u` contributes
+/// `Σ_{v ∈ adj(u)} (deg(u) + deg(v))` — the length sum a merge-class
+/// intersection of the two rows walks, summed over `u`'s edges. Returns
+/// `n + 1` entries with a leading zero, ready for
+/// [`balanced_prefix_bounds`].
+///
+/// Edge *count* per rank (what [`balanced_vertex_bounds`] equalizes) is a
+/// proxy for storage; this is a proxy for the distributed workers' compute
+/// time, which is dominated by the per-edge intersections. The two differ on
+/// hub-heavy graphs: a hub's edges are cheap to store but each one drags the
+/// hub's full row through the intersection.
+///
+/// `adjacencies` holds global vertex ids into the same CSR (`offsets` has one
+/// entry per vertex plus the trailing edge count).
+pub fn intersection_work_prefix(offsets: &[u64], adjacencies: &[u32]) -> Vec<u64> {
+    assert!(!offsets.is_empty(), "offsets must have at least one entry");
+    let n = offsets.len() - 1;
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0u64);
+    for u in 0..n {
+        let (start, end) = (offsets[u] as usize, offsets[u + 1] as usize);
+        let deg_u = (end - start) as u64;
+        let mut work = 0u64;
+        for &v in &adjacencies[start..end] {
+            let deg_v = offsets[v as usize + 1] - offsets[v as usize];
+            work += deg_u + deg_v;
+        }
+        prefix.push(prefix[u] + work);
+    }
+    prefix
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +156,40 @@ mod tests {
         assert_eq!(balanced_vertex_bounds(&[0, 0, 0], 2), vec![0, 0, 2]);
         assert_eq!(balanced_vertex_bounds(&[0, 5], 1), vec![0, 1]);
         assert_eq!(balanced_vertex_bounds(&[0, 5], 0), vec![0, 1]);
+    }
+
+    #[test]
+    fn intersection_work_prefix_counts_both_row_lengths() {
+        // Path 0-1-2: adj(0) = {1}, adj(1) = {0, 2}, adj(2) = {1}.
+        // work(0) = deg(0) + deg(1) = 3; work(1) = (2+1) + (2+1) = 6;
+        // work(2) = deg(2) + deg(1) = 3.
+        let g = crate::CsrGraph::from_edges(
+            3,
+            &[(0, 1), (1, 0), (1, 2), (2, 1)],
+            crate::types::Direction::Undirected,
+        );
+        let prefix = intersection_work_prefix(g.offsets(), g.adjacencies());
+        assert_eq!(prefix, vec![0, 3, 9, 12]);
+    }
+
+    #[test]
+    fn work_prefix_bounds_equalize_intersection_work() {
+        let g = RmatGenerator::paper(10, 8).generate_cleaned(1).into_csr();
+        let prefix = intersection_work_prefix(g.offsets(), g.adjacencies());
+        let parts = 8;
+        let bounds = balanced_prefix_bounds(&prefix, parts);
+        let weights: Vec<u64> = bounds
+            .windows(2)
+            .map(|w| prefix[w[1]] - prefix[w[0]])
+            .collect();
+        let total = *prefix.last().unwrap();
+        assert_eq!(weights.iter().sum::<u64>(), total);
+        // No chunk overshoots the ideal share by more than one vertex's work.
+        let ideal = total / parts as u64;
+        let max_vertex_work = prefix.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        for &w in &weights {
+            assert!(w <= ideal + max_vertex_work, "chunk {w} vs ideal {ideal}");
+        }
     }
 
     #[test]

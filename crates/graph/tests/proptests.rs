@@ -2,9 +2,10 @@
 //! invariants, relabeling and partitioning hold for arbitrary edge lists.
 
 use proptest::prelude::*;
+use rmatc_graph::compressed::{compress_row, decode_row, decoded_len};
 use rmatc_graph::partition::{PartitionScheme, Partitioner};
 use rmatc_graph::types::Direction;
-use rmatc_graph::{reference, relabel, CsrGraph, EdgeList};
+use rmatc_graph::{reference, relabel, CompressedCsr, CsrGraph, EdgeList};
 
 fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (2usize..50).prop_flat_map(|n| {
@@ -15,8 +16,66 @@ fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     })
 }
 
+/// Sorted, strictly increasing adjacency rows of arbitrary length, biased
+/// toward the shapes that stress the codec: empty rows, single entries,
+/// dense runs (delta 1 throughout) and rows whose gaps reach the `u32::MAX`
+/// extremes the varint escape must carry exactly.
+fn arb_sorted_row() -> impl Strategy<Value = Vec<u32>> {
+    let raw = prop::collection::vec(any::<u32>(), 0..400);
+    (0u32..5, raw, any::<u32>(), 1usize..300).prop_map(|(kind, raw, start, len)| match kind {
+        // General case: random values, deduplicated and sorted.
+        0 | 1 => {
+            let mut row = raw;
+            row.sort_unstable();
+            row.dedup();
+            row
+        }
+        // Dense run starting anywhere (delta 1 bitpacks to width 0).
+        2 => {
+            let len = len.min((u32::MAX - start) as usize + 1);
+            (0..len).map(|i| start + i as u32).collect()
+        }
+        // Extremes: the virtual −1 predecessor and u32::MAX in one row.
+        3 => vec![0, u32::MAX],
+        _ => vec![],
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compressed_rows_round_trip(row in arb_sorted_row()) {
+        let mut words = Vec::new();
+        compress_row(&row, &mut words);
+        prop_assert_eq!(decoded_len(&words), row.len());
+        let mut decoded = Vec::new();
+        decode_row(&words, &mut decoded);
+        prop_assert_eq!(decoded, row);
+        // An empty row costs exactly one word (the count); non-empty rows
+        // never inflate past the varint worst case of 5 bytes per value
+        // plus per-block headers.
+        if row.is_empty() {
+            prop_assert_eq!(words.len(), 1);
+        }
+    }
+
+    #[test]
+    fn compressed_csr_round_trips_whole_graphs((n, edges) in arb_edges()) {
+        let mut el = EdgeList::from_edges(n, edges, Direction::Undirected).unwrap();
+        el.clean();
+        let csr = el.into_csr();
+        let compressed = CompressedCsr::from_csr(&csr);
+        prop_assert_eq!(compressed.vertex_count(), csr.vertex_count());
+        prop_assert_eq!(compressed.edge_count(), csr.edge_count());
+        for v in 0..csr.vertex_count() as u32 {
+            prop_assert_eq!(compressed.degree(v) as usize, csr.neighbours(v).len());
+            let mut decoded = Vec::new();
+            decode_row(compressed.row(v), &mut decoded);
+            prop_assert_eq!(decoded.as_slice(), csr.neighbours(v));
+        }
+        prop_assert_eq!(compressed.decode(), csr);
+    }
 
     #[test]
     fn clean_always_yields_triangle_ready_graphs((n, edges) in arb_edges()) {

@@ -51,6 +51,10 @@ fn main() {
         faults: None,
         pipeline_depth: 1,
         intra_threads: 1,
+        // Plain adjacency windows; `GraphStorage::Compressed` (or
+        // `RMATC_STORAGE=compressed`) would transfer and cache delta/varint
+        // rows instead, with bit-identical scores.
+        storage: GraphStorage::from_env(),
     };
 
     // -- Run ---------------------------------------------------------------

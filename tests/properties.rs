@@ -100,6 +100,43 @@ proptest! {
     }
 
     #[test]
+    fn compressed_storage_is_bit_identical_on_random_graphs((n, edges) in arb_undirected_graph(),
+                                                            ranks in 1usize..5,
+                                                            cached in proptest::prelude::any::<bool>(),
+                                                            depth in 1usize..6) {
+        // The differential claim of the compressed storage mode: for an
+        // arbitrary graph, every pipeline — local, distributed
+        // cached/non-cached, and the overlapped worker at an arbitrary
+        // depth — produces bit-identical scores to its plain-CSR twin.
+        let csr = build_csr(n, &edges);
+        if csr.vertex_count() == 0 {
+            return Ok(());
+        }
+        let local_plain = LocalLcc::new(LocalConfig::sequential()).run(&csr);
+        let local_compressed =
+            LocalLcc::new(LocalConfig::sequential().with_storage(GraphStorage::Compressed))
+                .run(&csr);
+        prop_assert_eq!(local_plain.lcc, local_compressed.lcc);
+
+        let ranks = ranks.min(csr.vertex_count());
+        let mut cfg = DistConfig::non_cached(ranks).with_storage(GraphStorage::Plain);
+        if cached {
+            cfg.cache = Some(CacheSpec::paper(1 << 18));
+            cfg = cfg.with_degree_scores();
+        }
+        let plain = DistLcc::new(cfg).run(&csr);
+        let compressed = DistLcc::new(cfg.with_storage(GraphStorage::Compressed)).run(&csr);
+        prop_assert_eq!(&plain.lcc, &compressed.lcc);
+        prop_assert_eq!(plain.triangle_count, compressed.triangle_count);
+
+        let overlapped = DistLcc::new(
+            cfg.with_storage(GraphStorage::Compressed).with_pipeline_depth(depth),
+        )
+        .run(&csr);
+        prop_assert_eq!(&plain.lcc, &overlapped.lcc);
+    }
+
+    #[test]
     fn tric_equals_reference_on_random_graphs((n, edges) in arb_undirected_graph(),
                                               ranks in 1usize..4,
                                               buffer in 1usize..64) {

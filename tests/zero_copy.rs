@@ -82,6 +82,7 @@ fn base_config(ranks: usize) -> DistConfig {
         faults: None,
         pipeline_depth: 1,
         intra_threads: 1,
+        storage: rmatc::graph::GraphStorage::Plain,
     }
 }
 
@@ -302,6 +303,80 @@ fn fused_hit_path_allocates_nothing() {
     );
     assert_eq!(warm, hot, "hit-path counts must match the miss-path counts");
     ep.unlock_all();
+}
+
+#[test]
+fn compressed_fused_hit_path_allocates_nothing() {
+    // Same guarantee under compressed storage: once a compressed row is
+    // cached, the fused decompress+intersect kernel runs in place over the
+    // stored words — block decode uses a stack buffer, so a hit performs
+    // zero heap allocations.
+    let g = RmatGenerator::paper(8, 8).generate_cleaned(9).into_csr();
+    let pg = PartitionedGraph::from_global(&g, PartitionScheme::Block1D, 2).unwrap();
+    let windows = GraphWindows::build_with(&pg, rmatc::graph::GraphStorage::Compressed);
+    let mut config = base_config(2);
+    config.storage = rmatc::graph::GraphStorage::Compressed;
+    config.cache = Some(CacheSpec {
+        total_bytes: 1 << 22,
+        offsets_bytes: Some(1 << 20),
+        cache_offsets: true,
+        cache_adjacencies: true,
+        adaptive: false,
+        policy: Default::default(),
+    });
+    let mut reader = build_reader(&pg, &windows, &config);
+    let mut ep = Endpoint::new(0, 2, config.network);
+    let intersector = ParallelIntersector::new(config.method, 1, usize::MAX);
+    let part = &pg.partitions[0];
+    let mut edges = Vec::new();
+    'outer: for local_idx in 0..part.local_vertex_count() {
+        let adj_u = part.neighbours_of_local(local_idx);
+        for (k, &v) in adj_u.iter().enumerate() {
+            if pg.partitioner.owner(v) == 1 {
+                edges.push((local_idx, k, v, pg.partitioner.local_index(v)));
+                if edges.len() >= 64 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(!edges.is_empty(), "the partition must have remote edges");
+    ep.lock_all();
+    let run = |reader: &mut RemoteReader, ep: &mut Endpoint| -> u64 {
+        let mut total = 0;
+        for &(local_idx, k, v, v_local) in &edges {
+            let adj_u = part.neighbours_of_local(local_idx);
+            total += reader
+                .count_closing_remote(ep, 1, v_local, pg.direction, adj_u, v, k, &intersector)
+                .unwrap();
+        }
+        total
+    };
+    let warm = run(&mut reader, &mut ep);
+    let before = allocations_on_this_thread();
+    let hot = run(&mut reader, &mut ep);
+    assert_eq!(
+        allocations_on_this_thread(),
+        before,
+        "the compressed fused hit path must perform zero heap allocations"
+    );
+    assert_eq!(warm, hot, "hit-path counts must match the miss-path counts");
+    // The counts themselves must be the plain-storage counts.
+    let plain_windows = GraphWindows::build(&pg);
+    let mut plain_config = base_config(2);
+    plain_config.cache = config.cache;
+    let mut plain_reader = build_reader(&pg, &plain_windows, &plain_config);
+    let mut plain_ep = Endpoint::new(0, 2, plain_config.network);
+    plain_ep.lock_all();
+    let expected = run(&mut plain_reader, &mut plain_ep);
+    plain_ep.unlock_all();
+    assert_eq!(hot, expected, "compressed counts must match plain counts");
+    ep.unlock_all();
+    let stats = reader.adjacency_cache_stats().unwrap();
+    assert!(
+        stats.logical_bytes > stats.stored_bytes && stats.stored_bytes > 0,
+        "compressed misses must record logical vs stored bytes"
+    );
 }
 
 #[test]
