@@ -60,6 +60,16 @@ const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 ///   rows (compression ratio, stored bytes per lookup) are deterministic
 ///   and deliberately NOT listed — drift there is a real codec or admission
 ///   change and should trip the default gate.
+/// * `service/drive/` — a whole resident-engine drive (partitioning, window
+///   build, thousands of queries) per iteration; alloc and scheduler churn
+///   dominate the small-sample median on a shared runner.
+/// * `service/p50_ns` / `service/p99_ns` — virtual-latency percentiles whose
+///   clock includes *measured* batch compute time, so they inherit wall-time
+///   jitter. The `service/dedup_ratio_x1000` and `service/missrate_ppm`
+///   metric rows from the same bench are fully deterministic (modeled
+///   network, deterministic stream) and deliberately NOT listed: drift there
+///   is a real batching or caching behaviour change and should trip the
+///   default gate.
 const PER_BENCH_THRESHOLD_PCT: &[(&str, f64)] = &[
     ("remote_read/cached_hit", 50.0),
     ("remote_read/cached_cold", 25.0),
@@ -72,6 +82,9 @@ const PER_BENCH_THRESHOLD_PCT: &[(&str, f64)] = &[
     ("intersect/parallel/", 25.0),
     ("intersect/costmodel/hybrid_calibrated", 60.0),
     ("cache_policy/replay/", 30.0),
+    ("service/drive/", 30.0),
+    ("service/p50_ns", 40.0),
+    ("service/p99_ns", 40.0),
 ];
 
 /// The gate threshold (fraction, not percent) for one benchmark key.

@@ -75,6 +75,12 @@ impl CacheStats {
         }
     }
 
+    /// Miss rate in parts per million, rounded — an integer form stable enough
+    /// for deterministic benchmark metric rows and threshold gates.
+    pub fn miss_rate_ppm(&self) -> u64 {
+        (self.miss_rate() * 1e6).round() as u64
+    }
+
     /// Fraction of lookups that are compulsory misses — the floor below which no
     /// cache configuration can push the miss rate.
     pub fn compulsory_miss_rate(&self) -> f64 {

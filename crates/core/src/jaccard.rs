@@ -61,16 +61,11 @@ impl JaccardResult {
         self.edges.iter().map(|e| e.jaccard).sum::<f64>() / self.edges.len() as f64
     }
 
-    /// The `k` most similar edges, sorted by descending Jaccard score.
+    /// The `k` most similar edges in [`similarity_order`]: descending Jaccard
+    /// score, equal scores broken by ascending `(source, destination)` — the
+    /// result is deterministic regardless of thread count or storage mode.
     pub fn top_k(&self, k: usize) -> Vec<EdgeSimilarity> {
-        let mut sorted = self.edges.clone();
-        sorted.sort_by(|a, b| {
-            b.jaccard
-                .partial_cmp(&a.jaccard)
-                .expect("scores are not NaN")
-        });
-        sorted.truncate(k);
-        sorted
+        top_k_edges(&self.edges, k)
     }
 
     /// Total RMA gets issued across ranks.
@@ -164,9 +159,29 @@ struct RankJaccard {
     compute_ns: u64,
 }
 
+/// The canonical ranking order of similarity records: descending Jaccard
+/// score, ties broken by ascending `(source, destination)`. Scores must not
+/// be NaN (ours never are — a zero union yields score 0).
+pub fn similarity_order(a: &EdgeSimilarity, b: &EdgeSimilarity) -> std::cmp::Ordering {
+    b.jaccard
+        .partial_cmp(&a.jaccard)
+        .expect("scores are not NaN")
+        .then_with(|| (a.source, a.destination).cmp(&(b.source, b.destination)))
+}
+
+/// The `k` best records of `edges` under [`similarity_order`]. Input order is
+/// irrelevant: equal-score prefixes resolve by vertex ids, so the result is
+/// identical across thread counts, storage modes, and batch shapes.
+pub fn top_k_edges(edges: &[EdgeSimilarity], k: usize) -> Vec<EdgeSimilarity> {
+    let mut sorted = edges.to_vec();
+    sorted.sort_by(similarity_order);
+    sorted.truncate(k);
+    sorted
+}
+
 /// Builds one edge's similarity record from the endpoint degrees and the
 /// common-neighbour count.
-fn edge_similarity(
+pub(crate) fn edge_similarity(
     source: VertexId,
     destination: VertexId,
     degree_u: usize,

@@ -32,6 +32,10 @@
 //! * [`jaccard`] — distributed Jaccard / common-neighbour similarity built on the
 //!   same two-get protocol and caches, the first extension the paper's conclusion
 //!   proposes as future work.
+//! * [`service`] — the resident query service over the same substrate: a
+//!   long-lived [`QueryEngine`] with warm caches, batched cache-deduplicated
+//!   reads, admission control, and answers bit-identical to the batch
+//!   pipelines.
 
 pub mod distributed;
 pub mod intersect;
@@ -39,6 +43,7 @@ pub mod jaccard;
 pub mod lcc;
 pub mod local;
 pub mod reuse;
+pub mod service;
 
 pub use distributed::{
     CacheSpec, DistConfig, DistLcc, DistResult, RankReport, ScoreMode, TimingBreakdown,
@@ -47,3 +52,7 @@ pub use intersect::{CostModel, CostProfile, IntersectMethod, Intersector};
 pub use jaccard::{DistJaccard, JaccardResult};
 pub use local::{LocalConfig, LocalLcc, LocalParallelism, LocalResult, RangeSchedule};
 pub use rmatc_rma::{FaultPlan, RetryPolicy, RmaError};
+pub use service::{
+    Query, QueryAnswer, QueryEngine, QueryId, QueryResponse, ServiceConfig, ServiceError,
+    ServiceStats,
+};

@@ -11,7 +11,8 @@
 //! * [`core`] — intersection kernels (scalar, SIMD/branchless, binary-search and
 //!   galloping, with the per-edge hybrid cost model), shared-memory LCC with
 //!   intersection-, vertex- or edge-parallel outer loops, and the fully
-//!   asynchronous distributed LCC/TC algorithm.
+//!   asynchronous distributed LCC/TC algorithm, plus the resident similarity
+//!   query service built on it.
 //! * [`tric`] — the TriC bulk-synchronous baseline.
 //!
 //! # Quickstart
@@ -42,8 +43,9 @@ pub mod prelude {
     };
     pub use rmatc_core::{
         CacheSpec, CostModel, CostProfile, DistConfig, DistJaccard, DistLcc, DistResult,
-        IntersectMethod, JaccardResult, LocalConfig, LocalLcc, LocalParallelism, RangeSchedule,
-        ScoreMode,
+        IntersectMethod, JaccardResult, LocalConfig, LocalLcc, LocalParallelism, Query,
+        QueryAnswer, QueryEngine, QueryId, QueryResponse, RangeSchedule, ScoreMode, ServiceConfig,
+        ServiceError, ServiceStats,
     };
     pub use rmatc_graph::datasets::{Dataset, DatasetScale};
     pub use rmatc_graph::gen::{

@@ -453,3 +453,154 @@ proptest! {
         prop_assert_eq!(clean.total_fault_events(), 0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// The resident query service under fire: a long-lived engine must heal
+// recoverable plans per query (answers bit-identical to a clean engine's, with
+// non-zero fault counters), and unrecoverable plans must fail the affected
+// queries with a clean typed error without poisoning the engine for anything
+// that comes after.
+// ---------------------------------------------------------------------------
+
+/// A deterministic degree-weighted query mix over the chaos graph, exercising
+/// all four query kinds.
+fn service_query_mix(g: &CsrGraph, count: usize) -> Vec<Query> {
+    let adj = g.adjacencies();
+    let n = g.vertex_count() as u64;
+    let mut state = 0xfeed_face_cafe_0001u64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    (0..count)
+        .map(|_| {
+            let pos = next() % adj.len() as u64;
+            let u = (g.offsets().partition_point(|&o| o <= pos) - 1) as u32;
+            let v = adj[pos as usize];
+            match next() % 4 {
+                0 => Query::CommonNeighbors { u, v },
+                1 => Query::Jaccard { u, v },
+                2 => Query::TopK {
+                    u,
+                    k: (next() % 6) as usize,
+                },
+                _ => Query::LccOf {
+                    v: (next() % n) as u32,
+                },
+            }
+        })
+        .collect()
+}
+
+fn service_config(ranks: usize) -> DistConfig {
+    DistConfig::cached(ranks, 1 << 20).with_degree_scores()
+}
+
+#[test]
+fn resident_service_heals_recoverable_plans_per_query() {
+    let g = graph();
+    let ranks = 2;
+    let queries = service_query_mix(&g, 80);
+    // The clean resident engine produces the reference answers.
+    let mut clean_engine = QueryEngine::new(
+        &g,
+        ServiceConfig::new(service_config(ranks)).with_batch_size(16),
+    );
+    for &q in &queries {
+        clean_engine.submit(q).unwrap();
+    }
+    let clean: Vec<QueryAnswer> = clean_engine
+        .drain()
+        .into_iter()
+        .map(|r| r.result.expect("fault-free queries succeed"))
+        .collect();
+    assert_eq!(clean_engine.stats().rma.fault_events(), 0);
+    for seed in chaos_seeds() {
+        for plan in [FaultPlan::light(seed), FaultPlan::heavy(seed)] {
+            with_plan_artifact(&plan, "service", || {
+                let dist = service_config(ranks)
+                    .with_faults(plan)
+                    .with_retry(patient_retries());
+                let mut engine = QueryEngine::new(&g, ServiceConfig::new(dist).with_batch_size(16));
+                for &q in &queries {
+                    engine.submit(q).unwrap();
+                }
+                let responses = engine.drain();
+                assert_eq!(responses.len(), clean.len());
+                for (resp, want) in responses.iter().zip(&clean) {
+                    let got = resp
+                        .result
+                        .as_ref()
+                        .expect("recoverable plans heal per query");
+                    assert_eq!(got, want, "seed {seed}");
+                }
+                let stats = engine.stats();
+                assert!(
+                    stats.rma.fault_events() > 0,
+                    "plan {plan:?} must actually inject faults"
+                );
+                assert!(stats.reconciles(), "seed {seed}: {stats:?}");
+            });
+        }
+    }
+}
+
+#[test]
+fn resident_service_survives_unrecoverable_plans_without_poisoning() {
+    let g = graph();
+    let ranks = 2;
+    // A pair query whose operands are co-located (no remote reads, immune to
+    // get faults) and one whose home row has a remote neighbour (must fail
+    // under an unrecoverable plan).
+    let mut probe = QueryEngine::new(&g, ServiceConfig::new(service_config(ranks)));
+    let pg = probe.partitioned_graph();
+    let mut local_pair = None;
+    let mut remote_query = None;
+    for v in 0..pg.global_vertex_count() as u32 {
+        let owner = pg.partitioner.owner(v);
+        for &w in pg.partitions[owner].neighbours_of_local(pg.partitioner.local_index(v)) {
+            if pg.partitioner.owner(w) == owner {
+                local_pair.get_or_insert(Query::Jaccard { u: v, v: w });
+            } else {
+                remote_query.get_or_insert(Query::Jaccard { u: v, v: w });
+            }
+        }
+    }
+    let local_pair = local_pair.expect("block partitions keep intra-rank edges");
+    let remote_query = remote_query.expect("2-rank partitions of this graph have remote edges");
+    let local_answer = probe.oneshot(local_pair).expect("clean run succeeds");
+    drop(probe);
+
+    for seed in chaos_seeds() {
+        let plan = FaultPlan::unrecoverable(seed);
+        with_plan_artifact(&plan, "service-unrecoverable", || {
+            let dist = service_config(ranks)
+                .with_faults(plan)
+                .with_retry(RetryPolicy::no_retries());
+            let mut engine = QueryEngine::new(&g, ServiceConfig::new(dist));
+            // The remote-dependent query fails with a clean typed error.
+            let err = engine.oneshot(remote_query).expect_err("every get fails");
+            assert!(
+                matches!(err, ServiceError::Read(RmaError::RetriesExhausted { .. })),
+                "seed {seed}: got {err}"
+            );
+            // The engine is not poisoned: a co-located query still succeeds
+            // with the clean answer, errors stay per-query under interleaving.
+            for _ in 0..3 {
+                let got = engine
+                    .oneshot(local_pair)
+                    .expect("local queries are immune to get faults");
+                assert_eq!(got, local_answer, "seed {seed}");
+                let err = engine.oneshot(remote_query).expect_err("still failing");
+                assert!(matches!(err, ServiceError::Read(_)));
+            }
+            let stats = engine.stats();
+            assert!(stats.reconciles(), "seed {seed}: {stats:?}");
+            assert_eq!(stats.completed, 3);
+            assert_eq!(stats.failed, 4);
+            assert_eq!(stats.queue_depth, 0);
+        });
+    }
+}

@@ -80,9 +80,10 @@ pub fn run_proptest(
     }
 }
 
-/// Namespace mirror so `prop::collection::vec(...)` resolves.
+/// Namespace mirror so `prop::collection::vec(...)` and
+/// `prop::sample::Index` resolve.
 pub mod prop {
-    pub use crate::strategy::collection;
+    pub use crate::strategy::{collection, sample};
 }
 
 pub mod prelude {
@@ -230,5 +231,22 @@ macro_rules! __proptest_bind {
         let $p2 = $crate::Strategy::generate(&$strats.2, $rng);
         let $p3 = $crate::Strategy::generate(&$strats.3, $rng);
         let $p4 = $crate::Strategy::generate(&$strats.4, $rng);
+    };
+    ($strats:ident, $rng:ident, $p0:pat, $p1:pat, $p2:pat, $p3:pat, $p4:pat, $p5:pat) => {
+        let $p0 = $crate::Strategy::generate(&$strats.0, $rng);
+        let $p1 = $crate::Strategy::generate(&$strats.1, $rng);
+        let $p2 = $crate::Strategy::generate(&$strats.2, $rng);
+        let $p3 = $crate::Strategy::generate(&$strats.3, $rng);
+        let $p4 = $crate::Strategy::generate(&$strats.4, $rng);
+        let $p5 = $crate::Strategy::generate(&$strats.5, $rng);
+    };
+    ($strats:ident, $rng:ident, $p0:pat, $p1:pat, $p2:pat, $p3:pat, $p4:pat, $p5:pat, $p6:pat) => {
+        let $p0 = $crate::Strategy::generate(&$strats.0, $rng);
+        let $p1 = $crate::Strategy::generate(&$strats.1, $rng);
+        let $p2 = $crate::Strategy::generate(&$strats.2, $rng);
+        let $p3 = $crate::Strategy::generate(&$strats.3, $rng);
+        let $p4 = $crate::Strategy::generate(&$strats.4, $rng);
+        let $p5 = $crate::Strategy::generate(&$strats.5, $rng);
+        let $p6 = $crate::Strategy::generate(&$strats.6, $rng);
     };
 }

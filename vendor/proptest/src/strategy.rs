@@ -173,6 +173,33 @@ impl<T: Arbitrary> Strategy for Any<T> {
     }
 }
 
+pub mod sample {
+    use super::Arbitrary;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Mirror of proptest's `sample::Index`: a position drawn independently of
+    /// any collection, resolved against a concrete length with
+    /// [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this draw onto `0..len`. Panics when `len` is 0, like the
+        /// real crate.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            Self(rng.gen::<u64>())
+        }
+    }
+}
+
 pub mod collection {
     use super::Strategy;
     use rand::rngs::StdRng;
